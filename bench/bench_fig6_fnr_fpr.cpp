@@ -1,0 +1,36 @@
+// Fig. 6 reproduction: FNR and FPR of every detector on each obfuscator's
+// output (the figure's eight bar groups as two tables).
+#include <cstdio>
+
+#include "bench_config.h"
+#include "util/table.h"
+
+int main() {
+  using namespace jsrev;
+
+  const auto cfg = bench::default_harness_config();
+  const bench::ResultGrid grid =
+      bench::run_grid(cfg, bench::standard_factories(cfg));
+
+  std::printf("FIGURE 6: FNR / FPR (%%) per detector and obfuscator\n");
+  std::printf("paper shape: CUJO degrades via FPR; ZOZZLE and JSTAP degrade "
+              "via FNR; JAST mixed; JSRevealer bounded on both\n\n");
+
+  for (const bool fnr : {true, false}) {
+    std::printf("%s:\n", fnr ? "FNR" : "FPR");
+    std::vector<std::string> header = {"Detector"};
+    for (const auto& c : bench::condition_names()) header.push_back(c);
+    Table t(header);
+    for (const auto& [det, by_cond] : grid) {
+      std::vector<std::string> row = {det};
+      for (const auto& c : bench::condition_names()) {
+        const ml::Metrics& m = by_cond.at(c);
+        row.push_back(bench::pct(fnr ? m.fnr : m.fpr));
+      }
+      t.add_row(row);
+    }
+    std::fputs(t.to_string().c_str(), stdout);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table VII reproduction: the five most important random-forest features
+// mapped back to their cluster-center path contexts (interpretability).
+#include <cstdio>
+
+#include "bench_config.h"
+#include "core/jsrevealer.h"
+#include "dataset/generator.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace jsrev;
+
+  const auto hc = bench::default_harness_config();
+  dataset::GeneratorConfig gc;
+  gc.seed = hc.seed;
+  gc.benign_count = hc.benign_count;
+  gc.malicious_count = hc.malicious_count;
+  const dataset::Corpus corpus = dataset::generate_corpus(gc);
+  Rng rng(hc.seed ^ 0xabcdef);
+  const dataset::Split split = dataset::split_corpus(
+      corpus, hc.train_per_class, hc.train_per_class, rng);
+
+  core::JsRevealer det(hc.jsrevealer);
+  det.train(split.train);
+
+  std::printf("TABLE VII: five most important features and their central "
+              "paths\n");
+  std::printf("paper finding: benign clusters express functionality "
+              "implementation (functions, option objects, call dispatch); "
+              "malicious clusters express data manipulation (integer ops, "
+              "conditional assignments)\n\n");
+
+  Table t({"Importance", "From", "Central path context"});
+  for (const auto& e : det.feature_report(5)) {
+    std::string path = e.central_path;
+    if (path.size() > 110) path = path.substr(0, 107) + "...";
+    t.add_row({fmt(e.importance, 3), e.from_benign ? "benign" : "malicious",
+               path});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  return 0;
+}

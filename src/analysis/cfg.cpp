@@ -1,0 +1,257 @@
+#include "analysis/cfg.h"
+
+#include "js/visitor.h"
+
+namespace jsrev::analysis {
+namespace {
+
+using js::Node;
+using js::NodeKind;
+
+}  // namespace
+
+class CfgBuilder {
+ public:
+  Cfg run(const Node* body) {
+    Cfg cfg;
+    cfg_ = &cfg;
+
+    cfg.entry_ = add_virtual(/*entry=*/true);
+    cfg.exit_ = add_virtual(/*entry=*/false);
+
+    std::vector<std::size_t> tails =
+        emit_list(body->children, {cfg.entry_});
+    link_all(tails, cfg.exit_);
+    return cfg;
+  }
+
+ private:
+  struct LoopContext {
+    std::string label;                    // enclosing label, may be empty
+    std::vector<std::size_t>* breaks;     // collect break sources
+    std::vector<std::size_t>* continues;  // collect continue sources
+  };
+
+  std::size_t add_virtual(bool entry) {
+    CfgNode n;
+    n.is_entry = entry;
+    n.is_exit = !entry;
+    cfg_->nodes_.push_back(n);
+    return cfg_->nodes_.size() - 1;
+  }
+
+  std::size_t add(const Node* stmt) {
+    CfgNode n;
+    n.stmt = stmt;
+    cfg_->nodes_.push_back(n);
+    const std::size_t id = cfg_->nodes_.size() - 1;
+    cfg_->index_.emplace(stmt, id);
+    return id;
+  }
+
+  void link(std::size_t from, std::size_t to) {
+    cfg_->nodes_[from].succs.push_back(to);
+    cfg_->nodes_[to].preds.push_back(from);
+  }
+
+  void link_all(const std::vector<std::size_t>& froms, std::size_t to) {
+    for (const std::size_t f : froms) link(f, to);
+  }
+
+  // Emits a statement list; `preds` are the incoming edges. Returns the set
+  // of nodes whose control continues past the list.
+  std::vector<std::size_t> emit_list(const std::vector<Node*>& stmts,
+                                     std::vector<std::size_t> preds) {
+    for (const Node* s : stmts) {
+      if (preds.empty()) break;  // unreachable tail
+      preds = emit_stmt(s, preds, /*label=*/"");
+    }
+    return preds;
+  }
+
+  std::vector<std::size_t> emit_stmt(const Node* s,
+                                     std::vector<std::size_t> preds,
+                                     const std::string& label) {
+    switch (s->kind) {
+      case NodeKind::kBlockStatement:
+        return emit_list(s->children, std::move(preds));
+
+      case NodeKind::kIfStatement: {
+        const std::size_t test = add(s);
+        link_all(preds, test);
+        std::vector<std::size_t> out =
+            emit_stmt(s->children[1], {test}, "");
+        if (s->children.size() > 2 && s->children[2] != nullptr) {
+          auto other = emit_stmt(s->children[2], {test}, "");
+          out.insert(out.end(), other.begin(), other.end());
+        } else {
+          out.push_back(test);  // fallthrough when the test is false
+        }
+        return out;
+      }
+
+      case NodeKind::kWhileStatement:
+      case NodeKind::kDoWhileStatement: {
+        const bool is_do = s->kind == NodeKind::kDoWhileStatement;
+        const std::size_t test = add(s);
+        std::vector<std::size_t> breaks, continues;
+        loops_.push_back({label, &breaks, &continues});
+        const Node* body = s->children[is_do ? 0 : 1];
+        if (is_do) {
+          auto body_out = emit_stmt(body, preds, "");
+          link_all(body_out, test);
+        } else {
+          link_all(preds, test);
+          auto body_out = emit_stmt(body, {test}, "");
+          link_all(body_out, test);
+        }
+        loops_.pop_back();
+        link_all(continues, test);
+        std::vector<std::size_t> out = {test};
+        out.insert(out.end(), breaks.begin(), breaks.end());
+        return out;
+      }
+
+      case NodeKind::kForStatement: {
+        // init is part of the loop header node.
+        const std::size_t head = add(s);
+        link_all(preds, head);
+        std::vector<std::size_t> breaks, continues;
+        loops_.push_back({label, &breaks, &continues});
+        auto body_out = emit_stmt(s->children[3], {head}, "");
+        loops_.pop_back();
+        link_all(body_out, head);  // update+test back edge
+        link_all(continues, head);
+        std::vector<std::size_t> out = {head};
+        out.insert(out.end(), breaks.begin(), breaks.end());
+        return out;
+      }
+
+      case NodeKind::kForInStatement: {
+        const std::size_t head = add(s);
+        link_all(preds, head);
+        std::vector<std::size_t> breaks, continues;
+        loops_.push_back({label, &breaks, &continues});
+        auto body_out = emit_stmt(s->children[2], {head}, "");
+        loops_.pop_back();
+        link_all(body_out, head);
+        link_all(continues, head);
+        std::vector<std::size_t> out = {head};
+        out.insert(out.end(), breaks.begin(), breaks.end());
+        return out;
+      }
+
+      case NodeKind::kSwitchStatement: {
+        const std::size_t disc = add(s);
+        link_all(preds, disc);
+        std::vector<std::size_t> breaks, continues;
+        loops_.push_back({label, &breaks, &continues});
+        // Each case may be entered from the discriminant; fallthrough chains
+        // case bodies together.
+        std::vector<std::size_t> fallthrough;
+        bool has_default = false;
+        for (std::size_t i = 1; i < s->children.size(); ++i) {
+          const Node* cs = s->children[i];
+          if (cs->children[0] == nullptr) has_default = true;
+          std::vector<std::size_t> in = fallthrough;
+          in.push_back(disc);
+          std::vector<Node*> body(cs->children.begin() + 1,
+                                  cs->children.end());
+          fallthrough = emit_list(body, std::move(in));
+        }
+        loops_.pop_back();
+        std::vector<std::size_t> out = fallthrough;
+        out.insert(out.end(), breaks.begin(), breaks.end());
+        if (!has_default) out.push_back(disc);
+        return out;
+      }
+
+      case NodeKind::kTryStatement: {
+        const std::size_t head = add(s);
+        link_all(preds, head);
+        auto block_out = emit_stmt(s->children[0], {head}, "");
+        std::vector<std::size_t> out = block_out;
+        if (s->children[1] != nullptr) {
+          // Any statement in the block may throw into the handler; we model
+          // the coarse edge head -> handler.
+          auto catch_out = emit_stmt(s->children[1]->children[1], {head}, "");
+          out.insert(out.end(), catch_out.begin(), catch_out.end());
+        }
+        if (s->children[2] != nullptr) {
+          out = emit_stmt(s->children[2], std::move(out), "");
+        }
+        return out;
+      }
+
+      case NodeKind::kLabeledStatement:
+        return emit_stmt(s->children[0], std::move(preds), s->str);
+
+      case NodeKind::kBreakStatement: {
+        const std::size_t n = add(s);
+        link_all(preds, n);
+        for (auto it = loops_.rbegin(); it != loops_.rend(); ++it) {
+          if (s->str.empty() || it->label == s->str) {
+            it->breaks->push_back(n);
+            return {};
+          }
+        }
+        link(n, cfg_->exit_);  // stray break: treat as function exit
+        return {};
+      }
+
+      case NodeKind::kContinueStatement: {
+        const std::size_t n = add(s);
+        link_all(preds, n);
+        for (auto it = loops_.rbegin(); it != loops_.rend(); ++it) {
+          if (it->continues == nullptr) continue;
+          if (s->str.empty() || it->label == s->str) {
+            it->continues->push_back(n);
+            return {};
+          }
+        }
+        link(n, cfg_->exit_);
+        return {};
+      }
+
+      case NodeKind::kReturnStatement:
+      case NodeKind::kThrowStatement: {
+        const std::size_t n = add(s);
+        link_all(preds, n);
+        link(n, cfg_->exit_);
+        return {};
+      }
+
+      case NodeKind::kWithStatement: {
+        const std::size_t n = add(s);
+        link_all(preds, n);
+        return emit_stmt(s->children[1], {n}, "");
+      }
+
+      default: {
+        // Straight-line statement (expression, declaration, empty, ...).
+        const std::size_t n = add(s);
+        link_all(preds, n);
+        return {n};
+      }
+    }
+  }
+
+  Cfg* cfg_ = nullptr;
+  std::vector<LoopContext> loops_;
+};
+
+Cfg build_cfg(const js::Node* body) { return CfgBuilder().run(body); }
+
+std::vector<Cfg> build_all_cfgs(const js::Node* program) {
+  std::vector<Cfg> cfgs;
+  cfgs.push_back(build_cfg(program));
+  js::walk(program, [&cfgs](const js::Node* n) {
+    if (n->is_function()) {
+      cfgs.push_back(build_cfg(n->children.back()));
+    }
+    return true;
+  });
+  return cfgs;
+}
+
+}  // namespace jsrev::analysis

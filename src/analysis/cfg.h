@@ -1,0 +1,56 @@
+// Intraprocedural control-flow graph over statement-level AST nodes.
+//
+// One CFG is built per function body (and one for the top-level program).
+// Nodes are statements; edges follow execution order through structured
+// control flow, including branch/loop/switch/try shapes and break/continue
+// with optional labels. This granularity matches what JSTAP's control-flow
+// layer consumes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "js/ast.h"
+
+namespace jsrev::analysis {
+
+struct CfgNode {
+  const js::Node* stmt = nullptr;  // underlying AST statement (or expression)
+  std::vector<std::size_t> succs;
+  std::vector<std::size_t> preds;
+  bool is_entry = false;
+  bool is_exit = false;
+};
+
+class Cfg {
+ public:
+  const std::vector<CfgNode>& nodes() const { return nodes_; }
+  std::size_t entry() const { return entry_; }
+  std::size_t exit() const { return exit_; }
+
+  /// Index of the CFG node owning `stmt`, or npos.
+  std::size_t node_for(const js::Node* stmt) const {
+    const auto it = index_.find(stmt);
+    return it == index_.end() ? npos : it->second;
+  }
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  friend class CfgBuilder;
+  std::vector<CfgNode> nodes_;
+  std::unordered_map<const js::Node*, std::size_t> index_;
+  std::size_t entry_ = 0;
+  std::size_t exit_ = 0;
+};
+
+/// Builds the CFG for a function body or program node (a statement list
+/// owner: Program, BlockStatement of a function, ...).
+Cfg build_cfg(const js::Node* body);
+
+/// Builds one CFG per function in the program plus one for the top level.
+std::vector<Cfg> build_all_cfgs(const js::Node* program);
+
+}  // namespace jsrev::analysis

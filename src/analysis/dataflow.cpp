@@ -1,0 +1,63 @@
+#include "analysis/dataflow.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace jsrev::analysis {
+
+DataFlowInfo analyze_dataflow(const js::Node* program,
+                              const ScopeInfo& scopes) {
+  (void)program;
+  DataFlowInfo info;
+
+  struct LinkedSymbol {
+    std::int32_t first_ref_id = 0;
+    std::vector<const js::Node*> linked_refs;
+  };
+  std::vector<LinkedSymbol> linked_symbols;
+
+  for (const auto& sym : scopes.symbols()) {
+    if (sym->writes.empty()) continue;
+
+    // References are recorded in preorder ≈ source order. For each write,
+    // link it to every later read up to (and including) the read just before
+    // the next write — the classic def-use chain on a straight-line
+    // approximation. Conservative for branches, which matches the paper's
+    // "statements that contain the same variable" formulation.
+    const auto& refs = sym->references;
+    std::unordered_set<const js::Node*> write_set(sym->writes.begin(),
+                                                  sym->writes.end());
+    std::unordered_set<const js::Node*> linked;
+    for (std::size_t w = 0; w < refs.size(); ++w) {
+      if (write_set.count(refs[w]) == 0) continue;
+      for (std::size_t r = w + 1; r < refs.size(); ++r) {
+        const bool is_write = write_set.count(refs[r]) != 0;
+        if (is_write) break;  // killed by the next definition
+        info.edges_.push_back({refs[w], refs[r]});
+        linked.insert(refs[w]);
+        linked.insert(refs[r]);
+      }
+    }
+    if (linked.empty()) continue;
+
+    LinkedSymbol ls;
+    ls.first_ref_id = refs.front()->id;
+    ls.linked_refs.assign(linked.begin(), linked.end());
+    linked_symbols.push_back(std::move(ls));
+  }
+
+  // Canonical indices: symbols numbered by first-reference source position,
+  // making the preserved leaf value invariant under consistent renaming.
+  std::sort(linked_symbols.begin(), linked_symbols.end(),
+            [](const LinkedSymbol& a, const LinkedSymbol& b) {
+              return a.first_ref_id < b.first_ref_id;
+            });
+  for (std::size_t i = 0; i < linked_symbols.size(); ++i) {
+    for (const js::Node* ref : linked_symbols[i].linked_refs) {
+      info.canonical_.emplace(ref, static_cast<int>(i));
+    }
+  }
+  return info;
+}
+
+}  // namespace jsrev::analysis

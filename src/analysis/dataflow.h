@@ -1,0 +1,63 @@
+// Data-flow augmentation of the AST ("enhanced AST" in the paper).
+//
+// The paper adds a data-dependency edge between AST leaves that refer to the
+// same variable (a statement using data a preceding statement produced).
+// We compute this from the scope analysis: for every symbol with at least
+// one write and a later read, each (write, subsequent-read) pair within the
+// same symbol contributes a dependency edge between the identifier leaves.
+//
+// Path extraction consumes two artifacts:
+//  * has_dependency(node): whether an identifier leaf participates in any
+//    data-dependency edge — such leaves keep their concrete name in path
+//    triples, all others are abstracted to `@var_<type>` indicators.
+//  * edges(): the explicit edge list (used by PDG construction and tests).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/scope.h"
+#include "js/ast.h"
+
+namespace jsrev::analysis {
+
+struct DataFlowEdge {
+  const js::Node* def = nullptr;  // identifier at the write site
+  const js::Node* use = nullptr;  // identifier at a subsequent read
+};
+
+class DataFlowInfo {
+ public:
+  const std::vector<DataFlowEdge>& edges() const { return edges_; }
+
+  /// True if this identifier node participates in any data-dependency edge.
+  bool has_dependency(const js::Node* n) const {
+    return canonical_.count(n) != 0;
+  }
+
+  /// Canonical per-script index of the symbol this flow-linked identifier
+  /// refers to (0, 1, 2, ... in order of the symbol's first reference), or
+  /// -1 if the node has no data dependency. All references to one symbol
+  /// share an index, so flow-linked paths share a leaf value — and the
+  /// value is invariant under consistent variable renaming (obfuscation).
+  int canonical_index(const js::Node* n) const {
+    const auto it = canonical_.find(n);
+    return it == canonical_.end() ? -1 : it->second;
+  }
+
+  /// Number of identifier leaves with at least one dependency.
+  std::size_t linked_count() const { return canonical_.size(); }
+
+ private:
+  friend DataFlowInfo analyze_dataflow(const js::Node* program,
+                                       const ScopeInfo& scopes);
+  std::vector<DataFlowEdge> edges_;
+  std::unordered_map<const js::Node*, int> canonical_;
+};
+
+/// Builds the data-dependency edges for a finalized AST.
+DataFlowInfo analyze_dataflow(const js::Node* program,
+                              const ScopeInfo& scopes);
+
+}  // namespace jsrev::analysis

@@ -1,0 +1,200 @@
+#include "analysis/scope.h"
+
+#include <functional>
+
+#include "js/visitor.h"
+
+namespace jsrev::analysis {
+namespace {
+
+using js::Node;
+using js::NodeKind;
+
+}  // namespace
+
+class ScopeBuilder {
+ public:
+  ScopeInfo run(const Node* program) {
+    ScopeInfo info;
+    info_ = &info;
+
+    Scope* global = new_scope(program, nullptr);
+    hoist(program, global, /*function_body=*/true);
+    resolve(program, global);
+
+    // Resolution happens in preorder, which matches source order for the
+    // reference lists.
+    return std::move(*info_);
+  }
+
+ private:
+  Scope* new_scope(const Node* owner, Scope* parent) {
+    info_->scopes_.push_back(std::make_unique<Scope>());
+    Scope* s = info_->scopes_.back().get();
+    s->owner = owner;
+    s->parent = parent;
+    if (parent != nullptr) parent->children.push_back(s);
+    return s;
+  }
+
+  Symbol* declare(Scope* scope, const std::string& name) {
+    const auto it = scope->bindings.find(name);
+    if (it != scope->bindings.end()) return it->second;
+    info_->symbols_.push_back(std::make_unique<Symbol>());
+    Symbol* sym = info_->symbols_.back().get();
+    sym->name = name;
+    sym->scope = scope;
+    scope->bindings.emplace(name, sym);
+    return sym;
+  }
+
+  // Pass 1: collect declarations visible in `scope`. Does not descend into
+  // nested functions (their bodies get their own pass when resolved).
+  void hoist(const Node* n, Scope* scope, bool function_body) {
+    if (n == nullptr) return;
+    switch (n->kind) {
+      case NodeKind::kFunctionDeclaration:
+        declare(scope, n->str)->is_function = true;
+        return;  // body handled when resolving the function
+      case NodeKind::kFunctionExpression:
+      case NodeKind::kArrowFunctionExpression:
+        return;
+      case NodeKind::kVariableDeclaration:
+        for (const Node* d : n->children) {
+          declare(scope, d->children[0]->str);
+          // Initializers may contain nested declarations? No — only
+          // expressions; but they can contain function expressions which we
+          // skip anyway. Recurse for completeness of var-in-init edge cases.
+          if (d->children.size() > 1) hoist(d->children[1], scope, false);
+        }
+        return;
+      default:
+        break;
+    }
+    for (const Node* child : n->children) {
+      hoist(child, scope, function_body);
+    }
+  }
+
+  void add_reference(Symbol* sym, const Node* id, bool is_write) {
+    sym->references.push_back(id);
+    if (is_write) sym->writes.push_back(id);
+    info_->resolution_.emplace(id, sym);
+  }
+
+  Symbol* lookup(Scope* scope, const std::string& name) {
+    for (Scope* s = scope; s != nullptr; s = s->parent) {
+      const auto it = s->bindings.find(name);
+      if (it != s->bindings.end()) return it->second;
+    }
+    // Implicit global (browser API, undeclared write, ...).
+    Scope* global = scope;
+    while (global->parent != nullptr) global = global->parent;
+    Symbol* sym = declare(global, name);
+    sym->is_global_implicit = true;
+    return sym;
+  }
+
+  void enter_function(const Node* fn, Scope* parent) {
+    Scope* scope = new_scope(fn, parent);
+    // Parameters (all children except the trailing body block).
+    for (std::size_t i = 0; i + 1 < fn->children.size(); ++i) {
+      Symbol* p = declare(scope, fn->children[i]->str);
+      p->is_parameter = true;
+      add_reference(p, fn->children[i], /*is_write=*/true);
+    }
+    // Named function expressions bind their own name inside the body.
+    if (fn->kind == NodeKind::kFunctionExpression && !fn->str.empty()) {
+      declare(scope, fn->str)->is_function = true;
+    }
+    const Node* body = fn->children.back();
+    hoist(body, scope, true);
+    resolve(body, scope);
+  }
+
+  // Pass 2: resolve identifier references. `n` is visited with knowledge of
+  // whether it sits in a write position.
+  void resolve(const Node* n, Scope* scope, bool is_write = false) {
+    if (n == nullptr) return;
+    switch (n->kind) {
+      case NodeKind::kIdentifier: {
+        add_reference(lookup(scope, n->str), n, is_write);
+        return;
+      }
+      case NodeKind::kFunctionDeclaration: {
+        // The name was hoisted; record the declaring occurrence as a write.
+        const auto it = scope->bindings.find(n->str);
+        if (it != scope->bindings.end()) {
+          // Function declarations have no Identifier node for the name (it
+          // lives in `str`), so nothing to record as a reference node.
+        }
+        enter_function(n, scope);
+        return;
+      }
+      case NodeKind::kFunctionExpression:
+      case NodeKind::kArrowFunctionExpression:
+        enter_function(n, scope);
+        return;
+      case NodeKind::kVariableDeclaration:
+        for (const Node* d : n->children) {
+          const Node* id = d->children[0];
+          const auto it = scope->bindings.find(id->str);
+          Symbol* sym = it != scope->bindings.end() ? it->second
+                                                    : lookup(scope, id->str);
+          const bool has_init = d->children.size() > 1 && d->children[1];
+          add_reference(sym, id, /*is_write=*/has_init);
+          if (has_init) resolve(d->children[1], scope);
+        }
+        return;
+      case NodeKind::kAssignmentExpression:
+        resolve(n->children[0], scope, /*is_write=*/true);
+        resolve(n->children[1], scope);
+        return;
+      case NodeKind::kUpdateExpression:
+        resolve(n->children[0], scope, /*is_write=*/true);
+        return;
+      case NodeKind::kForInStatement:
+        if (n->children[0]->kind == NodeKind::kVariableDeclaration) {
+          const Node* d = n->children[0]->children[0];
+          Symbol* sym = lookup(scope, d->children[0]->str);
+          add_reference(sym, d->children[0], /*is_write=*/true);
+        } else {
+          resolve(n->children[0], scope, /*is_write=*/true);
+        }
+        resolve(n->children[1], scope);
+        resolve(n->children[2], scope);
+        return;
+      case NodeKind::kMemberExpression:
+        resolve(n->children[0], scope);
+        // Non-computed property names are not variable references.
+        if (n->has_flag(Node::kComputed)) resolve(n->children[1], scope);
+        return;
+      case NodeKind::kProperty:
+        // Keys are not references unless computed.
+        if (n->has_flag(Node::kComputed)) resolve(n->children[0], scope);
+        resolve(n->children[1], scope);
+        return;
+      case NodeKind::kCatchClause: {
+        Scope* catch_scope = new_scope(n, scope);
+        Symbol* param = declare(catch_scope, n->children[0]->str);
+        add_reference(param, n->children[0], /*is_write=*/true);
+        resolve(n->children[1], catch_scope);
+        return;
+      }
+      case NodeKind::kLabeledStatement:
+        resolve(n->children[0], scope);
+        return;
+      default:
+        for (const Node* child : n->children) resolve(child, scope);
+        return;
+    }
+  }
+
+  ScopeInfo* info_ = nullptr;
+};
+
+ScopeInfo analyze_scopes(const js::Node* program) {
+  return ScopeBuilder().run(program);
+}
+
+}  // namespace jsrev::analysis

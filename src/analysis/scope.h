@@ -1,0 +1,75 @@
+// Lexical scope construction and identifier resolution.
+//
+// Builds the scope tree for a program (global scope, one scope per function,
+// plus catch-clause scopes), hoists `var` and function declarations to the
+// enclosing function scope, treats let/const as function-scoped for
+// simplicity (block scoping does not affect any downstream analysis we run),
+// and resolves every Identifier *reference* to a Symbol.
+//
+// Identifiers in non-reference positions (member property names `a.b`,
+// object literal keys, labels) are deliberately not resolved.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "js/ast.h"
+
+namespace jsrev::analysis {
+
+struct Scope;
+
+/// A declared binding (var/let/const/function name/parameter/catch param),
+/// or a synthesized global for unresolved references.
+struct Symbol {
+  std::string name;
+  Scope* scope = nullptr;
+  bool is_parameter = false;
+  bool is_function = false;   // bound by a function declaration/expression
+  bool is_global_implicit = false;  // referenced but never declared
+
+  // Identifier nodes referring to this symbol, in preorder (≈source) order.
+  // Includes the declaring occurrence.
+  std::vector<const js::Node*> references;
+  // Subset of `references` that are write sites (declarator init,
+  // assignment target, update target, for-in target).
+  std::vector<const js::Node*> writes;
+};
+
+struct Scope {
+  const js::Node* owner = nullptr;  // Program or function node
+  Scope* parent = nullptr;
+  std::vector<Scope*> children;
+  std::unordered_map<std::string, Symbol*> bindings;
+};
+
+/// Result of scope analysis over one AST. Owns all scopes and symbols.
+class ScopeInfo {
+ public:
+  /// Resolved symbol for an identifier reference node, nullptr if the node
+  /// is not a reference (property name, key, label) or not an Identifier.
+  const Symbol* symbol_for(const js::Node* identifier) const {
+    const auto it = resolution_.find(identifier);
+    return it == resolution_.end() ? nullptr : it->second;
+  }
+
+  const Scope* global_scope() const { return scopes_.empty() ? nullptr : scopes_.front().get(); }
+
+  /// All symbols, including implicit globals, in creation order.
+  const std::vector<std::unique_ptr<Symbol>>& symbols() const {
+    return symbols_;
+  }
+
+ private:
+  friend class ScopeBuilder;
+  std::vector<std::unique_ptr<Scope>> scopes_;
+  std::vector<std::unique_ptr<Symbol>> symbols_;
+  std::unordered_map<const js::Node*, Symbol*> resolution_;
+};
+
+/// Runs scope analysis. The AST must be finalized (parents/ids assigned).
+ScopeInfo analyze_scopes(const js::Node* program);
+
+}  // namespace jsrev::analysis

@@ -1,0 +1,78 @@
+#include "baselines/cujo.h"
+
+#include <cmath>
+
+#include "js/lexer.h"
+
+namespace jsrev::detect {
+
+Cujo::Cujo(CujoConfig cfg)
+    : cfg_(cfg), hasher_(cfg.q, cfg.dims) {
+  ml::LinearConfig lc;
+  lc.seed = cfg.seed;
+  svm_ = ml::LinearSvm(lc);
+}
+
+std::vector<std::string> Cujo::normalize_tokens(const std::string& source) {
+  std::vector<std::string> out;
+  js::Lexer lexer(source);
+  for (const js::Token& t : lexer.tokenize()) {
+    switch (t.type) {
+      case js::TokenType::kEof:
+        break;
+      case js::TokenType::kIdentifier:
+        out.emplace_back("ID");
+        break;
+      case js::TokenType::kNumericLiteral:
+        out.emplace_back("NUM");
+        break;
+      case js::TokenType::kStringLiteral:
+      case js::TokenType::kTemplateString:
+        // CUJO buckets strings by length.
+        out.emplace_back(t.string_value.size() < 16 ? "STR.short"
+                                                    : "STR.long");
+        break;
+      case js::TokenType::kRegexLiteral:
+        out.emplace_back("REGEX");
+        break;
+      default:
+        out.push_back(t.value);  // keywords and punctuators stay literal
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<double> Cujo::featurize(const std::string& source) const {
+  std::vector<double> f(cfg_.dims, 0.0);
+  hasher_.accumulate(normalize_tokens(source), f);
+  l2_normalize(f);
+  return f;
+}
+
+void Cujo::train(const dataset::Corpus& corpus) {
+  ml::Matrix x(corpus.samples.size(), cfg_.dims);
+  std::vector<int> y(corpus.samples.size());
+  for (std::size_t i = 0; i < corpus.samples.size(); ++i) {
+    std::vector<double> f;
+    try {
+      f = featurize(corpus.samples[i].source);
+    } catch (const std::exception&) {
+      f.assign(cfg_.dims, 0.0);
+    }
+    std::copy(f.begin(), f.end(), x.row(i));
+    y[i] = corpus.samples[i].label;
+  }
+  svm_.fit(x, y);
+}
+
+int Cujo::classify(const std::string& source) const {
+  try {
+    const std::vector<double> f = featurize(source);
+    return svm_.predict(f.data());
+  } catch (const std::exception&) {
+    return 1;  // unlexable input → malicious by convention
+  }
+}
+
+}  // namespace jsrev::detect

@@ -1,0 +1,44 @@
+#include "baselines/detector.h"
+
+#include "baselines/cujo.h"
+#include "baselines/jast.h"
+#include "baselines/jstap.h"
+#include "baselines/zozzle.h"
+
+namespace jsrev::detect {
+
+std::string baseline_kind_name(BaselineKind k) {
+  switch (k) {
+    case BaselineKind::kCujo: return "CUJO";
+    case BaselineKind::kZozzle: return "ZOZZLE";
+    case BaselineKind::kJast: return "JAST";
+    case BaselineKind::kJstap: return "JSTAP";
+  }
+  return "?";
+}
+
+std::unique_ptr<Detector> make_baseline(BaselineKind kind,
+                                        std::uint64_t seed) {
+  switch (kind) {
+    case BaselineKind::kCujo: {
+      CujoConfig cfg;
+      cfg.seed = seed;
+      return std::make_unique<Cujo>(cfg);
+    }
+    case BaselineKind::kZozzle:
+      return std::make_unique<Zozzle>();
+    case BaselineKind::kJast: {
+      JastConfig cfg;
+      cfg.seed = seed;
+      return std::make_unique<Jast>(cfg);
+    }
+    case BaselineKind::kJstap: {
+      JstapConfig cfg;
+      cfg.seed = seed;
+      return std::make_unique<Jstap>(cfg);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace jsrev::detect

@@ -1,0 +1,53 @@
+// Common interface for full-script malicious-JavaScript detectors
+// (JSRevealer and the four comparison baselines).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataset/corpus.h"
+#include "ml/metrics.h"
+
+namespace jsrev::detect {
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  /// Trains the detector on a labeled corpus of JavaScript sources.
+  virtual void train(const dataset::Corpus& corpus) = 0;
+
+  /// Classifies one script: 1 = malicious, 0 = benign. Unparseable input is
+  /// conventionally classified malicious (all compared tools reject it).
+  virtual int classify(const std::string& source) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Metrics over a labeled corpus.
+  ml::Metrics evaluate(const dataset::Corpus& corpus) const {
+    std::vector<int> truth, pred;
+    truth.reserve(corpus.samples.size());
+    pred.reserve(corpus.samples.size());
+    for (const auto& s : corpus.samples) {
+      truth.push_back(s.label);
+      pred.push_back(classify(s.source));
+    }
+    return ml::compute_metrics(truth, pred);
+  }
+};
+
+enum class BaselineKind { kCujo, kZozzle, kJast, kJstap };
+
+inline constexpr BaselineKind kAllBaselines[] = {
+    BaselineKind::kCujo, BaselineKind::kZozzle, BaselineKind::kJast,
+    BaselineKind::kJstap};
+
+std::string baseline_kind_name(BaselineKind k);
+
+/// Factory. `seed` drives any stochastic training component.
+std::unique_ptr<Detector> make_baseline(BaselineKind kind,
+                                        std::uint64_t seed = 1);
+
+}  // namespace jsrev::detect

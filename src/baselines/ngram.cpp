@@ -1,0 +1,56 @@
+#include "baselines/ngram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace jsrev::detect {
+
+void l2_normalize(std::vector<double>& v) {
+  double norm = 0.0;
+  for (const double x : v) norm += x * x;
+  if (norm <= 0.0) return;
+  norm = std::sqrt(norm);
+  for (double& x : v) x /= norm;
+}
+
+void NgramVocab::count(const std::vector<std::string>& tokens) {
+  if (tokens.size() < static_cast<std::size_t>(n_)) return;
+  for (std::size_t i = 0; i + static_cast<std::size_t>(n_) <= tokens.size();
+       ++i) {
+    ++counts_[gram_hash(tokens, i)];
+  }
+}
+
+void NgramVocab::freeze(std::size_t min_count) {
+  std::vector<std::pair<std::size_t, std::uint64_t>> ranked;
+  ranked.reserve(counts_.size());
+  for (const auto& [h, c] : counts_) {
+    if (c >= min_count) ranked.emplace_back(c, h);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              // Frequency descending; hash as a deterministic tie-break.
+              return a.first != b.first ? a.first > b.first
+                                        : a.second < b.second;
+            });
+  if (ranked.size() > max_features_) ranked.resize(max_features_);
+  index_.clear();
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    index_.emplace(ranked[i].second, i);
+  }
+  counts_.clear();
+  frozen_ = true;
+}
+
+void NgramVocab::accumulate(const std::vector<std::string>& tokens,
+                            std::vector<double>& features) const {
+  if (tokens.size() < static_cast<std::size_t>(n_)) return;
+  for (std::size_t i = 0; i + static_cast<std::size_t>(n_) <= tokens.size();
+       ++i) {
+    const auto it = index_.find(gram_hash(tokens, i));
+    if (it != index_.end()) features[it->second] += 1.0;
+  }
+}
+
+}  // namespace jsrev::detect

@@ -1,0 +1,89 @@
+// Hashed n-gram feature extraction shared by the baseline detectors.
+//
+// Token / node-kind sequences are mapped to a fixed-size feature vector via
+// feature hashing (the standard trick all four baseline papers' pipelines
+// rely on once vocabularies grow).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace jsrev::detect {
+
+/// Accumulates n-grams of string tokens into a hashed feature vector.
+class NgramHasher {
+ public:
+  NgramHasher(int n, std::size_t dims) : n_(n), dims_(dims) {}
+
+  /// Adds all n-grams of `tokens` into `features` (frequency counts).
+  void accumulate(const std::vector<std::string>& tokens,
+                  std::vector<double>& features) const {
+    if (tokens.size() < static_cast<std::size_t>(n_)) return;
+    for (std::size_t i = 0; i + static_cast<std::size_t>(n_) <= tokens.size();
+         ++i) {
+      std::uint64_t h = 1469598103934665603ULL;
+      for (int j = 0; j < n_; ++j) {
+        h = jsrev::hash_combine(h, jsrev::fnv1a64(tokens[i + static_cast<std::size_t>(j)]));
+      }
+      features[h % dims_] += 1.0;
+    }
+  }
+
+  std::size_t dims() const { return dims_; }
+  int n() const { return n_; }
+
+ private:
+  int n_;
+  std::size_t dims_;
+};
+
+/// L2-normalizes a feature vector in place (stabilizes linear models on
+/// scripts of very different lengths).
+void l2_normalize(std::vector<double>& v);
+
+/// Explicit n-gram vocabulary built from training data (the JAST/JSTAP
+/// protocol): the most frequent n-grams become feature dimensions, and
+/// n-grams unseen in training are DROPPED at inference time. This is the
+/// behaviour that makes those detectors collapse when obfuscation replaces
+/// the n-gram distribution wholesale — test vectors go near-zero.
+class NgramVocab {
+ public:
+  NgramVocab(int n, std::size_t max_features)
+      : n_(n), max_features_(max_features) {}
+
+  /// Pass 1: count the n-grams of one training sequence.
+  void count(const std::vector<std::string>& tokens);
+
+  /// Freezes the vocabulary: keeps the `max_features` most frequent
+  /// n-grams with count >= min_count. Call once after counting.
+  void freeze(std::size_t min_count = 2);
+
+  /// Number of feature dimensions (valid after freeze()).
+  std::size_t dims() const { return index_.size(); }
+
+  /// Adds the known n-grams of `tokens` into `features` (size dims()).
+  void accumulate(const std::vector<std::string>& tokens,
+                  std::vector<double>& features) const;
+
+ private:
+  std::uint64_t gram_hash(const std::vector<std::string>& tokens,
+                          std::size_t start) const {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (int j = 0; j < n_; ++j) {
+      h = hash_combine(h, fnv1a64(tokens[start + static_cast<std::size_t>(j)]));
+    }
+    return h;
+  }
+
+  int n_;
+  std::size_t max_features_;
+  std::unordered_map<std::uint64_t, std::size_t> counts_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+  bool frozen_ = false;
+};
+
+}  // namespace jsrev::detect

@@ -1,0 +1,106 @@
+#include "baselines/zozzle.h"
+
+#include <algorithm>
+
+#include "js/parser.h"
+#include "js/printer.h"
+#include "js/visitor.h"
+#include "util/hash.h"
+
+namespace jsrev::detect {
+namespace {
+
+using js::Node;
+using js::NodeKind;
+
+const char* context_of(const Node* n) {
+  for (const Node* p = n->parent; p != nullptr; p = p->parent) {
+    switch (p->kind) {
+      case NodeKind::kFunctionDeclaration:
+      case NodeKind::kFunctionExpression:
+      case NodeKind::kArrowFunctionExpression:
+        return "function";
+      case NodeKind::kIfStatement:
+      case NodeKind::kConditionalExpression:
+      case NodeKind::kSwitchStatement:
+        return "if";
+      case NodeKind::kForStatement:
+      case NodeKind::kForInStatement:
+      case NodeKind::kWhileStatement:
+      case NodeKind::kDoWhileStatement:
+        return "loop";
+      case NodeKind::kTryStatement:
+        return "try";
+      default:
+        break;
+    }
+  }
+  return "script";
+}
+
+bool interesting(const Node* n) {
+  switch (n->kind) {
+    case NodeKind::kCallExpression:
+    case NodeKind::kNewExpression:
+    case NodeKind::kMemberExpression:
+    case NodeKind::kAssignmentExpression:
+    case NodeKind::kVariableDeclaration:
+    case NodeKind::kBinaryExpression:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Zozzle::Zozzle(ZozzleConfig cfg) : cfg_(cfg) {}
+
+std::vector<std::string> Zozzle::context_features(const std::string& source) {
+  std::vector<std::string> feats;
+  const js::Ast ast = js::parse(source);
+  js::walk(const_cast<const Node*>(ast.root), [&feats](const Node* n) {
+    if (interesting(n)) {
+      std::string text = js::print(n, js::PrintStyle::kMinified);
+      if (text.size() > 64) text.resize(64);  // cap pathological nodes
+      feats.push_back(std::string(context_of(n)) + ":" + text);
+    }
+    return true;
+  });
+  return feats;
+}
+
+std::vector<double> Zozzle::featurize(const std::string& source) const {
+  std::vector<double> f(cfg_.dims, 0.0);
+  for (const std::string& feat : context_features(source)) {
+    f[fnv1a64(feat) % cfg_.dims] = 1.0;  // binary presence
+  }
+  return f;
+}
+
+void Zozzle::train(const dataset::Corpus& corpus) {
+  ml::Matrix x(corpus.samples.size(), cfg_.dims);
+  std::vector<int> y(corpus.samples.size());
+  for (std::size_t i = 0; i < corpus.samples.size(); ++i) {
+    std::vector<double> f;
+    try {
+      f = featurize(corpus.samples[i].source);
+    } catch (const std::exception&) {
+      f.assign(cfg_.dims, 0.0);
+    }
+    std::copy(f.begin(), f.end(), x.row(i));
+    y[i] = corpus.samples[i].label;
+  }
+  nb_.fit(x, y);
+}
+
+int Zozzle::classify(const std::string& source) const {
+  try {
+    const std::vector<double> f = featurize(source);
+    return nb_.predict(f.data());
+  } catch (const std::exception&) {
+    return 1;
+  }
+}
+
+}  // namespace jsrev::detect

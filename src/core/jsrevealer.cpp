@@ -1,0 +1,406 @@
+#include "core/jsrevealer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "analysis/dataflow.h"
+#include "analysis/scope.h"
+#include "js/parser.h"
+#include "ml/decision_tree.h"
+#include "util/rng.h"
+
+namespace jsrev::core {
+
+JsRevealer::JsRevealer(Config cfg) : cfg_(cfg) {
+  ml::AttentionModelConfig mc;
+  mc.embedding_dim = cfg_.embedding_dim;
+  mc.epochs = cfg_.embed_epochs;
+  mc.learning_rate = cfg_.learning_rate;
+  mc.seed = cfg_.seed;
+  model_ = ml::AttentionModel(mc);
+  classifier_ = ml::make_classifier(cfg_.classifier, cfg_.seed);
+}
+
+std::vector<paths::PathContext> JsRevealer::extract(const std::string& source,
+                                                    bool timed) const {
+  Timer t1;
+  const js::Ast ast = js::parse(source);
+  analysis::DataFlowInfo flow;
+  if (cfg_.path.use_dataflow) {
+    const analysis::ScopeInfo scopes = analysis::analyze_scopes(ast.root);
+    flow = analysis::analyze_dataflow(ast.root, scopes);
+  }
+  const double ast_ms = t1.elapsed_ms();
+
+  Timer t2;
+  auto pcs = paths::extract_paths(
+      ast.root, cfg_.path.use_dataflow ? &flow : nullptr, cfg_.path);
+  const double traverse_ms = t2.elapsed_ms();
+
+  if (timed) {
+    std::lock_guard<std::mutex> lock(timing_mu_);
+    timings_.enhanced_ast.add(ast_ms);
+    timings_.path_traversal.add(traverse_ms);
+  }
+  return pcs;
+}
+
+std::vector<std::int32_t> JsRevealer::to_ids(
+    const std::vector<paths::PathContext>& pcs) const {
+  std::vector<std::int32_t> ids;
+  ids.reserve(pcs.size());
+  for (const auto& pc : pcs) ids.push_back(vocab_.lookup(pc));
+  return ids;
+}
+
+void JsRevealer::train(const dataset::Corpus& corpus) {
+  Rng rng(cfg_.seed);
+
+  // ---- Stage 1: path extraction over the training corpus (grows vocab) ---
+  std::vector<std::vector<std::int32_t>> script_ids(corpus.samples.size());
+  std::vector<int> labels(corpus.samples.size());
+  for (std::size_t i = 0; i < corpus.samples.size(); ++i) {
+    labels[i] = corpus.samples[i].label;
+    std::vector<paths::PathContext> pcs;
+    try {
+      pcs = extract(corpus.samples[i].source, /*timed=*/true);
+    } catch (const std::exception&) {
+      continue;  // unparseable training sample contributes nothing
+    }
+    auto& ids = script_ids[i];
+    ids.reserve(pcs.size());
+    for (const auto& pc : pcs) {
+      if (vocab_.size() < cfg_.max_vocab) {
+        ids.push_back(vocab_.add(pc));
+      } else {
+        ids.push_back(vocab_.lookup(pc));
+      }
+    }
+  }
+
+  // ---- Stage 2: pre-train the embedding model -----------------------------
+  // The paper pre-trains on 5,000 held-aside scripts; by default we use the
+  // training corpus itself (cfg_.pretrain_scripts == 0), subsampling paths
+  // per script for tractable epochs.
+  {
+    Timer t;
+    std::vector<ml::ScriptPaths> train_scripts;
+    std::size_t budget = cfg_.pretrain_scripts == 0
+                             ? corpus.samples.size()
+                             : cfg_.pretrain_scripts;
+    for (std::size_t i = 0; i < corpus.samples.size() && budget > 0; ++i) {
+      if (script_ids[i].empty()) continue;
+      --budget;
+      ml::ScriptPaths sp;
+      sp.label = labels[i];
+      sp.path_ids = script_ids[i];
+      if (sp.path_ids.size() > cfg_.train_paths_per_script) {
+        rng.shuffle(sp.path_ids);
+        sp.path_ids.resize(cfg_.train_paths_per_script);
+      }
+      train_scripts.push_back(std::move(sp));
+    }
+    model_.train(train_scripts, vocab_.size());
+    const double total = t.elapsed_ms();
+    if (!train_scripts.empty()) {
+      // Table VIII reports pre-training time per file.
+      timings_.pretraining.add(total /
+                               static_cast<double>(train_scripts.size()));
+    }
+  }
+
+  // ---- Stage 3: per-class vector sample, outlier removal, clustering ------
+  auto build_class = [&](int label, ml::Matrix* inliers_out,
+                         std::vector<std::int32_t>* inlier_ids_out) {
+    // Sample (path id, weight) pairs across all scripts of the class.
+    std::vector<std::int32_t> sampled_ids;
+    for (std::size_t i = 0; i < corpus.samples.size(); ++i) {
+      if (labels[i] != label) continue;
+      for (const std::int32_t id : script_ids[i]) {
+        if (id >= 0) sampled_ids.push_back(id);
+      }
+    }
+    rng.shuffle(sampled_ids);
+    if (sampled_ids.size() > cfg_.cluster_sample_per_class) {
+      sampled_ids.resize(cfg_.cluster_sample_per_class);
+    }
+
+    const auto d = static_cast<std::size_t>(cfg_.embedding_dim);
+    ml::Matrix vecs(sampled_ids.size(), d);
+    for (std::size_t r = 0; r < sampled_ids.size(); ++r) {
+      const std::vector<double> e = model_.path_embedding(sampled_ids[r]);
+      std::copy(e.begin(), e.end(), vecs.row(r));
+    }
+
+    // Outlier removal (FastABOD by default; optionally MetaOD-style pick;
+    // skippable entirely for the ablation bench).
+    Timer t_out;
+    ml::OutlierConfig ocfg;
+    ocfg.k_neighbors = cfg_.outlier_k_neighbors;
+    ocfg.contamination = cfg_.skip_outlier_removal
+                             ? 0.0
+                             : cfg_.outlier_contamination;
+    if (cfg_.run_outlier_selection && !cfg_.skip_outlier_removal) {
+      outlier_method_ = ml::select_outlier_method(vecs, ocfg);
+    }
+    ml::OutlierResult out;
+    if (cfg_.skip_outlier_removal) {
+      out.scores.assign(vecs.rows(), 0.0);
+      out.is_outlier.assign(vecs.rows(), false);
+    } else {
+      out = ml::run_outlier(outlier_method_, vecs, ocfg);
+    }
+    timings_.outlier.add(t_out.elapsed_ms());
+
+    std::size_t kept = 0;
+    for (std::size_t r = 0; r < vecs.rows(); ++r) kept += !out.is_outlier[r];
+    ml::Matrix inliers(kept, d);
+    std::vector<std::int32_t> inlier_ids;
+    inlier_ids.reserve(kept);
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < vecs.rows(); ++r) {
+      if (out.is_outlier[r]) continue;
+      std::copy(vecs.row(r), vecs.row(r) + d, inliers.row(w));
+      inlier_ids.push_back(sampled_ids[r]);
+      ++w;
+    }
+    *inliers_out = std::move(inliers);
+    *inlier_ids_out = std::move(inlier_ids);
+  };
+
+  ml::Matrix benign_vecs, malicious_vecs;
+  std::vector<std::int32_t> benign_ids, malicious_ids;
+  build_class(0, &benign_vecs, &benign_ids);
+  build_class(1, &malicious_vecs, &malicious_ids);
+
+  Timer t_cluster;
+  ml::KMeansConfig kb;
+  kb.k = cfg_.k_benign;
+  kb.seed = rng();
+  const ml::Clustering cb = ml::bisecting_kmeans(benign_vecs, kb);
+  ml::KMeansConfig km;
+  km.k = cfg_.k_malicious;
+  km.seed = rng();
+  const ml::Clustering cm = ml::bisecting_kmeans(malicious_vecs, km);
+  timings_.clustering.add(t_cluster.elapsed_ms());
+
+  // ---- Stage 4: overlap removal between the two cluster sets --------------
+  const auto d = static_cast<std::size_t>(cfg_.embedding_dim);
+  auto rms_radius = [&](const ml::Clustering& c, std::size_t idx) {
+    return c.sizes[idx] > 0
+               ? std::sqrt(c.cluster_sse[idx] /
+                           static_cast<double>(c.sizes[idx]))
+               : 0.0;
+  };
+  double mean_radius = 0.0;
+  for (std::size_t i = 0; i < cb.centroids.rows(); ++i) {
+    mean_radius += rms_radius(cb, i);
+  }
+  for (std::size_t i = 0; i < cm.centroids.rows(); ++i) {
+    mean_radius += rms_radius(cm, i);
+  }
+  mean_radius /= static_cast<double>(cb.centroids.rows() +
+                                     cm.centroids.rows());
+  const double overlap_dist = cfg_.overlap_factor * mean_radius;
+
+  std::vector<bool> drop_b(cb.centroids.rows(), false);
+  std::vector<bool> drop_m(cm.centroids.rows(), false);
+  for (std::size_t i = 0; i < cb.centroids.rows(); ++i) {
+    for (std::size_t j = 0; j < cm.centroids.rows(); ++j) {
+      const double dist = std::sqrt(ml::squared_distance(
+          cb.centroids.row(i), cm.centroids.row(j), d));
+      if (dist < overlap_dist) {
+        drop_b[i] = true;
+        drop_m[j] = true;
+      }
+    }
+  }
+  clusters_removed_ = 0;
+  for (const bool b : drop_b) clusters_removed_ += b;
+  for (const bool m : drop_m) clusters_removed_ += m;
+
+  feature_dim_ = cb.centroids.rows() + cm.centroids.rows() -
+                 clusters_removed_;
+  centroids_ = ml::Matrix(feature_dim_, d);
+  centroid_benign_.assign(feature_dim_, false);
+  centroid_radius_.assign(feature_dim_, 0.0);
+  std::size_t row = 0;
+  for (std::size_t i = 0; i < cb.centroids.rows(); ++i) {
+    if (drop_b[i]) continue;
+    std::copy(cb.centroids.row(i), cb.centroids.row(i) + d,
+              centroids_.row(row));
+    centroid_benign_[row] = true;
+    centroid_radius_[row] = rms_radius(cb, i);
+    ++row;
+  }
+  for (std::size_t j = 0; j < cm.centroids.rows(); ++j) {
+    if (drop_m[j]) continue;
+    std::copy(cm.centroids.row(j), cm.centroids.row(j) + d,
+              centroids_.row(row));
+    centroid_benign_[row] = false;
+    centroid_radius_[row] = rms_radius(cm, j);
+    ++row;
+  }
+
+  // Interpretability inverse index: nearest inlier vector (with its vocab
+  // id) to each surviving centroid.
+  central_path_.assign(feature_dim_, std::string());
+  auto assign_central = [&](const ml::Matrix& vecs,
+                            const std::vector<std::int32_t>& ids) {
+    for (std::size_t f = 0; f < feature_dim_; ++f) {
+      double best = centroid_nearest_d_[f];
+      for (std::size_t r = 0; r < vecs.rows(); ++r) {
+        const double dist = ml::squared_distance(centroids_.row(f),
+                                                 vecs.row(r), d);
+        if (dist < best) {
+          best = dist;
+          central_path_[f] = vocab_.key(ids[r]);
+        }
+      }
+      centroid_nearest_d_[f] = best;
+    }
+  };
+  centroid_nearest_d_.assign(feature_dim_,
+                             std::numeric_limits<double>::max());
+  assign_central(benign_vecs, benign_ids);
+  assign_central(malicious_vecs, malicious_ids);
+
+  // ---- Stage 5: featurize the training corpus and fit the classifier ------
+  trained_ = true;  // featurize() needs the centroids from here on
+  ml::Matrix x(corpus.samples.size(), feature_dim_);
+  std::vector<int> y(corpus.samples.size());
+  for (std::size_t i = 0; i < corpus.samples.size(); ++i) {
+    ml::EmbeddedScript emb = model_.embed(script_ids[i]);
+    const std::vector<double> f = features_from_embedding(emb);
+    std::copy(f.begin(), f.end(), x.row(i));
+    y[i] = labels[i];
+  }
+  scaler_.fit(x);
+  scaler_.transform(x);
+
+  Timer t_fit;
+  classifier_->fit(x, y);
+  timings_.classifier_train.add(t_fit.elapsed_ms() /
+                                std::max<std::size_t>(1, x.rows()));
+}
+
+std::vector<double> JsRevealer::features_from_embedding(
+    const ml::EmbeddedScript& emb) const {
+  std::vector<double> f(feature_dim_, 0.0);
+  const auto d = static_cast<std::size_t>(cfg_.embedding_dim);
+  for (std::size_t i = 0; i < emb.embeddings.rows(); ++i) {
+    const int c = ml::nearest_centroid(centroids_, emb.embeddings.row(i));
+    // Paths far from every cluster belong to none of them.
+    const double dist = std::sqrt(ml::squared_distance(
+        emb.embeddings.row(i), centroids_.row(static_cast<std::size_t>(c)),
+        d));
+    const double radius = centroid_radius_[static_cast<std::size_t>(c)];
+    if (radius > 0 && dist > 4.0 * radius) continue;
+    if (cfg_.binary_cluster_features) {
+      f[static_cast<std::size_t>(c)] = 1.0;  // ablation: occurrence only
+    } else {
+      f[static_cast<std::size_t>(c)] += emb.weights[i];
+    }
+  }
+  return f;
+}
+
+std::vector<double> JsRevealer::featurize(const std::string& source) const {
+  const auto pcs = extract(source, /*timed=*/true);
+
+  Timer t_embed;
+  const auto ids = to_ids(pcs);
+  ml::EmbeddedScript emb = model_.embed(ids);
+  {
+    std::lock_guard<std::mutex> lock(timing_mu_);
+    timings_.embedding.add(t_embed.elapsed_ms());
+  }
+
+  std::vector<double> f = features_from_embedding(emb);
+  scaler_.transform_row(f.data());
+  return f;
+}
+
+int JsRevealer::classify(const std::string& source) const {
+  if (!trained_) return 1;
+  try {
+    const std::vector<double> f = featurize(source);
+    Timer t;
+    const int verdict = classifier_->predict(f.data());
+    {
+      std::lock_guard<std::mutex> lock(timing_mu_);
+      timings_.classifying.add(t.elapsed_ms());
+    }
+    return verdict;
+  } catch (const std::exception&) {
+    return 1;  // unparseable → malicious by convention
+  }
+}
+
+std::vector<FeatureReportEntry> JsRevealer::feature_report(int n) const {
+  std::vector<FeatureReportEntry> out;
+  const auto* forest = dynamic_cast<const ml::RandomForest*>(classifier_.get());
+  if (forest == nullptr || !trained_) return out;
+
+  const std::vector<double> imp = forest->feature_importances();
+  std::vector<std::size_t> order(imp.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&imp](std::size_t a, std::size_t b) {
+    return imp[a] > imp[b];
+  });
+
+  for (std::size_t i = 0; i < order.size() && out.size() < static_cast<std::size_t>(n); ++i) {
+    FeatureReportEntry e;
+    e.feature_index = static_cast<int>(order[i]);
+    e.importance = imp[order[i]];
+    e.from_benign = centroid_benign_[order[i]];
+    e.central_path = central_path_[order[i]];
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<double> JsRevealer::sse_curve(const dataset::Corpus& corpus,
+                                          int label, int k_lo, int k_hi) {
+  // Requires a trained embedding model + vocab (call train() first, or this
+  // trains on the given corpus implicitly).
+  if (!model_.trained()) train(corpus);
+
+  Rng rng(cfg_.seed + 7);
+  std::vector<std::int32_t> sampled_ids;
+  for (const auto& s : corpus.samples) {
+    if (s.label != label) continue;
+    std::vector<paths::PathContext> pcs;
+    try {
+      pcs = extract(s.source, /*timed=*/false);
+    } catch (const std::exception&) {
+      continue;
+    }
+    for (const auto& pc : pcs) {
+      const std::int32_t id = vocab_.lookup(pc);
+      if (id >= 0) sampled_ids.push_back(id);
+    }
+  }
+  rng.shuffle(sampled_ids);
+  if (sampled_ids.size() > cfg_.cluster_sample_per_class) {
+    sampled_ids.resize(cfg_.cluster_sample_per_class);
+  }
+  const auto d = static_cast<std::size_t>(cfg_.embedding_dim);
+  ml::Matrix vecs(sampled_ids.size(), d);
+  for (std::size_t r = 0; r < sampled_ids.size(); ++r) {
+    const std::vector<double> e = model_.path_embedding(sampled_ids[r]);
+    std::copy(e.begin(), e.end(), vecs.row(r));
+  }
+
+  std::vector<double> sse;
+  for (int k = k_lo; k <= k_hi; ++k) {
+    ml::KMeansConfig kc;
+    kc.k = k;
+    kc.seed = cfg_.seed + static_cast<std::uint64_t>(k);
+    sse.push_back(ml::bisecting_kmeans(vecs, kc).sse);
+  }
+  return sse;
+}
+
+}  // namespace jsrev::core

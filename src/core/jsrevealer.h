@@ -1,0 +1,118 @@
+// JSRevealer: the paper's detector (path extraction → path embedding →
+// feature extraction → classification), implementing detect::Detector so it
+// slots into the same evaluation harness as the baselines.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "core/config.h"
+#include "ml/attention_model.h"
+#include "ml/kmeans.h"
+#include "ml/outlier.h"
+#include "ml/scaler.h"
+#include "paths/vocab.h"
+#include "util/timer.h"
+
+namespace jsrev::core {
+
+/// One row of the Table VII interpretability report.
+struct FeatureReportEntry {
+  int feature_index = 0;
+  double importance = 0.0;
+  bool from_benign = false;   // cluster learned from benign vs malicious set
+  std::string central_path;   // representative path context of the center
+};
+
+/// Per-module timing aggregates for the Table VIII reproduction.
+struct StageTimings {
+  TimingStats enhanced_ast;     // parse + scope + dataflow
+  TimingStats path_traversal;   // path-context enumeration
+  TimingStats pretraining;      // embedding-model training (per file)
+  TimingStats embedding;        // per-file embedding at inference
+  TimingStats outlier;          // outlier detection (train once)
+  TimingStats clustering;       // bisecting k-means (train once)
+  TimingStats classifier_train;
+  TimingStats classifying;      // classifier predict per file
+};
+
+class JsRevealer final : public detect::Detector {
+ public:
+  explicit JsRevealer(Config cfg = {});
+
+  void train(const dataset::Corpus& corpus) override;
+  int classify(const std::string& source) const override;
+  std::string name() const override { return "JSRevealer"; }
+
+  /// Number of features = surviving benign + malicious clusters.
+  std::size_t feature_count() const { return feature_dim_; }
+  std::size_t clusters_removed() const { return clusters_removed_; }
+
+  /// The outlier-detection method actually used (after selection, if
+  /// cfg.run_outlier_selection is set).
+  ml::OutlierMethod outlier_method() const { return outlier_method_; }
+
+  /// Top-`n` features by random-forest importance, with their central paths
+  /// (Table VII). Only valid after train() with the random-forest classifier.
+  std::vector<FeatureReportEntry> feature_report(int n = 5) const;
+
+  /// Feature vector for one script (exposed for tests/inspection).
+  std::vector<double> featurize(const std::string& source) const;
+
+  const StageTimings& timings() const { return timings_; }
+
+  /// SSE curve helper for the Fig. 5 elbow plot: clusters one class's path
+  /// vectors (collected exactly as train() does) at each K in [k_lo, k_hi]
+  /// and returns the SSE per K. `label` selects benign (0) / malicious (1).
+  std::vector<double> sse_curve(const dataset::Corpus& corpus, int label,
+                                int k_lo, int k_hi);
+
+  /// Trained-model persistence (vocabulary, embedding model, clusters,
+  /// scaler, and classifier — random-forest classifiers only). save()
+  /// throws std::logic_error if untrained or using another classifier kind;
+  /// load() replaces this detector's state entirely.
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+  void save_file(const std::string& path) const;
+  void load_file(const std::string& path);
+
+ private:
+  struct ScriptFeatures {
+    std::vector<std::int32_t> path_ids;
+  };
+
+  /// Parses + analyzes + extracts paths; grows vocab when `grow` is true.
+  std::vector<paths::PathContext> extract(const std::string& source,
+                                          bool timed) const;
+
+  std::vector<std::int32_t> to_ids(
+      const std::vector<paths::PathContext>& pcs) const;
+
+  /// Cluster-membership features (attention weight accumulated per cluster)
+  /// for an embedded script, before scaling.
+  std::vector<double> features_from_embedding(
+      const ml::EmbeddedScript& emb) const;
+
+  Config cfg_;
+  paths::PathVocab vocab_;
+  ml::AttentionModel model_;
+  ml::Matrix centroids_;                // feature_dim_ x d (both classes)
+  std::vector<bool> centroid_benign_;   // per centroid: from benign set?
+  std::vector<double> centroid_radius_; // RMS radius per centroid
+  std::vector<std::string> central_path_;      // Table VII inverse index
+  std::vector<double> centroid_nearest_d_;     // scratch: best dist so far
+  std::size_t feature_dim_ = 0;
+  std::size_t clusters_removed_ = 0;
+  ml::OutlierMethod outlier_method_ = ml::OutlierMethod::kFastAbod;
+  ml::MinMaxScaler scaler_;
+  std::unique_ptr<ml::Classifier> classifier_;
+  mutable StageTimings timings_;
+  mutable std::mutex timing_mu_;
+  bool trained_ = false;
+};
+
+}  // namespace jsrev::core

@@ -1,0 +1,120 @@
+// JsRevealer trained-model persistence.
+//
+// Layout: MAGIC "JSRV" + version, the pipeline dimensions, then sections
+// for the path vocabulary, attention model, cluster geometry,
+// interpretability index, scaler, and the random-forest classifier.
+#include <fstream>
+#include <stdexcept>
+
+#include "core/jsrevealer.h"
+#include "ml/decision_tree.h"
+#include "util/serialize.h"
+
+namespace jsrev::core {
+
+namespace {
+constexpr std::uint64_t kVersion = 1;
+}  // namespace
+
+void JsRevealer::save(std::ostream& out) const {
+  if (!trained_) {
+    throw std::logic_error("JsRevealer::save: detector is not trained");
+  }
+  const auto* forest =
+      dynamic_cast<const ml::RandomForest*>(classifier_.get());
+  if (forest == nullptr) {
+    throw std::logic_error(
+        "JsRevealer::save: persistence supports the random-forest "
+        "classifier only");
+  }
+
+  ser::write_tag(out, "JSRV");
+  ser::write_u64(out, kVersion);
+
+  // Pipeline dimensions needed to interpret the sections.
+  ser::write_u64(out, static_cast<std::uint64_t>(cfg_.embedding_dim));
+  ser::write_u64(out, feature_dim_);
+  ser::write_u64(out, clusters_removed_);
+  ser::write_u64(out, cfg_.path.use_dataflow ? 1 : 0);
+  ser::write_u64(out, static_cast<std::uint64_t>(cfg_.path.max_length));
+  ser::write_u64(out, static_cast<std::uint64_t>(cfg_.path.max_width));
+
+  vocab_.save(out);
+  model_.save(out);
+
+  ser::write_tag(out, "CLST");
+  ser::write_doubles(out, centroids_.data());
+  std::vector<double> benign_flags(feature_dim_);
+  for (std::size_t i = 0; i < feature_dim_; ++i) {
+    benign_flags[i] = centroid_benign_[i] ? 1.0 : 0.0;
+  }
+  ser::write_doubles(out, benign_flags);
+  ser::write_doubles(out, centroid_radius_);
+  ser::write_u64(out, central_path_.size());
+  for (const std::string& p : central_path_) ser::write_string(out, p);
+
+  scaler_.save(out);
+  forest->save(out);
+}
+
+void JsRevealer::load(std::istream& in) {
+  ser::expect_tag(in, "JSRV");
+  const std::uint64_t version = ser::read_u64(in);
+  if (version != kVersion) {
+    throw ser::FormatError("unsupported model version " +
+                           std::to_string(version));
+  }
+
+  cfg_.embedding_dim = static_cast<int>(ser::read_u64(in));
+  feature_dim_ = ser::read_u64(in);
+  clusters_removed_ = ser::read_u64(in);
+  cfg_.path.use_dataflow = ser::read_u64(in) != 0;
+  cfg_.path.max_length = static_cast<int>(ser::read_u64(in));
+  cfg_.path.max_width = static_cast<int>(ser::read_u64(in));
+
+  vocab_ = paths::PathVocab();
+  vocab_.load(in);
+  model_.load(in);
+
+  ser::expect_tag(in, "CLST");
+  const auto d = static_cast<std::size_t>(cfg_.embedding_dim);
+  centroids_ = ml::Matrix(feature_dim_, d);
+  centroids_.data() = ser::read_doubles(in);
+  if (centroids_.data().size() != feature_dim_ * d) {
+    throw ser::FormatError("centroid matrix size mismatch");
+  }
+  const std::vector<double> benign_flags = ser::read_doubles(in);
+  centroid_benign_.assign(feature_dim_, false);
+  for (std::size_t i = 0; i < feature_dim_ && i < benign_flags.size(); ++i) {
+    centroid_benign_[i] = benign_flags[i] != 0.0;
+  }
+  centroid_radius_ = ser::read_doubles(in);
+  const std::uint64_t n_paths = ser::read_u64(in);
+  central_path_.clear();
+  central_path_.reserve(n_paths);
+  for (std::uint64_t i = 0; i < n_paths; ++i) {
+    central_path_.push_back(ser::read_string(in));
+  }
+
+  scaler_.load(in);
+  auto forest = std::make_unique<ml::RandomForest>();
+  forest->load(in);
+  classifier_ = std::move(forest);
+  cfg_.classifier = ml::ClassifierKind::kRandomForest;
+  trained_ = true;
+}
+
+void JsRevealer::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  save(out);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+void JsRevealer::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  load(in);
+}
+
+}  // namespace jsrev::core

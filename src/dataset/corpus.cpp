@@ -1,0 +1,46 @@
+#include "dataset/corpus.h"
+
+#include <algorithm>
+
+namespace jsrev::dataset {
+
+Split split_corpus(const Corpus& corpus, std::size_t train_benign,
+                   std::size_t train_malicious, Rng& rng) {
+  std::vector<std::size_t> order(corpus.samples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+
+  Split split;
+  std::size_t got_benign = 0, got_malicious = 0;
+  for (const std::size_t i : order) {
+    const Sample& s = corpus.samples[i];
+    if (s.label == 0 && got_benign < train_benign) {
+      split.train.samples.push_back(s);
+      ++got_benign;
+    } else if (s.label == 1 && got_malicious < train_malicious) {
+      split.train.samples.push_back(s);
+      ++got_malicious;
+    } else {
+      split.test.samples.push_back(s);
+    }
+  }
+  return split;
+}
+
+Corpus balance(const Corpus& corpus, Rng& rng) {
+  std::vector<const Sample*> benign, malicious;
+  for (const auto& s : corpus.samples) {
+    (s.label == 0 ? benign : malicious).push_back(&s);
+  }
+  const std::size_t n = std::min(benign.size(), malicious.size());
+  rng.shuffle(benign);
+  rng.shuffle(malicious);
+  Corpus out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.samples.push_back(*benign[i]);
+    out.samples.push_back(*malicious[i]);
+  }
+  return out;
+}
+
+}  // namespace jsrev::dataset

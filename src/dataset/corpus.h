@@ -1,0 +1,45 @@
+// Labeled JavaScript corpus container and split utilities.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace jsrev::dataset {
+
+struct Sample {
+  std::string source;
+  int label = 0;        // 1 = malicious
+  std::string family;   // generator family/genre tag
+  std::string origin;   // modeled source (Table I row)
+};
+
+struct Corpus {
+  std::vector<Sample> samples;
+
+  std::size_t size() const { return samples.size(); }
+  std::size_t count_label(int label) const {
+    std::size_t n = 0;
+    for (const auto& s : samples) n += s.label == label;
+    return n;
+  }
+};
+
+/// Train/test split: `train_benign` + `train_malicious` samples are drawn
+/// (balanced, as the paper's 20k+20k protocol) into train; the remainder
+/// becomes test. Shuffles with `rng` first.
+struct Split {
+  Corpus train;
+  Corpus test;
+};
+
+Split split_corpus(const Corpus& corpus, std::size_t train_benign,
+                   std::size_t train_malicious, Rng& rng);
+
+/// Balances the test set to a 1:1 benign/malicious ratio by truncating the
+/// larger class (the paper's test protocol).
+Corpus balance(const Corpus& corpus, Rng& rng);
+
+}  // namespace jsrev::dataset

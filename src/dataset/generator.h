@@ -1,0 +1,53 @@
+// Synthetic JavaScript corpus generator.
+//
+// Substitutes for the paper's proprietary corpora (Hynek Petrak /
+// GeeksOnSecurity / VirusTotal malware; 150k JS Dataset / Alexa-crawl benign
+// scripts). Scripts are produced from randomized template grammars:
+//
+//   Benign genres (functionality-implementation heavy, matching the paper's
+//   Table VII interpretation of benign code):
+//     widget-config, dom-ui, utility-module, ajax-wrapper, form-validation,
+//     animation, date-format, prototype-class
+//
+//   Malicious families (data-manipulation heavy):
+//     dropper (decode+eval chains), heap-spray, redirector, web-skimmer,
+//     cryptojacker, activex-dropper
+//
+// In-the-wild pre-obfuscation (Moog et al., paper Section II-B) is modeled:
+// most benign scripts are minified, a few variable-renamed; malicious
+// scripts are frequently pre-obfuscated with one of the four obfuscator
+// models. This matters for faithfully reproducing baseline failure modes
+// (e.g. CUJO's FPR explosion on obfuscated benign test data).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dataset/corpus.h"
+#include "util/rng.h"
+
+namespace jsrev::dataset {
+
+struct GeneratorConfig {
+  std::uint64_t seed = 1234;
+  std::size_t benign_count = 600;
+  std::size_t malicious_count = 600;
+
+  // In-the-wild pre-processing rates.
+  double benign_minified_rate = 0.60;
+  double benign_renamed_rate = 0.06;
+  double malicious_preobf_rate = 0.25;
+
+  bool apply_wild_obfuscation = true;
+};
+
+/// Generates one benign script of a random genre.
+std::string generate_benign(Rng& rng, std::string* genre_out = nullptr);
+
+/// Generates one malicious script of a random family.
+std::string generate_malicious(Rng& rng, std::string* family_out = nullptr);
+
+/// Generates a full corpus per the config (deterministic in cfg.seed).
+Corpus generate_corpus(const GeneratorConfig& cfg);
+
+}  // namespace jsrev::dataset

@@ -1,0 +1,70 @@
+#include "js/ast.h"
+
+namespace jsrev::js {
+
+std::string_view node_kind_name(NodeKind k) noexcept {
+  switch (k) {
+    case NodeKind::kProgram: return "Program";
+    case NodeKind::kIdentifier: return "Identifier";
+    case NodeKind::kLiteral: return "Literal";
+    case NodeKind::kArrayExpression: return "ArrayExpression";
+    case NodeKind::kObjectExpression: return "ObjectExpression";
+    case NodeKind::kProperty: return "Property";
+    case NodeKind::kFunctionDeclaration: return "FunctionDeclaration";
+    case NodeKind::kFunctionExpression: return "FunctionExpression";
+    case NodeKind::kArrowFunctionExpression: return "ArrowFunctionExpression";
+    case NodeKind::kSequenceExpression: return "SequenceExpression";
+    case NodeKind::kUnaryExpression: return "UnaryExpression";
+    case NodeKind::kUpdateExpression: return "UpdateExpression";
+    case NodeKind::kBinaryExpression: return "BinaryExpression";
+    case NodeKind::kAssignmentExpression: return "AssignmentExpression";
+    case NodeKind::kLogicalExpression: return "LogicalExpression";
+    case NodeKind::kMemberExpression: return "MemberExpression";
+    case NodeKind::kConditionalExpression: return "ConditionalExpression";
+    case NodeKind::kCallExpression: return "CallExpression";
+    case NodeKind::kNewExpression: return "NewExpression";
+    case NodeKind::kThisExpression: return "ThisExpression";
+    case NodeKind::kBlockStatement: return "BlockStatement";
+    case NodeKind::kExpressionStatement: return "ExpressionStatement";
+    case NodeKind::kIfStatement: return "IfStatement";
+    case NodeKind::kLabeledStatement: return "LabeledStatement";
+    case NodeKind::kBreakStatement: return "BreakStatement";
+    case NodeKind::kContinueStatement: return "ContinueStatement";
+    case NodeKind::kWithStatement: return "WithStatement";
+    case NodeKind::kSwitchStatement: return "SwitchStatement";
+    case NodeKind::kSwitchCase: return "SwitchCase";
+    case NodeKind::kReturnStatement: return "ReturnStatement";
+    case NodeKind::kThrowStatement: return "ThrowStatement";
+    case NodeKind::kTryStatement: return "TryStatement";
+    case NodeKind::kCatchClause: return "CatchClause";
+    case NodeKind::kWhileStatement: return "WhileStatement";
+    case NodeKind::kDoWhileStatement: return "DoWhileStatement";
+    case NodeKind::kForStatement: return "ForStatement";
+    case NodeKind::kForInStatement: return "ForInStatement";
+    case NodeKind::kVariableDeclaration: return "VariableDeclaration";
+    case NodeKind::kVariableDeclarator: return "VariableDeclarator";
+    case NodeKind::kEmptyStatement: return "EmptyStatement";
+    case NodeKind::kDebuggerStatement: return "DebuggerStatement";
+  }
+  return "?";
+}
+
+namespace {
+
+int finalize_rec(Node* n, Node* parent, int next_id) {
+  n->parent = parent;
+  n->id = next_id++;
+  for (Node* child : n->children) {
+    if (child != nullptr) next_id = finalize_rec(child, n, next_id);
+  }
+  return next_id;
+}
+
+}  // namespace
+
+int finalize_tree(Node* root) {
+  if (root == nullptr) return 0;
+  return finalize_rec(root, nullptr, 0);
+}
+
+}  // namespace jsrev::js

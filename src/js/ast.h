@@ -1,0 +1,223 @@
+// ESTree-style abstract syntax tree.
+//
+// Nodes are arena-allocated and use a uniform representation: a kind tag, a
+// small scalar payload (string / number / flags), and an ordered child list
+// whose slot meanings are fixed per kind (documented below). The uniform
+// layout keeps generic traversal, path extraction, and rewriting transforms
+// simple, at the cost of per-kind accessors instead of per-kind structs.
+//
+// Child slot conventions (slots may be nullptr where marked optional):
+//   Program                children = statements
+//   Identifier             str = name
+//   Literal                lit = literal type; str = string/regex raw,
+//                          num = numeric value, bval = bool value
+//   ArrayExpression        children = elements (nullptr for holes)
+//   ObjectExpression       children = Property nodes
+//   Property               children = {key, value}; flag kComputed
+//   FunctionDeclaration    str = name; children = {param..., body}
+//   FunctionExpression     str = optional name; children = {param..., body}
+//   ArrowFunctionExpression children = {param..., body}
+//   SequenceExpression     children = expressions
+//   UnaryExpression        str = operator; children = {argument}
+//   UpdateExpression       str = operator; flag kPrefix; children = {argument}
+//   BinaryExpression       str = operator; children = {left, right}
+//   AssignmentExpression   str = operator; children = {left, right}
+//   LogicalExpression      str = operator; children = {left, right}
+//   MemberExpression       flag kComputed; children = {object, property}
+//   ConditionalExpression  children = {test, consequent, alternate}
+//   CallExpression         children = {callee, arg...}
+//   NewExpression          children = {callee, arg...}
+//   ThisExpression         (no payload)
+//   BlockStatement         children = statements
+//   ExpressionStatement    children = {expression}
+//   IfStatement            children = {test, consequent, alternate?}
+//   LabeledStatement       str = label; children = {body}
+//   BreakStatement         str = optional label
+//   ContinueStatement      str = optional label
+//   WithStatement          children = {object, body}
+//   SwitchStatement        children = {discriminant, SwitchCase...}
+//   SwitchCase             children = {test?, consequent...}; test==nullptr
+//                          encodes `default:` (slot always present)
+//   ReturnStatement        children = {argument?} (may be empty)
+//   ThrowStatement         children = {argument}
+//   TryStatement           children = {block, CatchClause?, finalizer?}
+//   CatchClause            children = {param, body}
+//   WhileStatement         children = {test, body}
+//   DoWhileStatement       children = {body, test}
+//   ForStatement           children = {init?, test?, update?, body}
+//   ForInStatement         children = {left, right, body}; flag kOfLoop for
+//                          for-of
+//   VariableDeclaration    str = kind ("var"/"let"/"const");
+//                          children = VariableDeclarator...
+//   VariableDeclarator     children = {id, init?}
+//   EmptyStatement         (no payload)
+//   DebuggerStatement      (no payload)
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jsrev::js {
+
+enum class NodeKind : std::uint8_t {
+  kProgram,
+  kIdentifier,
+  kLiteral,
+  kArrayExpression,
+  kObjectExpression,
+  kProperty,
+  kFunctionDeclaration,
+  kFunctionExpression,
+  kArrowFunctionExpression,
+  kSequenceExpression,
+  kUnaryExpression,
+  kUpdateExpression,
+  kBinaryExpression,
+  kAssignmentExpression,
+  kLogicalExpression,
+  kMemberExpression,
+  kConditionalExpression,
+  kCallExpression,
+  kNewExpression,
+  kThisExpression,
+  kBlockStatement,
+  kExpressionStatement,
+  kIfStatement,
+  kLabeledStatement,
+  kBreakStatement,
+  kContinueStatement,
+  kWithStatement,
+  kSwitchStatement,
+  kSwitchCase,
+  kReturnStatement,
+  kThrowStatement,
+  kTryStatement,
+  kCatchClause,
+  kWhileStatement,
+  kDoWhileStatement,
+  kForStatement,
+  kForInStatement,
+  kVariableDeclaration,
+  kVariableDeclarator,
+  kEmptyStatement,
+  kDebuggerStatement,
+};
+
+/// Number of distinct node kinds (for feature vectors indexed by kind).
+inline constexpr int kNodeKindCount =
+    static_cast<int>(NodeKind::kDebuggerStatement) + 1;
+
+/// ESTree name of a node kind, e.g. "BinaryExpression".
+std::string_view node_kind_name(NodeKind k) noexcept;
+
+enum class LiteralType : std::uint8_t {
+  kNone,    // not a literal node
+  kString,
+  kNumber,
+  kBoolean,
+  kNull,
+  kRegex,
+};
+
+struct Node {
+  NodeKind kind = NodeKind::kProgram;
+  LiteralType lit = LiteralType::kNone;
+
+  // Scalar payload; meaning depends on kind (see header comment).
+  std::string str;
+  double num = 0.0;
+  bool bval = false;
+
+  // Per-kind boolean flags.
+  static constexpr std::uint8_t kComputed = 1;  // a[b] member / computed key
+  static constexpr std::uint8_t kPrefix = 2;    // ++x vs x++
+  static constexpr std::uint8_t kOfLoop = 4;    // for-of vs for-in
+  std::uint8_t flags = 0;
+
+  std::vector<Node*> children;
+
+  // Filled by AstArena::finalize: stable preorder id and parent link, used by
+  // path extraction and data-flow analysis.
+  std::int32_t id = -1;
+  Node* parent = nullptr;
+
+  bool has_flag(std::uint8_t f) const noexcept { return (flags & f) != 0; }
+
+  bool is_function() const noexcept {
+    return kind == NodeKind::kFunctionDeclaration ||
+           kind == NodeKind::kFunctionExpression ||
+           kind == NodeKind::kArrowFunctionExpression;
+  }
+};
+
+/// Owns every node of one tree. Nodes are trivially "leaked" into the arena
+/// and freed together; pointers remain valid for the arena's lifetime.
+class AstArena {
+ public:
+  AstArena() = default;
+  AstArena(const AstArena&) = delete;
+  AstArena& operator=(const AstArena&) = delete;
+  AstArena(AstArena&&) = default;
+  AstArena& operator=(AstArena&&) = default;
+
+  Node* make(NodeKind kind) {
+    nodes_.emplace_back();
+    nodes_.back().kind = kind;
+    return &nodes_.back();
+  }
+
+  Node* identifier(std::string name) {
+    Node* n = make(NodeKind::kIdentifier);
+    n->str = std::move(name);
+    return n;
+  }
+
+  Node* string_literal(std::string value) {
+    Node* n = make(NodeKind::kLiteral);
+    n->lit = LiteralType::kString;
+    n->str = std::move(value);
+    return n;
+  }
+
+  Node* number_literal(double value) {
+    Node* n = make(NodeKind::kLiteral);
+    n->lit = LiteralType::kNumber;
+    n->num = value;
+    return n;
+  }
+
+  Node* bool_literal(bool value) {
+    Node* n = make(NodeKind::kLiteral);
+    n->lit = LiteralType::kBoolean;
+    n->bval = value;
+    return n;
+  }
+
+  Node* null_literal() {
+    Node* n = make(NodeKind::kLiteral);
+    n->lit = LiteralType::kNull;
+    return n;
+  }
+
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+ private:
+  std::deque<Node> nodes_;  // deque: stable addresses across growth
+};
+
+/// A parsed program: the arena plus its root. Movable, non-copyable.
+struct Ast {
+  AstArena arena;
+  Node* root = nullptr;
+};
+
+/// Assigns preorder ids and parent pointers below `root` (skips nullptr
+/// children). Returns the number of nodes visited. Must be re-run after any
+/// structural rewrite before analyses that rely on ids/parents.
+int finalize_tree(Node* root);
+
+}  // namespace jsrev::js

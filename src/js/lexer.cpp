@@ -1,0 +1,405 @@
+#include "js/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace jsrev::js {
+namespace {
+
+constexpr std::array<std::string_view, 38> kKeywords = {
+    "break",    "case",     "catch",   "class",  "const",    "continue",
+    "debugger", "default",  "delete",  "do",     "else",     "export",
+    "extends",  "finally",  "for",     "function", "if",     "import",
+    "in",       "instanceof", "let",   "new",    "return",   "super",
+    "switch",   "this",     "throw",   "try",    "typeof",   "var",
+    "void",     "while",    "with",    "yield",  "enum",     "static",
+    "get",      "set"};
+
+bool is_id_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool is_id_part(char c) {
+  return is_id_start(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+}  // namespace
+
+std::string_view token_type_name(TokenType t) noexcept {
+  switch (t) {
+    case TokenType::kEof: return "EOF";
+    case TokenType::kIdentifier: return "Identifier";
+    case TokenType::kKeyword: return "Keyword";
+    case TokenType::kBooleanLiteral: return "Boolean";
+    case TokenType::kNullLiteral: return "Null";
+    case TokenType::kNumericLiteral: return "Numeric";
+    case TokenType::kStringLiteral: return "String";
+    case TokenType::kRegexLiteral: return "Regex";
+    case TokenType::kTemplateString: return "Template";
+    case TokenType::kPunctuator: return "Punctuator";
+  }
+  return "?";
+}
+
+bool is_keyword(std::string_view word) noexcept {
+  for (const auto k : kKeywords) {
+    if (k == word) return true;
+  }
+  return false;
+}
+
+Lexer::Lexer(std::string_view source) : src_(source) {}
+
+std::vector<Token> Lexer::tokenize() {
+  out_.clear();
+  while (true) {
+    Token t = next_token();
+    const bool done = t.type == TokenType::kEof;
+    out_.push_back(std::move(t));
+    prev_ = &out_.back();
+    if (done) break;
+  }
+  return std::move(out_);
+}
+
+void Lexer::skip_whitespace_and_comments() {
+  while (!eof()) {
+    const char c = peek();
+    if (c == '\n') {
+      newline_pending_ = true;
+      ++line_;
+      ++pos_;
+    } else if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++pos_;
+    } else if (c == '/' && peek(1) == '/') {
+      while (!eof() && peek() != '\n') ++pos_;
+    } else if (c == '/' && peek(1) == '*') {
+      pos_ += 2;
+      while (!eof() && !(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\n') {
+          newline_pending_ = true;
+          ++line_;
+        }
+        ++pos_;
+      }
+      if (eof()) fail("unterminated block comment");
+      pos_ += 2;
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::next_token() {
+  skip_whitespace_and_comments();
+
+  Token t;
+  t.offset = static_cast<std::uint32_t>(pos_);
+  t.line = line_;
+  t.newline_before = newline_pending_;
+  newline_pending_ = false;
+
+  if (eof()) {
+    t.type = TokenType::kEof;
+    return t;
+  }
+
+  const char c = peek();
+  if (is_id_start(c)) {
+    Token id = lex_identifier_or_keyword();
+    id.offset = t.offset;
+    id.line = t.line;
+    id.newline_before = t.newline_before;
+    return id;
+  }
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+    Token num = lex_number();
+    num.offset = t.offset;
+    num.line = t.line;
+    num.newline_before = t.newline_before;
+    return num;
+  }
+  if (c == '"' || c == '\'') {
+    Token s = lex_string(static_cast<char>(advance()));
+    s.offset = t.offset;
+    s.line = t.line;
+    s.newline_before = t.newline_before;
+    return s;
+  }
+  if (c == '`') {
+    Token s = lex_template();
+    s.offset = t.offset;
+    s.line = t.line;
+    s.newline_before = t.newline_before;
+    return s;
+  }
+  if (c == '/' && regex_allowed()) {
+    Token r = lex_regex();
+    r.offset = t.offset;
+    r.line = t.line;
+    r.newline_before = t.newline_before;
+    return r;
+  }
+  Token p = lex_punctuator();
+  p.offset = t.offset;
+  p.line = t.line;
+  p.newline_before = t.newline_before;
+  return p;
+}
+
+Token Lexer::lex_identifier_or_keyword() {
+  const std::size_t start = pos_;
+  while (!eof() && is_id_part(peek())) ++pos_;
+  Token t;
+  t.value = std::string(src_.substr(start, pos_ - start));
+  if (t.value == "true" || t.value == "false") {
+    t.type = TokenType::kBooleanLiteral;
+  } else if (t.value == "null" || t.value == "undefined") {
+    // `undefined` is technically an identifier, but treating it as a null-like
+    // literal simplifies downstream value abstraction and is harmless.
+    t.type = t.value == "null" ? TokenType::kNullLiteral
+                               : TokenType::kIdentifier;
+  } else if (is_keyword(t.value)) {
+    t.type = TokenType::kKeyword;
+  } else {
+    t.type = TokenType::kIdentifier;
+  }
+  return t;
+}
+
+Token Lexer::lex_number() {
+  const std::size_t start = pos_;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    pos_ += 2;
+    if (eof() || !std::isxdigit(static_cast<unsigned char>(peek()))) {
+      fail("missing digits after 0x");
+    }
+    while (!eof() && std::isxdigit(static_cast<unsigned char>(peek()))) ++pos_;
+  } else if (peek() == '0' && (peek(1) == 'b' || peek(1) == 'B')) {
+    pos_ += 2;
+    if (peek() != '0' && peek() != '1') fail("missing digits after 0b");
+    while (!eof() && (peek() == '0' || peek() == '1')) ++pos_;
+  } else if (peek() == '0' && (peek(1) == 'o' || peek(1) == 'O')) {
+    pos_ += 2;
+    if (peek() < '0' || peek() > '7') fail("missing digits after 0o");
+    while (!eof() && peek() >= '0' && peek() <= '7') ++pos_;
+  } else {
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      std::size_t save = pos_;
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (std::isdigit(static_cast<unsigned char>(peek()))) {
+        while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+          ++pos_;
+      } else {
+        pos_ = save;  // not an exponent after all
+      }
+    }
+  }
+  Token t;
+  t.type = TokenType::kNumericLiteral;
+  t.value = std::string(src_.substr(start, pos_ - start));
+  if (t.value.size() > 2 && t.value[0] == '0' &&
+      (t.value[1] == 'b' || t.value[1] == 'B' || t.value[1] == 'o' ||
+       t.value[1] == 'O')) {
+    const int base = (t.value[1] == 'b' || t.value[1] == 'B') ? 2 : 8;
+    t.numeric_value = static_cast<double>(
+        std::strtoull(t.value.c_str() + 2, nullptr, base));
+  } else {
+    t.numeric_value = std::strtod(t.value.c_str(), nullptr);
+  }
+  return t;
+}
+
+Token Lexer::lex_string(char quote) {
+  Token t;
+  t.type = TokenType::kStringLiteral;
+  std::string value;
+  while (true) {
+    if (eof()) fail("unterminated string literal");
+    char c = advance();
+    if (c == quote) break;
+    if (c == '\n') fail("newline in string literal");
+    if (c == '\\') {
+      if (eof()) fail("unterminated escape");
+      const char e = advance();
+      switch (e) {
+        case 'n': value += '\n'; break;
+        case 't': value += '\t'; break;
+        case 'r': value += '\r'; break;
+        case 'b': value += '\b'; break;
+        case 'f': value += '\f'; break;
+        case 'v': value += '\v'; break;
+        case '0': value += '\0'; break;
+        case 'x': {
+          char buf[3] = {};
+          for (int i = 0; i < 2; ++i) {
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(peek())))
+              fail("bad \\x escape");
+            buf[i] = advance();
+          }
+          value += static_cast<char>(std::strtoul(buf, nullptr, 16));
+          break;
+        }
+        case 'u': {
+          // \uXXXX — store the code point UTF-8 encoded (BMP only).
+          char buf[5] = {};
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(peek())))
+              fail("bad \\u escape");
+            buf[i] = advance();
+          }
+          const unsigned cp =
+              static_cast<unsigned>(std::strtoul(buf, nullptr, 16));
+          if (cp < 0x80) {
+            value += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            value += static_cast<char>(0xc0 | (cp >> 6));
+            value += static_cast<char>(0x80 | (cp & 0x3f));
+          } else {
+            value += static_cast<char>(0xe0 | (cp >> 12));
+            value += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            value += static_cast<char>(0x80 | (cp & 0x3f));
+          }
+          break;
+        }
+        case '\n': ++line_; break;  // line continuation
+        default: value += e; break; // \' \" \\ and identity escapes
+      }
+    } else {
+      value += c;
+    }
+  }
+  t.string_value = std::move(value);
+  t.value = t.string_value;
+  return t;
+}
+
+Token Lexer::lex_template() {
+  // Supports template literals without ${} substitutions; treated as a plain
+  // string literal downstream.
+  advance();  // consume `
+  Token t;
+  t.type = TokenType::kTemplateString;
+  std::string value;
+  while (true) {
+    if (eof()) fail("unterminated template literal");
+    char c = advance();
+    if (c == '`') break;
+    if (c == '$' && peek() == '{')
+      fail("template substitutions are not supported");
+    if (c == '\n') ++line_;
+    if (c == '\\' && !eof()) {
+      const char e = advance();
+      if (e == 'n') value += '\n';
+      else if (e == 't') value += '\t';
+      else value += e;
+      continue;
+    }
+    value += c;
+  }
+  t.string_value = std::move(value);
+  t.value = t.string_value;
+  return t;
+}
+
+bool Lexer::regex_allowed() const {
+  if (prev_ == nullptr) return true;
+  switch (prev_->type) {
+    case TokenType::kIdentifier:
+    case TokenType::kNumericLiteral:
+    case TokenType::kStringLiteral:
+    case TokenType::kTemplateString:
+    case TokenType::kBooleanLiteral:
+    case TokenType::kNullLiteral:
+    case TokenType::kRegexLiteral:
+      return false;
+    case TokenType::kKeyword:
+      // `this` behaves like a value; every other keyword permits a regex
+      // (return /re/, typeof /re/, case /re/:, ...).
+      return prev_->value != "this";
+    case TokenType::kPunctuator:
+      // After ) ] } a slash is division... except `}` which usually closes a
+      // block; we err toward regex after `}` (matches Esprima's behaviour for
+      // statement-final blocks).
+      return !(prev_->value == ")" || prev_->value == "]" ||
+               prev_->value == "++" || prev_->value == "--");
+    default:
+      return true;
+  }
+}
+
+Token Lexer::lex_regex() {
+  const std::size_t start = pos_;
+  advance();  // consume '/'
+  bool in_class = false;
+  while (true) {
+    if (eof()) fail("unterminated regular expression");
+    char c = advance();
+    if (c == '\\') {
+      if (eof()) fail("unterminated regex escape");
+      advance();
+    } else if (c == '[') {
+      in_class = true;
+    } else if (c == ']') {
+      in_class = false;
+    } else if (c == '/' && !in_class) {
+      break;
+    } else if (c == '\n') {
+      fail("newline in regular expression");
+    }
+  }
+  while (!eof() && is_id_part(peek())) ++pos_;  // flags
+  Token t;
+  t.type = TokenType::kRegexLiteral;
+  t.value = std::string(src_.substr(start, pos_ - start));
+  return t;
+}
+
+Token Lexer::lex_punctuator() {
+  static constexpr std::array<std::string_view, 10> four_three = {
+      ">>>=", "===", "!==", ">>>", "<<=", ">>=", "**=", "...", "&&=", "||="};
+  static constexpr std::array<std::string_view, 19> two = {
+      "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=",
+      "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "=>"};
+
+  const std::string_view rest = src_.substr(pos_);
+  Token t;
+  t.type = TokenType::kPunctuator;
+  for (const auto p : four_three) {
+    if (rest.substr(0, p.size()) == p) {
+      t.value = std::string(p);
+      pos_ += p.size();
+      return t;
+    }
+  }
+  for (const auto p : two) {
+    if (rest.substr(0, 2) == p) {
+      t.value = std::string(p);
+      pos_ += 2;
+      return t;
+    }
+  }
+  const char c = advance();
+  switch (c) {
+    case '{': case '}': case '(': case ')': case '[': case ']':
+    case ';': case ',': case '<': case '>': case '+': case '-':
+    case '*': case '/': case '%': case '&': case '|': case '^':
+    case '!': case '~': case '?': case ':': case '=': case '.':
+      t.value = std::string(1, c);
+      return t;
+    default:
+      fail(std::string("unexpected character '") + c + "'");
+  }
+}
+
+}  // namespace jsrev::js

@@ -1,0 +1,73 @@
+// Hand-written JavaScript lexer (ES5 plus the ES2015 subset the parser
+// supports: let/const, arrow =>, template literals without substitutions).
+//
+// The lexer performs regex-vs-division disambiguation based on the previous
+// significant token, tracks preceding line terminators for automatic
+// semicolon insertion, and decodes string escapes.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "js/token.h"
+
+namespace jsrev::js {
+
+/// Thrown on malformed input (unterminated string, bad escape, ...).
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& message, std::uint32_t line)
+      : std::runtime_error("lex error at line " + std::to_string(line) + ": " +
+                           message),
+        line_(line) {}
+
+  std::uint32_t line() const noexcept { return line_; }
+
+ private:
+  std::uint32_t line_;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source);
+
+  /// Tokenizes the whole input, ending with a kEof token.
+  std::vector<Token> tokenize();
+
+ private:
+  Token next_token();
+  void skip_whitespace_and_comments();
+
+  Token lex_identifier_or_keyword();
+  Token lex_number();
+  Token lex_string(char quote);
+  Token lex_template();
+  Token lex_regex();
+  Token lex_punctuator();
+
+  bool regex_allowed() const;
+
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() { return src_[pos_++]; }
+  bool eof() const { return pos_ >= src_.size(); }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw LexError(message, line_);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  bool newline_pending_ = false;
+  const Token* prev_ = nullptr;  // last significant token (regex context)
+  std::vector<Token> out_;
+};
+
+/// True if `word` is a JavaScript reserved word in our dialect.
+bool is_keyword(std::string_view word) noexcept;
+
+}  // namespace jsrev::js

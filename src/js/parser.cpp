@@ -1,0 +1,729 @@
+#include "js/parser.h"
+
+#include <utility>
+#include <vector>
+
+#include "js/lexer.h"
+
+namespace jsrev::js {
+namespace {
+
+// Binary operator precedence (higher binds tighter). Logical || / && are
+// handled here too but produce LogicalExpression nodes.
+int binary_precedence(std::string_view op, bool no_in) {
+  if (op == "||") return 1;
+  if (op == "&&") return 2;
+  if (op == "|") return 3;
+  if (op == "^") return 4;
+  if (op == "&") return 5;
+  if (op == "==" || op == "!=" || op == "===" || op == "!==") return 6;
+  if (op == "<" || op == ">" || op == "<=" || op == ">=" ||
+      op == "instanceof")
+    return 7;
+  if (op == "in") return no_in ? 0 : 7;
+  if (op == "<<" || op == ">>" || op == ">>>") return 8;
+  if (op == "+" || op == "-") return 9;
+  if (op == "*" || op == "/" || op == "%") return 10;
+  return 0;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) {
+    Lexer lexer(source);
+    tokens_ = lexer.tokenize();
+  }
+
+  Ast run() {
+    Ast ast;
+    arena_ = &ast.arena;
+    Node* program = arena_->make(NodeKind::kProgram);
+    while (!at_eof()) {
+      program->children.push_back(parse_statement());
+    }
+    ast.root = program;
+    finalize_tree(program);
+    return ast;
+  }
+
+ private:
+  // --- token helpers -------------------------------------------------------
+
+  const Token& cur() const { return tokens_[pos_]; }
+  const Token& ahead(std::size_t n = 1) const {
+    const std::size_t i = pos_ + n;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool at_eof() const { return cur().type == TokenType::kEof; }
+
+  const Token& take() { return tokens_[pos_++]; }
+
+  bool is_punct(std::string_view v) const {
+    return cur().type == TokenType::kPunctuator && cur().value == v;
+  }
+  bool is_keyword_tok(std::string_view v) const {
+    return cur().type == TokenType::kKeyword && cur().value == v;
+  }
+
+  bool eat_punct(std::string_view v) {
+    if (!is_punct(v)) return false;
+    ++pos_;
+    return true;
+  }
+  bool eat_keyword(std::string_view v) {
+    if (!is_keyword_tok(v)) return false;
+    ++pos_;
+    return true;
+  }
+
+  void expect_punct(std::string_view v) {
+    if (!eat_punct(v)) {
+      fail(std::string("expected '") + std::string(v) + "' but found '" +
+           cur().value + "'");
+    }
+  }
+  void expect_keyword(std::string_view v) {
+    if (!eat_keyword(v)) {
+      fail(std::string("expected keyword '") + std::string(v) + "'");
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message, cur().line);
+  }
+
+  // Automatic semicolon insertion: a statement may end with ';', '}', EOF, or
+  // a preceding line terminator.
+  void consume_semicolon() {
+    if (eat_punct(";")) return;
+    if (is_punct("}") || at_eof() || cur().newline_before) return;
+    fail("expected ';' but found '" + cur().value + "'");
+  }
+
+  std::string expect_identifier_name() {
+    if (cur().type == TokenType::kIdentifier ||
+        (cur().type == TokenType::kKeyword &&
+         (cur().value == "get" || cur().value == "set" ||
+          cur().value == "static"))) {
+      return take().value;
+    }
+    fail("expected identifier but found '" + cur().value + "'");
+  }
+
+  // --- statements ----------------------------------------------------------
+
+  Node* parse_statement() {
+    if (cur().type == TokenType::kPunctuator) {
+      if (cur().value == "{") return parse_block();
+      if (cur().value == ";") {
+        ++pos_;
+        return arena_->make(NodeKind::kEmptyStatement);
+      }
+    }
+    if (cur().type == TokenType::kKeyword) {
+      const std::string& kw = cur().value;
+      if (kw == "var" || kw == "let" || kw == "const") {
+        Node* decl = parse_variable_declaration();
+        consume_semicolon();
+        return decl;
+      }
+      if (kw == "function") return parse_function(NodeKind::kFunctionDeclaration);
+      if (kw == "if") return parse_if();
+      if (kw == "for") return parse_for();
+      if (kw == "while") return parse_while();
+      if (kw == "do") return parse_do_while();
+      if (kw == "switch") return parse_switch();
+      if (kw == "try") return parse_try();
+      if (kw == "return") return parse_return();
+      if (kw == "throw") return parse_throw();
+      if (kw == "break" || kw == "continue") return parse_break_continue();
+      if (kw == "with") return parse_with();
+      if (kw == "debugger") {
+        ++pos_;
+        consume_semicolon();
+        return arena_->make(NodeKind::kDebuggerStatement);
+      }
+    }
+    // Labeled statement: Identifier ':' Statement
+    if (cur().type == TokenType::kIdentifier && ahead().value == ":" &&
+        ahead().type == TokenType::kPunctuator) {
+      Node* labeled = arena_->make(NodeKind::kLabeledStatement);
+      labeled->str = take().value;
+      ++pos_;  // ':'
+      labeled->children.push_back(parse_statement());
+      return labeled;
+    }
+    // Expression statement.
+    Node* stmt = arena_->make(NodeKind::kExpressionStatement);
+    stmt->children.push_back(parse_expression());
+    consume_semicolon();
+    return stmt;
+  }
+
+  Node* parse_block() {
+    expect_punct("{");
+    Node* block = arena_->make(NodeKind::kBlockStatement);
+    while (!is_punct("}")) {
+      if (at_eof()) fail("unterminated block");
+      block->children.push_back(parse_statement());
+    }
+    ++pos_;  // '}'
+    return block;
+  }
+
+  Node* parse_variable_declaration(bool no_in = false) {
+    Node* decl = arena_->make(NodeKind::kVariableDeclaration);
+    decl->str = take().value;  // var / let / const
+    while (true) {
+      Node* d = arena_->make(NodeKind::kVariableDeclarator);
+      d->children.push_back(arena_->identifier(expect_identifier_name()));
+      if (eat_punct("=")) {
+        d->children.push_back(parse_assignment(no_in));
+      } else {
+        d->children.push_back(nullptr);
+      }
+      decl->children.push_back(d);
+      if (!eat_punct(",")) break;
+    }
+    return decl;
+  }
+
+  Node* parse_function(NodeKind kind) {
+    expect_keyword("function");
+    Node* fn = arena_->make(kind);
+    if (kind == NodeKind::kFunctionDeclaration) {
+      fn->str = expect_identifier_name();
+    } else if (cur().type == TokenType::kIdentifier) {
+      fn->str = take().value;  // optional function-expression name
+    }
+    expect_punct("(");
+    while (!is_punct(")")) {
+      fn->children.push_back(arena_->identifier(expect_identifier_name()));
+      if (!is_punct(")")) expect_punct(",");
+    }
+    ++pos_;  // ')'
+    fn->children.push_back(parse_block());
+    return fn;
+  }
+
+  Node* parse_if() {
+    expect_keyword("if");
+    expect_punct("(");
+    Node* n = arena_->make(NodeKind::kIfStatement);
+    n->children.push_back(parse_expression());
+    expect_punct(")");
+    n->children.push_back(parse_statement());
+    if (eat_keyword("else")) {
+      n->children.push_back(parse_statement());
+    } else {
+      n->children.push_back(nullptr);
+    }
+    return n;
+  }
+
+  Node* parse_for() {
+    expect_keyword("for");
+    expect_punct("(");
+
+    Node* init = nullptr;
+    if (!is_punct(";")) {
+      if (is_keyword_tok("var") || is_keyword_tok("let") ||
+          is_keyword_tok("const")) {
+        init = parse_variable_declaration(/*no_in=*/true);
+      } else {
+        init = parse_expression(/*no_in=*/true);
+      }
+      if (is_keyword_tok("in") ||
+          (cur().type == TokenType::kIdentifier && cur().value == "of")) {
+        const bool is_of = cur().value == "of";
+        ++pos_;
+        Node* loop = arena_->make(NodeKind::kForInStatement);
+        if (is_of) loop->flags |= Node::kOfLoop;
+        loop->children.push_back(init);
+        loop->children.push_back(parse_expression());
+        expect_punct(")");
+        loop->children.push_back(parse_statement());
+        return loop;
+      }
+    }
+    expect_punct(";");
+    Node* loop = arena_->make(NodeKind::kForStatement);
+    loop->children.push_back(init);
+    loop->children.push_back(is_punct(";") ? nullptr : parse_expression());
+    expect_punct(";");
+    loop->children.push_back(is_punct(")") ? nullptr : parse_expression());
+    expect_punct(")");
+    loop->children.push_back(parse_statement());
+    return loop;
+  }
+
+  Node* parse_while() {
+    expect_keyword("while");
+    expect_punct("(");
+    Node* n = arena_->make(NodeKind::kWhileStatement);
+    n->children.push_back(parse_expression());
+    expect_punct(")");
+    n->children.push_back(parse_statement());
+    return n;
+  }
+
+  Node* parse_do_while() {
+    expect_keyword("do");
+    Node* n = arena_->make(NodeKind::kDoWhileStatement);
+    n->children.push_back(parse_statement());
+    expect_keyword("while");
+    expect_punct("(");
+    n->children.push_back(parse_expression());
+    expect_punct(")");
+    eat_punct(";");
+    return n;
+  }
+
+  Node* parse_switch() {
+    expect_keyword("switch");
+    expect_punct("(");
+    Node* sw = arena_->make(NodeKind::kSwitchStatement);
+    sw->children.push_back(parse_expression());
+    expect_punct(")");
+    expect_punct("{");
+    while (!is_punct("}")) {
+      if (at_eof()) fail("unterminated switch");
+      Node* cs = arena_->make(NodeKind::kSwitchCase);
+      if (eat_keyword("case")) {
+        cs->children.push_back(parse_expression());
+      } else {
+        expect_keyword("default");
+        cs->children.push_back(nullptr);
+      }
+      expect_punct(":");
+      while (!is_punct("}") && !is_keyword_tok("case") &&
+             !is_keyword_tok("default")) {
+        cs->children.push_back(parse_statement());
+      }
+      sw->children.push_back(cs);
+    }
+    ++pos_;  // '}'
+    return sw;
+  }
+
+  Node* parse_try() {
+    expect_keyword("try");
+    Node* n = arena_->make(NodeKind::kTryStatement);
+    n->children.push_back(parse_block());
+    if (eat_keyword("catch")) {
+      Node* handler = arena_->make(NodeKind::kCatchClause);
+      expect_punct("(");
+      handler->children.push_back(arena_->identifier(expect_identifier_name()));
+      expect_punct(")");
+      handler->children.push_back(parse_block());
+      n->children.push_back(handler);
+    } else {
+      n->children.push_back(nullptr);
+    }
+    if (eat_keyword("finally")) {
+      n->children.push_back(parse_block());
+    } else {
+      n->children.push_back(nullptr);
+    }
+    if (n->children[1] == nullptr && n->children[2] == nullptr) {
+      fail("try requires catch or finally");
+    }
+    return n;
+  }
+
+  Node* parse_return() {
+    expect_keyword("return");
+    Node* n = arena_->make(NodeKind::kReturnStatement);
+    // [no LineTerminator here] restriction.
+    if (!is_punct(";") && !is_punct("}") && !at_eof() &&
+        !cur().newline_before) {
+      n->children.push_back(parse_expression());
+    }
+    consume_semicolon();
+    return n;
+  }
+
+  Node* parse_throw() {
+    expect_keyword("throw");
+    if (cur().newline_before) fail("illegal newline after throw");
+    Node* n = arena_->make(NodeKind::kThrowStatement);
+    n->children.push_back(parse_expression());
+    consume_semicolon();
+    return n;
+  }
+
+  Node* parse_break_continue() {
+    const bool is_break = cur().value == "break";
+    ++pos_;
+    Node* n = arena_->make(is_break ? NodeKind::kBreakStatement
+                                    : NodeKind::kContinueStatement);
+    if (cur().type == TokenType::kIdentifier && !cur().newline_before) {
+      n->str = take().value;
+    }
+    consume_semicolon();
+    return n;
+  }
+
+  Node* parse_with() {
+    expect_keyword("with");
+    expect_punct("(");
+    Node* n = arena_->make(NodeKind::kWithStatement);
+    n->children.push_back(parse_expression());
+    expect_punct(")");
+    n->children.push_back(parse_statement());
+    return n;
+  }
+
+  // --- expressions ---------------------------------------------------------
+
+  Node* parse_expression(bool no_in = false) {
+    Node* first = parse_assignment(no_in);
+    if (!is_punct(",")) return first;
+    Node* seq = arena_->make(NodeKind::kSequenceExpression);
+    seq->children.push_back(first);
+    while (eat_punct(",")) seq->children.push_back(parse_assignment(no_in));
+    return seq;
+  }
+
+  bool looks_like_arrow_params() const {
+    // At '(' — scan to the matching ')' and check for '=>'.
+    if (!is_punct("(")) return false;
+    int depth = 0;
+    for (std::size_t i = pos_; i < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      if (t.type == TokenType::kPunctuator) {
+        if (t.value == "(") ++depth;
+        if (t.value == ")") {
+          --depth;
+          if (depth == 0) {
+            return i + 1 < tokens_.size() &&
+                   tokens_[i + 1].type == TokenType::kPunctuator &&
+                   tokens_[i + 1].value == "=>";
+          }
+        }
+      }
+      if (t.type == TokenType::kEof) return false;
+    }
+    return false;
+  }
+
+  Node* parse_arrow_tail(std::vector<Node*> params) {
+    expect_punct("=>");
+    Node* fn = arena_->make(NodeKind::kArrowFunctionExpression);
+    fn->children = std::move(params);
+    if (is_punct("{")) {
+      fn->children.push_back(parse_block());
+    } else {
+      // Expression body: wrap in an implicit return for a uniform layout.
+      Node* ret = arena_->make(NodeKind::kReturnStatement);
+      ret->children.push_back(parse_assignment(false));
+      Node* body = arena_->make(NodeKind::kBlockStatement);
+      body->children.push_back(ret);
+      fn->children.push_back(body);
+    }
+    return fn;
+  }
+
+  Node* parse_assignment(bool no_in) {
+    // Arrow functions: `x => ...` or `(a, b) => ...`.
+    if (cur().type == TokenType::kIdentifier && ahead().value == "=>" &&
+        ahead().type == TokenType::kPunctuator) {
+      std::vector<Node*> params{arena_->identifier(take().value)};
+      return parse_arrow_tail(std::move(params));
+    }
+    if (looks_like_arrow_params()) {
+      ++pos_;  // '('
+      std::vector<Node*> params;
+      while (!is_punct(")")) {
+        params.push_back(arena_->identifier(expect_identifier_name()));
+        if (!is_punct(")")) expect_punct(",");
+      }
+      ++pos_;  // ')'
+      return parse_arrow_tail(std::move(params));
+    }
+
+    Node* left = parse_conditional(no_in);
+    static constexpr std::string_view kAssignOps[] = {
+        "=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=",
+        ">>>=", "&=", "|=", "^=", "&&=", "||=", "**="};
+    if (cur().type == TokenType::kPunctuator) {
+      for (const auto op : kAssignOps) {
+        if (cur().value == op) {
+          if (left->kind != NodeKind::kIdentifier &&
+              left->kind != NodeKind::kMemberExpression) {
+            fail("invalid assignment target");
+          }
+          ++pos_;
+          Node* n = arena_->make(NodeKind::kAssignmentExpression);
+          n->str = std::string(op);
+          n->children.push_back(left);
+          n->children.push_back(parse_assignment(no_in));
+          return n;
+        }
+      }
+    }
+    return left;
+  }
+
+  Node* parse_conditional(bool no_in) {
+    Node* test = parse_binary(0, no_in);
+    if (!eat_punct("?")) return test;
+    Node* n = arena_->make(NodeKind::kConditionalExpression);
+    n->children.push_back(test);
+    n->children.push_back(parse_assignment(false));
+    expect_punct(":");
+    n->children.push_back(parse_assignment(no_in));
+    return n;
+  }
+
+  Node* parse_binary(int min_prec, bool no_in) {
+    Node* left = parse_unary();
+    while (true) {
+      std::string_view op;
+      if (cur().type == TokenType::kPunctuator) {
+        op = cur().value;
+      } else if (is_keyword_tok("instanceof") || is_keyword_tok("in")) {
+        op = cur().value;
+      } else {
+        break;
+      }
+      const int prec = binary_precedence(op, no_in);
+      if (prec == 0 || prec <= min_prec) break;
+      const std::string op_str(op);
+      ++pos_;
+      Node* right = parse_binary(prec, no_in);
+      const bool logical = op_str == "&&" || op_str == "||";
+      Node* n = arena_->make(logical ? NodeKind::kLogicalExpression
+                                     : NodeKind::kBinaryExpression);
+      n->str = op_str;
+      n->children.push_back(left);
+      n->children.push_back(right);
+      left = n;
+    }
+    return left;
+  }
+
+  Node* parse_unary() {
+    if (cur().type == TokenType::kPunctuator &&
+        (cur().value == "!" || cur().value == "~" || cur().value == "+" ||
+         cur().value == "-")) {
+      Node* n = arena_->make(NodeKind::kUnaryExpression);
+      n->str = take().value;
+      n->children.push_back(parse_unary());
+      return n;
+    }
+    if (is_keyword_tok("typeof") || is_keyword_tok("void") ||
+        is_keyword_tok("delete")) {
+      Node* n = arena_->make(NodeKind::kUnaryExpression);
+      n->str = take().value;
+      n->children.push_back(parse_unary());
+      return n;
+    }
+    if (is_punct("++") || is_punct("--")) {
+      Node* n = arena_->make(NodeKind::kUpdateExpression);
+      n->flags |= Node::kPrefix;
+      n->str = take().value;
+      n->children.push_back(parse_unary());
+      return n;
+    }
+    Node* expr = parse_postfix();
+    return expr;
+  }
+
+  Node* parse_postfix() {
+    Node* expr = parse_call_member(parse_primary());
+    if ((is_punct("++") || is_punct("--")) && !cur().newline_before) {
+      Node* n = arena_->make(NodeKind::kUpdateExpression);
+      n->str = take().value;
+      n->children.push_back(expr);
+      return n;
+    }
+    return expr;
+  }
+
+  Node* parse_call_member(Node* expr) {
+    while (true) {
+      if (eat_punct(".")) {
+        Node* m = arena_->make(NodeKind::kMemberExpression);
+        m->children.push_back(expr);
+        // Property names may be keywords (obj.in, obj.delete, ...).
+        if (cur().type == TokenType::kIdentifier ||
+            cur().type == TokenType::kKeyword ||
+            cur().type == TokenType::kBooleanLiteral ||
+            cur().type == TokenType::kNullLiteral) {
+          m->children.push_back(arena_->identifier(take().value));
+        } else {
+          fail("expected property name");
+        }
+        expr = m;
+      } else if (eat_punct("[")) {
+        Node* m = arena_->make(NodeKind::kMemberExpression);
+        m->flags |= Node::kComputed;
+        m->children.push_back(expr);
+        m->children.push_back(parse_expression());
+        expect_punct("]");
+        expr = m;
+      } else if (is_punct("(")) {
+        Node* call = arena_->make(NodeKind::kCallExpression);
+        call->children.push_back(expr);
+        parse_arguments(call);
+        expr = call;
+      } else {
+        return expr;
+      }
+    }
+  }
+
+  void parse_arguments(Node* call) {
+    expect_punct("(");
+    while (!is_punct(")")) {
+      call->children.push_back(parse_assignment(false));
+      if (!is_punct(")")) expect_punct(",");
+    }
+    ++pos_;  // ')'
+  }
+
+  Node* parse_new() {
+    expect_keyword("new");
+    Node* n = arena_->make(NodeKind::kNewExpression);
+    // `new new X()()` and member chains on the callee are allowed, but a call
+    // ends the callee part.
+    Node* callee = is_keyword_tok("new") ? parse_new() : parse_primary();
+    while (true) {
+      if (eat_punct(".")) {
+        Node* m = arena_->make(NodeKind::kMemberExpression);
+        m->children.push_back(callee);
+        m->children.push_back(arena_->identifier(expect_identifier_name()));
+        callee = m;
+      } else if (eat_punct("[")) {
+        Node* m = arena_->make(NodeKind::kMemberExpression);
+        m->flags |= Node::kComputed;
+        m->children.push_back(callee);
+        m->children.push_back(parse_expression());
+        expect_punct("]");
+        callee = m;
+      } else {
+        break;
+      }
+    }
+    n->children.push_back(callee);
+    if (is_punct("(")) parse_arguments(n);
+    return n;
+  }
+
+  Node* parse_primary() {
+    switch (cur().type) {
+      case TokenType::kNumericLiteral:
+        return arena_->number_literal(take().numeric_value);
+      case TokenType::kStringLiteral:
+      case TokenType::kTemplateString:
+        return arena_->string_literal(take().string_value);
+      case TokenType::kBooleanLiteral:
+        return arena_->bool_literal(take().value == "true");
+      case TokenType::kNullLiteral:
+        take();
+        return arena_->null_literal();
+      case TokenType::kRegexLiteral: {
+        Node* n = arena_->make(NodeKind::kLiteral);
+        n->lit = LiteralType::kRegex;
+        n->str = take().value;
+        return n;
+      }
+      case TokenType::kIdentifier:
+        return arena_->identifier(take().value);
+      case TokenType::kKeyword: {
+        const std::string& kw = cur().value;
+        if (kw == "this") {
+          ++pos_;
+          return arena_->make(NodeKind::kThisExpression);
+        }
+        if (kw == "function") return parse_function(NodeKind::kFunctionExpression);
+        if (kw == "new") return parse_new();
+        if (kw == "get" || kw == "set" || kw == "static") {
+          // Contextual keywords usable as plain identifiers.
+          return arena_->identifier(take().value);
+        }
+        fail("unexpected keyword '" + kw + "'");
+      }
+      case TokenType::kPunctuator: {
+        if (cur().value == "(") {
+          ++pos_;
+          Node* e = parse_expression();
+          expect_punct(")");
+          return e;
+        }
+        if (cur().value == "[") return parse_array_literal();
+        if (cur().value == "{") return parse_object_literal();
+        fail("unexpected token '" + cur().value + "'");
+      }
+      default:
+        fail("unexpected end of input");
+    }
+  }
+
+  Node* parse_array_literal() {
+    expect_punct("[");
+    Node* arr = arena_->make(NodeKind::kArrayExpression);
+    while (!is_punct("]")) {
+      if (is_punct(",")) {
+        ++pos_;
+        arr->children.push_back(nullptr);  // elision
+        continue;
+      }
+      arr->children.push_back(parse_assignment(false));
+      if (!is_punct("]")) expect_punct(",");
+    }
+    ++pos_;  // ']'
+    return arr;
+  }
+
+  Node* parse_object_literal() {
+    expect_punct("{");
+    Node* obj = arena_->make(NodeKind::kObjectExpression);
+    while (!is_punct("}")) {
+      Node* prop = arena_->make(NodeKind::kProperty);
+      // Key: identifier, keyword, string, number, or computed [expr].
+      if (eat_punct("[")) {
+        prop->flags |= Node::kComputed;
+        prop->children.push_back(parse_assignment(false));
+        expect_punct("]");
+      } else if (cur().type == TokenType::kIdentifier ||
+                 cur().type == TokenType::kKeyword ||
+                 cur().type == TokenType::kBooleanLiteral ||
+                 cur().type == TokenType::kNullLiteral) {
+        prop->children.push_back(arena_->identifier(take().value));
+      } else if (cur().type == TokenType::kStringLiteral) {
+        prop->children.push_back(arena_->string_literal(take().string_value));
+      } else if (cur().type == TokenType::kNumericLiteral) {
+        prop->children.push_back(arena_->number_literal(take().numeric_value));
+      } else {
+        fail("expected property key");
+      }
+      expect_punct(":");
+      prop->children.push_back(parse_assignment(false));
+      obj->children.push_back(prop);
+      if (!is_punct("}")) expect_punct(",");
+    }
+    ++pos_;  // '}'
+    return obj;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  AstArena* arena_ = nullptr;
+};
+
+}  // namespace
+
+Ast parse(std::string_view source) { return Parser(source).run(); }
+
+bool parses_ok(std::string_view source) noexcept {
+  try {
+    parse(source);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace jsrev::js

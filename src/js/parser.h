@@ -1,0 +1,38 @@
+// Recursive-descent JavaScript parser producing the ESTree-style AST.
+//
+// Dialect: full ES5 (all statements and expressions, automatic semicolon
+// insertion, regex literals) plus the ES2015 subset encountered in real-world
+// corpora that the obfuscators and generators emit: let/const, arrow
+// functions, template literals without substitutions, and for-of.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "js/ast.h"
+#include "js/token.h"
+
+namespace jsrev::js {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::uint32_t line)
+      : std::runtime_error("parse error at line " + std::to_string(line) +
+                           ": " + message),
+        line_(line) {}
+
+  std::uint32_t line() const noexcept { return line_; }
+
+ private:
+  std::uint32_t line_;
+};
+
+/// Parses `source` into a finalized AST (ids and parent links assigned).
+/// Throws LexError or ParseError on malformed input.
+Ast parse(std::string_view source);
+
+/// Returns true if `source` parses without error.
+bool parses_ok(std::string_view source) noexcept;
+
+}  // namespace jsrev::js

@@ -1,0 +1,599 @@
+#include "js/printer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace jsrev::js {
+namespace {
+
+// Expression precedence levels used to decide parenthesization when a child
+// binds looser than its context requires.
+int expr_precedence(const Node* n) {
+  switch (n->kind) {
+    case NodeKind::kSequenceExpression: return 0;
+    case NodeKind::kAssignmentExpression: return 1;
+    case NodeKind::kConditionalExpression: return 2;
+    case NodeKind::kLogicalExpression:
+      return n->str == "||" ? 3 : 4;
+    case NodeKind::kBinaryExpression: {
+      const std::string& op = n->str;
+      if (op == "|") return 5;
+      if (op == "^") return 6;
+      if (op == "&") return 7;
+      if (op == "==" || op == "!=" || op == "===" || op == "!==") return 8;
+      if (op == "<" || op == ">" || op == "<=" || op == ">=" ||
+          op == "instanceof" || op == "in")
+        return 9;
+      if (op == "<<" || op == ">>" || op == ">>>") return 10;
+      if (op == "+" || op == "-") return 11;
+      return 12;  // * / %
+    }
+    case NodeKind::kUnaryExpression: return 13;
+    case NodeKind::kUpdateExpression: return 13;
+    case NodeKind::kNewExpression: return 15;
+    case NodeKind::kCallExpression: return 16;
+    case NodeKind::kMemberExpression: return 17;
+    default: return 20;  // primary
+  }
+}
+
+std::string number_to_source(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "Infinity" : "-Infinity";
+  if (v == static_cast<long long>(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+class Printer {
+ public:
+  explicit Printer(PrintStyle style) : min_(style == PrintStyle::kMinified) {}
+
+  std::string run(const Node* root) {
+    if (root->kind == NodeKind::kProgram) {
+      for (const Node* s : root->children) stmt(s);
+    } else if (is_statement(root)) {
+      stmt(root);
+    } else {
+      expr(root, 0);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  // True if the first token emitted for `n` would be `{` or `function`.
+  static bool starts_with_brace_or_function(const Node* n) {
+    switch (n->kind) {
+      case NodeKind::kObjectExpression:
+      case NodeKind::kFunctionExpression:
+        return true;
+      case NodeKind::kMemberExpression:
+      case NodeKind::kCallExpression:
+      case NodeKind::kBinaryExpression:
+      case NodeKind::kLogicalExpression:
+      case NodeKind::kAssignmentExpression:
+      case NodeKind::kConditionalExpression:
+      case NodeKind::kSequenceExpression:
+        return starts_with_brace_or_function(n->children[0]);
+      case NodeKind::kUpdateExpression:
+        return !n->has_flag(Node::kPrefix) &&
+               starts_with_brace_or_function(n->children[0]);
+      default:
+        return false;
+    }
+  }
+
+  static bool is_statement(const Node* n) {
+    switch (n->kind) {
+      case NodeKind::kBlockStatement:
+      case NodeKind::kExpressionStatement:
+      case NodeKind::kIfStatement:
+      case NodeKind::kLabeledStatement:
+      case NodeKind::kBreakStatement:
+      case NodeKind::kContinueStatement:
+      case NodeKind::kWithStatement:
+      case NodeKind::kSwitchStatement:
+      case NodeKind::kReturnStatement:
+      case NodeKind::kThrowStatement:
+      case NodeKind::kTryStatement:
+      case NodeKind::kWhileStatement:
+      case NodeKind::kDoWhileStatement:
+      case NodeKind::kForStatement:
+      case NodeKind::kForInStatement:
+      case NodeKind::kVariableDeclaration:
+      case NodeKind::kFunctionDeclaration:
+      case NodeKind::kEmptyStatement:
+      case NodeKind::kDebuggerStatement:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  void emit(std::string_view s) { out_ += s; }
+  void space() { if (!min_) out_ += ' '; }
+  void newline() {
+    if (min_) return;
+    out_ += '\n';
+    out_.append(static_cast<std::size_t>(indent_) * 2, ' ');
+  }
+
+  void stmt(const Node* n) {
+    switch (n->kind) {
+      case NodeKind::kBlockStatement: block(n); newline(); break;
+      case NodeKind::kExpressionStatement: {
+        // Guard expression statements whose leftmost token would be `{` or
+        // `function` (e.g. IIFEs), which would otherwise re-parse as a block
+        // or a function declaration.
+        const Node* e = n->children[0];
+        const bool needs_parens = starts_with_brace_or_function(e);
+        if (needs_parens) emit("(");
+        expr(e, 0);
+        if (needs_parens) emit(")");
+        emit(";");
+        newline();
+        break;
+      }
+      case NodeKind::kIfStatement: {
+        emit("if");
+        space();
+        emit("(");
+        expr(n->children[0], 0);
+        emit(")");
+        space();
+        nested_stmt(n->children[1]);
+        if (n->children.size() > 2 && n->children[2] != nullptr) {
+          emit("else");
+          if (n->children[2]->kind != NodeKind::kBlockStatement || min_) {
+            emit(" ");
+          } else {
+            space();
+          }
+          nested_stmt(n->children[2]);
+        }
+        newline();
+        break;
+      }
+      case NodeKind::kLabeledStatement:
+        emit(n->str);
+        emit(":");
+        space();
+        stmt(n->children[0]);
+        break;
+      case NodeKind::kBreakStatement:
+        emit("break");
+        if (!n->str.empty()) { emit(" "); emit(n->str); }
+        emit(";");
+        newline();
+        break;
+      case NodeKind::kContinueStatement:
+        emit("continue");
+        if (!n->str.empty()) { emit(" "); emit(n->str); }
+        emit(";");
+        newline();
+        break;
+      case NodeKind::kWithStatement:
+        emit("with");
+        space();
+        emit("(");
+        expr(n->children[0], 0);
+        emit(")");
+        space();
+        nested_stmt(n->children[1]);
+        newline();
+        break;
+      case NodeKind::kSwitchStatement: {
+        emit("switch");
+        space();
+        emit("(");
+        expr(n->children[0], 0);
+        emit(")");
+        space();
+        emit("{");
+        ++indent_;
+        for (std::size_t i = 1; i < n->children.size(); ++i) {
+          const Node* cs = n->children[i];
+          newline();
+          if (cs->children[0] != nullptr) {
+            emit("case ");
+            expr(cs->children[0], 1);
+            emit(":");
+          } else {
+            emit("default:");
+          }
+          ++indent_;
+          newline();
+          for (std::size_t j = 1; j < cs->children.size(); ++j) {
+            stmt(cs->children[j]);
+          }
+          --indent_;
+        }
+        --indent_;
+        newline();
+        emit("}");
+        newline();
+        break;
+      }
+      case NodeKind::kReturnStatement:
+        emit("return");
+        if (!n->children.empty() && n->children[0] != nullptr) {
+          emit(" ");
+          expr(n->children[0], 0);
+        }
+        emit(";");
+        newline();
+        break;
+      case NodeKind::kThrowStatement:
+        emit("throw ");
+        expr(n->children[0], 0);
+        emit(";");
+        newline();
+        break;
+      case NodeKind::kTryStatement:
+        emit("try");
+        space();
+        block(n->children[0]);
+        if (n->children[1] != nullptr) {
+          space();
+          emit("catch");
+          space();
+          emit("(");
+          expr(n->children[1]->children[0], 1);
+          emit(")");
+          space();
+          block(n->children[1]->children[1]);
+        }
+        if (n->children[2] != nullptr) {
+          space();
+          emit("finally");
+          space();
+          block(n->children[2]);
+        }
+        newline();
+        break;
+      case NodeKind::kWhileStatement:
+        emit("while");
+        space();
+        emit("(");
+        expr(n->children[0], 0);
+        emit(")");
+        space();
+        nested_stmt(n->children[1]);
+        newline();
+        break;
+      case NodeKind::kDoWhileStatement:
+        emit("do");
+        space();
+        if (n->children[0]->kind != NodeKind::kBlockStatement) emit(" ");
+        nested_stmt(n->children[0]);
+        space();
+        emit("while");
+        space();
+        emit("(");
+        expr(n->children[1], 0);
+        emit(");");
+        newline();
+        break;
+      case NodeKind::kForStatement:
+        emit("for");
+        space();
+        emit("(");
+        if (n->children[0] != nullptr) {
+          if (n->children[0]->kind == NodeKind::kVariableDeclaration) {
+            var_decl_inline(n->children[0]);
+          } else {
+            expr(n->children[0], 0);
+          }
+        }
+        emit(";");
+        if (n->children[1] != nullptr) { space(); expr(n->children[1], 0); }
+        emit(";");
+        if (n->children[2] != nullptr) { space(); expr(n->children[2], 0); }
+        emit(")");
+        space();
+        nested_stmt(n->children[3]);
+        newline();
+        break;
+      case NodeKind::kForInStatement:
+        emit("for");
+        space();
+        emit("(");
+        if (n->children[0]->kind == NodeKind::kVariableDeclaration) {
+          var_decl_inline(n->children[0]);
+        } else {
+          expr(n->children[0], 1);
+        }
+        emit(n->has_flag(Node::kOfLoop) ? " of " : " in ");
+        expr(n->children[1], 1);
+        emit(")");
+        space();
+        nested_stmt(n->children[2]);
+        newline();
+        break;
+      case NodeKind::kVariableDeclaration:
+        var_decl_inline(n);
+        emit(";");
+        newline();
+        break;
+      case NodeKind::kFunctionDeclaration:
+        function(n, /*is_declaration=*/true);
+        newline();
+        break;
+      case NodeKind::kEmptyStatement:
+        emit(";");
+        newline();
+        break;
+      case NodeKind::kDebuggerStatement:
+        emit("debugger;");
+        newline();
+        break;
+      default:
+        // An expression in statement position (shouldn't happen).
+        expr(n, 0);
+        emit(";");
+        newline();
+        break;
+    }
+  }
+
+  // Statement in a nested position (loop/if body): blocks inline, everything
+  // else prints normally.
+  void nested_stmt(const Node* n) {
+    if (n->kind == NodeKind::kBlockStatement) {
+      block(n);
+    } else {
+      // Keep single-statement bodies on the same line for readability.
+      stmt(n);
+    }
+  }
+
+  void block(const Node* n) {
+    emit("{");
+    ++indent_;
+    newline();
+    for (const Node* s : n->children) stmt(s);
+    --indent_;
+    if (!min_) {
+      // Trim the indentation the last newline() emitted before closing.
+      while (!out_.empty() && out_.back() == ' ') out_.pop_back();
+      if (out_.empty() || out_.back() != '\n') out_ += '\n';
+      out_.append(static_cast<std::size_t>(indent_) * 2, ' ');
+    }
+    emit("}");
+  }
+
+  void var_decl_inline(const Node* n) {
+    emit(n->str);  // var / let / const
+    emit(" ");
+    for (std::size_t i = 0; i < n->children.size(); ++i) {
+      if (i != 0) { emit(","); space(); }
+      const Node* d = n->children[i];
+      expr(d->children[0], 1);
+      if (d->children.size() > 1 && d->children[1] != nullptr) {
+        space();
+        emit("=");
+        space();
+        expr(d->children[1], 1);
+      }
+    }
+  }
+
+  void function(const Node* n, bool is_declaration) {
+    emit("function");
+    if (!n->str.empty()) {
+      emit(" ");
+      emit(n->str);
+    } else if (!is_declaration) {
+      space();
+    }
+    emit("(");
+    const std::size_t nparams = n->children.size() - 1;
+    for (std::size_t i = 0; i < nparams; ++i) {
+      if (i != 0) { emit(","); space(); }
+      emit(n->children[i]->str);
+    }
+    emit(")");
+    space();
+    block(n->children.back());
+  }
+
+  // Prints `n` parenthesized if its precedence is below `min_prec`.
+  void expr(const Node* n, int min_prec) {
+    const int prec = expr_precedence(n);
+    const bool parens = prec < min_prec;
+    if (parens) emit("(");
+    expr_raw(n);
+    if (parens) emit(")");
+  }
+
+  void expr_raw(const Node* n) {
+    switch (n->kind) {
+      case NodeKind::kIdentifier:
+        emit(n->str);
+        break;
+      case NodeKind::kLiteral:
+        switch (n->lit) {
+          case LiteralType::kString:
+            emit("\"");
+            emit(js_escape(n->str));
+            emit("\"");
+            break;
+          case LiteralType::kNumber:
+            emit(number_to_source(n->num));
+            break;
+          case LiteralType::kBoolean:
+            emit(n->bval ? "true" : "false");
+            break;
+          case LiteralType::kNull:
+            emit("null");
+            break;
+          case LiteralType::kRegex:
+            emit(n->str);
+            break;
+          case LiteralType::kNone:
+            emit("null");
+            break;
+        }
+        break;
+      case NodeKind::kThisExpression:
+        emit("this");
+        break;
+      case NodeKind::kArrayExpression:
+        emit("[");
+        for (std::size_t i = 0; i < n->children.size(); ++i) {
+          if (i != 0) { emit(","); space(); }
+          if (n->children[i] != nullptr) expr(n->children[i], 1);
+        }
+        emit("]");
+        break;
+      case NodeKind::kObjectExpression:
+        emit("{");
+        for (std::size_t i = 0; i < n->children.size(); ++i) {
+          if (i != 0) { emit(","); space(); }
+          const Node* prop = n->children[i];
+          if (prop->has_flag(Node::kComputed)) {
+            emit("[");
+            expr(prop->children[0], 1);
+            emit("]");
+          } else {
+            expr_raw(prop->children[0]);
+          }
+          emit(":");
+          space();
+          expr(prop->children[1], 1);
+        }
+        emit("}");
+        break;
+      case NodeKind::kFunctionDeclaration:
+      case NodeKind::kFunctionExpression:
+        function(n, n->kind == NodeKind::kFunctionDeclaration);
+        break;
+      case NodeKind::kArrowFunctionExpression: {
+        emit("(");
+        const std::size_t nparams = n->children.size() - 1;
+        for (std::size_t i = 0; i < nparams; ++i) {
+          if (i != 0) { emit(","); space(); }
+          emit(n->children[i]->str);
+        }
+        emit(")");
+        space();
+        emit("=>");
+        space();
+        block(n->children.back());
+        break;
+      }
+      case NodeKind::kSequenceExpression:
+        for (std::size_t i = 0; i < n->children.size(); ++i) {
+          if (i != 0) { emit(","); space(); }
+          expr(n->children[i], 1);
+        }
+        break;
+      case NodeKind::kUnaryExpression: {
+        emit(n->str);
+        const bool word = n->str.size() > 2;  // typeof / void / delete
+        if (word) emit(" ");
+        // Avoid `- -x` gluing into `--x`.
+        const Node* arg = n->children[0];
+        const bool same_sign_unary =
+            !word && arg->kind == NodeKind::kUnaryExpression &&
+            arg->str == n->str;
+        if (same_sign_unary) emit(" ");
+        expr(arg, 13);
+        break;
+      }
+      case NodeKind::kUpdateExpression:
+        if (n->has_flag(Node::kPrefix)) {
+          emit(n->str);
+          expr(n->children[0], 13);
+        } else {
+          expr(n->children[0], 14);
+          emit(n->str);
+        }
+        break;
+      case NodeKind::kBinaryExpression:
+      case NodeKind::kLogicalExpression: {
+        const int prec = expr_precedence(n);
+        expr(n->children[0], prec);
+        const bool word = n->str == "in" || n->str == "instanceof";
+        if (word) emit(" "); else space();
+        emit(n->str);
+        if (word) emit(" "); else space();
+        // Left-associative: right operand needs strictly higher precedence.
+        expr(n->children[1], prec + 1);
+        break;
+      }
+      case NodeKind::kAssignmentExpression:
+        expr(n->children[0], 15);
+        space();
+        emit(n->str);
+        space();
+        expr(n->children[1], 1);
+        break;
+      case NodeKind::kConditionalExpression:
+        expr(n->children[0], 3);
+        space();
+        emit("?");
+        space();
+        expr(n->children[1], 1);
+        space();
+        emit(":");
+        space();
+        expr(n->children[2], 1);
+        break;
+      case NodeKind::kMemberExpression:
+        expr(n->children[0], 17);
+        if (n->has_flag(Node::kComputed)) {
+          emit("[");
+          expr(n->children[1], 0);
+          emit("]");
+        } else {
+          emit(".");
+          emit(n->children[1]->str);
+        }
+        break;
+      case NodeKind::kCallExpression:
+        expr(n->children[0], 16);
+        emit("(");
+        for (std::size_t i = 1; i < n->children.size(); ++i) {
+          if (i != 1) { emit(","); space(); }
+          expr(n->children[i], 1);
+        }
+        emit(")");
+        break;
+      case NodeKind::kNewExpression:
+        emit("new ");
+        expr(n->children[0], 17);
+        emit("(");
+        for (std::size_t i = 1; i < n->children.size(); ++i) {
+          if (i != 1) { emit(","); space(); }
+          expr(n->children[i], 1);
+        }
+        emit(")");
+        break;
+      default:
+        // A statement node in expression position is a logic error upstream;
+        // print it defensively so the output stays inspectable.
+        emit("/*stmt*/");
+        break;
+    }
+  }
+
+  bool min_;
+  int indent_ = 0;
+  std::string out_;
+};
+
+}  // namespace
+
+std::string print(const Node* root, PrintStyle style) {
+  return Printer(style).run(root);
+}
+
+}  // namespace jsrev::js

@@ -1,0 +1,21 @@
+// AST-to-source code generator with precedence-aware parenthesization.
+//
+// Two output styles: kPretty (indented, one statement per line) and
+// kMinified (no insignificant whitespace) — the latter models the
+// minification commonly applied to in-the-wild benign scripts.
+#pragma once
+
+#include <string>
+
+#include "js/ast.h"
+
+namespace jsrev::js {
+
+enum class PrintStyle { kPretty, kMinified };
+
+/// Renders the subtree at `root` back to JavaScript source. The output is
+/// guaranteed to re-parse to a structurally identical tree (round-trip
+/// property, enforced by tests).
+std::string print(const Node* root, PrintStyle style = PrintStyle::kPretty);
+
+}  // namespace jsrev::js

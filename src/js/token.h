@@ -1,0 +1,36 @@
+// Token model for the JavaScript lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace jsrev::js {
+
+enum class TokenType : std::uint8_t {
+  kEof,
+  kIdentifier,
+  kKeyword,        // reserved words (var, function, if, ...)
+  kBooleanLiteral, // true / false
+  kNullLiteral,    // null
+  kNumericLiteral,
+  kStringLiteral,
+  kRegexLiteral,
+  kTemplateString, // full template literal without substitutions: `...`
+  kPunctuator,     // operators and delimiters
+};
+
+/// Returns a human-readable name for a token type (diagnostics/tests).
+std::string_view token_type_name(TokenType t) noexcept;
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string value;        // raw lexeme for identifiers/punctuators/keywords
+  std::string string_value; // decoded value for string literals
+  double numeric_value = 0; // value for numeric literals
+  std::uint32_t offset = 0; // byte offset of the first character
+  std::uint32_t line = 1;   // 1-based source line
+  bool newline_before = false; // a line terminator preceded this token (ASI)
+};
+
+}  // namespace jsrev::js

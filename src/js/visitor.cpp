@@ -1,0 +1,20 @@
+#include "js/visitor.h"
+
+namespace jsrev::js {
+
+Node* clone(const Node* n, AstArena& arena) {
+  if (n == nullptr) return nullptr;
+  Node* copy = arena.make(n->kind);
+  copy->lit = n->lit;
+  copy->str = n->str;
+  copy->num = n->num;
+  copy->bval = n->bval;
+  copy->flags = n->flags;
+  copy->children.reserve(n->children.size());
+  for (const Node* child : n->children) {
+    copy->children.push_back(clone(child, arena));
+  }
+  return copy;
+}
+
+}  // namespace jsrev::js

@@ -1,0 +1,74 @@
+// Generic AST traversal helpers.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "js/ast.h"
+
+namespace jsrev::js {
+
+/// Preorder walk over non-null nodes. `fn` returning false prunes the
+/// subtree below the node (the node itself is still visited).
+inline void walk(Node* root, const std::function<bool(Node*)>& fn) {
+  if (root == nullptr) return;
+  if (!fn(root)) return;
+  for (Node* child : root->children) walk(child, fn);
+}
+
+inline void walk(const Node* root, const std::function<bool(const Node*)>& fn) {
+  if (root == nullptr) return;
+  if (!fn(root)) return;
+  for (const Node* child : root->children) walk(child, fn);
+}
+
+/// Preorder walk visiting every non-null node (no pruning).
+inline void walk_all(const Node* root,
+                     const std::function<void(const Node*)>& fn) {
+  walk(root, [&fn](const Node* n) {
+    fn(n);
+    return true;
+  });
+}
+
+/// Collects every node matching `pred` in preorder.
+inline std::vector<Node*> collect(Node* root,
+                                  const std::function<bool(Node*)>& pred) {
+  std::vector<Node*> out;
+  walk(root, [&](Node* n) {
+    if (pred(n)) out.push_back(n);
+    return true;
+  });
+  return out;
+}
+
+/// Leaves of the tree in source (preorder) order. A leaf is a node with no
+/// non-null children. Identifier/Literal nodes are the typical leaves.
+inline std::vector<const Node*> leaves(const Node* root) {
+  std::vector<const Node*> out;
+  walk(root, [&out](const Node* n) {
+    bool has_child = false;
+    for (const Node* c : n->children) {
+      if (c != nullptr) {
+        has_child = true;
+        break;
+      }
+    }
+    if (!has_child) out.push_back(n);
+    return true;
+  });
+  return out;
+}
+
+/// Counts nodes in the subtree.
+inline int count_nodes(const Node* root) {
+  int n = 0;
+  walk_all(root, [&n](const Node*) { ++n; });
+  return n;
+}
+
+/// Deep-copies `n` (and descendants) into `arena`. Parent/id fields are left
+/// unset; run finalize_tree afterwards.
+Node* clone(const Node* n, AstArena& arena);
+
+}  // namespace jsrev::js

@@ -1,0 +1,52 @@
+#include "ml/classifier.h"
+
+#include "ml/decision_tree.h"
+#include "ml/linear_models.h"
+#include "ml/naive_bayes.h"
+
+namespace jsrev::ml {
+
+std::string classifier_kind_name(ClassifierKind k) {
+  switch (k) {
+    case ClassifierKind::kSvm: return "SVM";
+    case ClassifierKind::kLogisticRegression: return "LogisticRegression";
+    case ClassifierKind::kDecisionTree: return "DecisionTree";
+    case ClassifierKind::kGaussianNaiveBayes: return "GaussianNB";
+    case ClassifierKind::kBernoulliNaiveBayes: return "BernoulliNB";
+    case ClassifierKind::kRandomForest: return "RandomForest";
+  }
+  return "?";
+}
+
+std::unique_ptr<Classifier> make_classifier(ClassifierKind kind,
+                                            std::uint64_t seed) {
+  switch (kind) {
+    case ClassifierKind::kSvm: {
+      LinearConfig cfg;
+      cfg.seed = seed;
+      return std::make_unique<LinearSvm>(cfg);
+    }
+    case ClassifierKind::kLogisticRegression: {
+      LinearConfig cfg;
+      cfg.seed = seed;
+      return std::make_unique<LogisticRegression>(cfg);
+    }
+    case ClassifierKind::kDecisionTree: {
+      TreeConfig cfg;
+      cfg.seed = seed;
+      return std::make_unique<DecisionTree>(cfg);
+    }
+    case ClassifierKind::kGaussianNaiveBayes:
+      return std::make_unique<GaussianNaiveBayes>();
+    case ClassifierKind::kBernoulliNaiveBayes:
+      return std::make_unique<BernoulliNaiveBayes>();
+    case ClassifierKind::kRandomForest: {
+      ForestConfig cfg;
+      cfg.seed = seed;
+      return std::make_unique<RandomForest>(cfg);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace jsrev::ml

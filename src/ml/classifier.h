@@ -1,0 +1,54 @@
+// Common interface for the binary classifiers evaluated in Table II.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "ml/metrics.h"
+
+namespace jsrev::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on feature rows X with labels y (1 = malicious, 0 = benign).
+  virtual void fit(const Matrix& x, const std::vector<int>& y) = 0;
+
+  /// Predicts the label for one feature row of x.cols() values.
+  virtual int predict(const double* row) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Convenience: predictions for every row of X.
+  std::vector<int> predict_all(const Matrix& x) const {
+    std::vector<int> out(x.rows());
+    for (std::size_t i = 0; i < x.rows(); ++i) out[i] = predict(x.row(i));
+    return out;
+  }
+
+  /// Convenience: metrics of this classifier on a labeled set.
+  Metrics evaluate(const Matrix& x, const std::vector<int>& y) const {
+    return compute_metrics(y, predict_all(x));
+  }
+};
+
+enum class ClassifierKind {
+  kSvm,
+  kLogisticRegression,
+  kDecisionTree,
+  kGaussianNaiveBayes,
+  kBernoulliNaiveBayes,
+  kRandomForest,
+};
+
+std::string classifier_kind_name(ClassifierKind k);
+
+/// Factory with per-kind default hyperparameters. `seed` controls any
+/// stochastic component (bootstrap sampling, feature subsets, SGD order).
+std::unique_ptr<Classifier> make_classifier(ClassifierKind kind,
+                                            std::uint64_t seed = 1);
+
+}  // namespace jsrev::ml

@@ -1,0 +1,149 @@
+#include "ml/cluster_quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace jsrev::ml {
+
+double silhouette_score(const Matrix& points, const Clustering& clustering) {
+  const std::size_t n = points.rows();
+  const std::size_t d = points.cols();
+  const std::size_t k = clustering.centroids.rows();
+  if (n < 2 || k < 2) return 0.0;
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int own = clustering.assignment[i];
+    if (clustering.sizes[static_cast<std::size_t>(own)] <= 1) continue;
+
+    // Mean distance to own cluster (a) and nearest other cluster (b).
+    std::vector<double> sum(k, 0.0);
+    std::vector<std::size_t> cnt(k, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const auto c = static_cast<std::size_t>(clustering.assignment[j]);
+      sum[c] += std::sqrt(squared_distance(points.row(i), points.row(j), d));
+      ++cnt[c];
+    }
+    const double a = cnt[static_cast<std::size_t>(own)] > 0
+                         ? sum[static_cast<std::size_t>(own)] /
+                               static_cast<double>(cnt[static_cast<std::size_t>(own)])
+                         : 0.0;
+    double b = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < k; ++c) {
+      if (static_cast<int>(c) == own || cnt[c] == 0) continue;
+      b = std::min(b, sum[c] / static_cast<double>(cnt[c]));
+    }
+    if (b == std::numeric_limits<double>::max()) continue;
+    const double denom = std::max(a, b);
+    total += denom > 0 ? (b - a) / denom : 0.0;
+  }
+  return total / static_cast<double>(n);
+}
+
+GapResult gap_statistic(const Matrix& points, const Clustering& clustering,
+                        int n_refs, std::uint64_t seed) {
+  const std::size_t n = points.rows();
+  const std::size_t d = points.cols();
+  GapResult result;
+  if (n == 0 || clustering.centroids.rows() == 0) return result;
+
+  const double log_w = std::log(std::max(clustering.sse, 1e-12));
+
+  // Bounding box of the data.
+  std::vector<double> lo(d, std::numeric_limits<double>::max());
+  std::vector<double> hi(d, std::numeric_limits<double>::lowest());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      lo[j] = std::min(lo[j], points(i, j));
+      hi[j] = std::max(hi[j], points(i, j));
+    }
+  }
+
+  Rng rng(seed);
+  std::vector<double> ref_logs;
+  for (int r = 0; r < n_refs; ++r) {
+    Matrix ref(n, d);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < d; ++j) {
+        ref(i, j) = rng.uniform(lo[j], hi[j]);
+      }
+    }
+    KMeansConfig cfg;
+    cfg.k = static_cast<int>(clustering.centroids.rows());
+    cfg.seed = rng();
+    ref_logs.push_back(
+        std::log(std::max(bisecting_kmeans(ref, cfg).sse, 1e-12)));
+  }
+  double mean = 0.0;
+  for (const double v : ref_logs) mean += v;
+  mean /= static_cast<double>(ref_logs.size());
+  double var = 0.0;
+  for (const double v : ref_logs) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(ref_logs.size());
+
+  result.gap = mean - log_w;
+  // sd * sqrt(1 + 1/B) per Tibshirani et al.
+  result.sigma = std::sqrt(var) *
+                 std::sqrt(1.0 + 1.0 / static_cast<double>(ref_logs.size()));
+  return result;
+}
+
+int select_k(const Matrix& points, int k_lo, int k_hi, int criterion,
+             std::uint64_t seed) {
+  k_lo = std::max(2, k_lo);
+  if (k_hi < k_lo) k_hi = k_lo;
+
+  std::vector<Clustering> clusterings;
+  for (int k = k_lo; k <= k_hi; ++k) {
+    KMeansConfig cfg;
+    cfg.k = k;
+    cfg.seed = seed + static_cast<std::uint64_t>(k);
+    clusterings.push_back(bisecting_kmeans(points, cfg));
+  }
+
+  switch (criterion) {
+    case 1: {  // silhouette: maximize
+      int best_k = k_lo;
+      double best = -2.0;
+      for (std::size_t i = 0; i < clusterings.size(); ++i) {
+        const double s = silhouette_score(points, clusterings[i]);
+        if (s > best) {
+          best = s;
+          best_k = k_lo + static_cast<int>(i);
+        }
+      }
+      return best_k;
+    }
+    case 2: {  // gap statistic with the 1-sigma rule
+      std::vector<GapResult> gaps;
+      for (const auto& c : clusterings) {
+        gaps.push_back(gap_statistic(points, c, 6, seed ^ 0x99));
+      }
+      for (std::size_t i = 0; i + 1 < gaps.size(); ++i) {
+        if (gaps[i].gap >= gaps[i + 1].gap - gaps[i + 1].sigma) {
+          return k_lo + static_cast<int>(i);
+        }
+      }
+      return k_hi;
+    }
+    default: {  // elbow: largest drop-ratio falloff
+      int best_k = k_lo + 1;
+      double best_ratio = 0.0;
+      for (std::size_t i = 1; i + 1 < clusterings.size(); ++i) {
+        const double before = clusterings[i - 1].sse - clusterings[i].sse;
+        const double after = clusterings[i].sse - clusterings[i + 1].sse;
+        const double ratio = after > 1e-12 ? before / after : before;
+        if (ratio > best_ratio) {
+          best_ratio = ratio;
+          best_k = k_lo + static_cast<int>(i);
+        }
+      }
+      return best_k;
+    }
+  }
+}
+
+}  // namespace jsrev::ml

@@ -1,0 +1,37 @@
+// Cluster-quality criteria for choosing K beyond the elbow method.
+//
+// The paper's limitations section names the Silhouette Coefficient and the
+// Gap Statistic as future additions for K selection; both are implemented
+// here and exercised by the K-selection ablation bench.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/kmeans.h"
+#include "ml/matrix.h"
+
+namespace jsrev::ml {
+
+/// Mean silhouette coefficient of a clustering, in [-1, 1]; higher is
+/// better. O(n^2 d). Clusters of size 1 contribute silhouette 0, per the
+/// standard convention.
+double silhouette_score(const Matrix& points, const Clustering& clustering);
+
+struct GapResult {
+  double gap = 0.0;     // E*[log W_ref] - log W_data
+  double sigma = 0.0;   // reference dispersion std (for the 1-sigma rule)
+};
+
+/// Tibshirani gap statistic for a clustering of `points` at its K:
+/// compares log(within-cluster dispersion) against `n_refs` uniform
+/// reference datasets drawn over the data's bounding box.
+GapResult gap_statistic(const Matrix& points, const Clustering& clustering,
+                        int n_refs = 8, std::uint64_t seed = 31);
+
+/// Chooses K in [k_lo, k_hi] by the requested criterion using bisecting
+/// k-means. criterion: 0 = elbow (max drop-ratio), 1 = silhouette (max),
+/// 2 = gap statistic (first K where gap(K) >= gap(K+1) - sigma(K+1)).
+int select_k(const Matrix& points, int k_lo, int k_hi, int criterion,
+             std::uint64_t seed = 37);
+
+}  // namespace jsrev::ml

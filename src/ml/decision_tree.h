@@ -1,0 +1,92 @@
+// CART decision tree (gini impurity) and bagged random forest with
+// mean-decrease-impurity feature importances (used for Table VII).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "util/rng.h"
+
+namespace jsrev::ml {
+
+struct TreeConfig {
+  int max_depth = 16;
+  int min_samples_split = 2;
+  int max_features = 0;  // 0 = all; otherwise random subset per split
+  std::uint64_t seed = 5;
+};
+
+class DecisionTree : public Classifier {
+ public:
+  explicit DecisionTree(TreeConfig cfg = {});
+
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  int predict(const double* row) const override;
+  std::string name() const override { return "DecisionTree"; }
+
+  /// Probability of the malicious class at the reached leaf.
+  double predict_proba(const double* row) const;
+
+  /// Accumulated impurity decrease per feature (unnormalized).
+  const std::vector<double>& impurity_decrease() const { return importance_; }
+
+  /// Fits on a row subset (bootstrap support for the forest).
+  void fit_subset(const Matrix& x, const std::vector<int>& y,
+                  const std::vector<std::size_t>& rows);
+
+  /// Tree persistence (structure + leaf probabilities + importances).
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+ private:
+  struct TreeNode {
+    int feature = -1;       // -1 = leaf
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    double p_malicious = 0.0;
+  };
+
+  int build(const Matrix& x, const std::vector<int>& y,
+            std::vector<std::size_t>& rows, std::size_t begin,
+            std::size_t end, int depth, Rng& rng);
+
+  TreeConfig cfg_;
+  std::vector<TreeNode> nodes_;
+  std::vector<double> importance_;
+  std::size_t n_features_ = 0;
+};
+
+struct ForestConfig {
+  int n_trees = 60;
+  int max_depth = 16;
+  int min_samples_split = 2;
+  std::uint64_t seed = 5;
+};
+
+class RandomForest : public Classifier {
+ public:
+  explicit RandomForest(ForestConfig cfg = {});
+
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  int predict(const double* row) const override;
+  std::string name() const override { return "RandomForest"; }
+
+  double predict_proba(const double* row) const;
+
+  /// Normalized mean-decrease-impurity importances (sums to 1).
+  std::vector<double> feature_importances() const;
+
+  /// Forest persistence.
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+ private:
+  ForestConfig cfg_;
+  std::vector<DecisionTree> trees_;
+  std::size_t n_features_ = 0;
+};
+
+}  // namespace jsrev::ml

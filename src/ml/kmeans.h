@@ -1,0 +1,43 @@
+// K-Means and Bisecting K-Means clustering (paper Section III-D).
+//
+// Bisecting K-Means repeatedly splits the cluster with the largest SSE via
+// 2-means until K clusters exist, which removes the initial-centroid
+// sensitivity of plain k-means — the reason the paper chose it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "util/rng.h"
+
+namespace jsrev::ml {
+
+struct KMeansConfig {
+  int k = 8;
+  int max_iters = 50;
+  int bisect_trials = 4;  // 2-means restarts per split (keep the best)
+  std::uint64_t seed = 23;
+};
+
+struct Clustering {
+  Matrix centroids;                 // k x d
+  std::vector<int> assignment;      // per input row, centroid index
+  double sse = 0.0;                 // total within-cluster squared error
+  std::vector<double> cluster_sse;  // per-cluster SSE
+  std::vector<std::size_t> sizes;   // per-cluster member counts
+};
+
+/// Plain Lloyd k-means with k-means++-style seeding.
+Clustering kmeans(const Matrix& points, const KMeansConfig& cfg);
+
+/// Bisecting k-means: split the worst cluster until cfg.k clusters exist.
+Clustering bisecting_kmeans(const Matrix& points, const KMeansConfig& cfg);
+
+/// Index of the nearest centroid to `point` (d = centroids.cols()).
+int nearest_centroid(const Matrix& centroids, const double* point);
+
+/// Distance from `point` to its nearest centroid.
+double nearest_centroid_distance(const Matrix& centroids, const double* point);
+
+}  // namespace jsrev::ml

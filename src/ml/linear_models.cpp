@@ -1,0 +1,90 @@
+#include "ml/linear_models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace jsrev::ml {
+
+LinearSvm::LinearSvm(LinearConfig cfg) : cfg_(cfg) {}
+
+void LinearSvm::fit(const Matrix& x, const std::vector<int>& y) {
+  const std::size_t d = x.cols();
+  const std::size_t n = x.rows();
+  w_.assign(d, 0.0);
+  b_ = 0.0;
+  if (n == 0) return;
+
+  Rng rng(cfg_.seed);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  long t = 0;
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (const std::size_t i : order) {
+      ++t;
+      const double eta = 1.0 / (cfg_.lambda * static_cast<double>(t));
+      const double yi = y[i] == 1 ? 1.0 : -1.0;
+      const double margin = yi * (dot(w_.data(), x.row(i), d) + b_);
+
+      // w ← (1 - eta*lambda) w (+ eta*y*x if margin violated).
+      const double shrink = 1.0 - eta * cfg_.lambda;
+      for (double& wj : w_) wj *= shrink;
+      if (margin < 1.0) {
+        const double* xi = x.row(i);
+        for (std::size_t j = 0; j < d; ++j) w_[j] += eta * yi * xi[j];
+        b_ += eta * yi;
+      }
+    }
+  }
+}
+
+double LinearSvm::decision_function(const double* row) const {
+  return dot(w_.data(), row, w_.size()) + b_;
+}
+
+int LinearSvm::predict(const double* row) const {
+  return decision_function(row) >= 0.0 ? 1 : 0;
+}
+
+LogisticRegression::LogisticRegression(LinearConfig cfg) : cfg_(cfg) {}
+
+void LogisticRegression::fit(const Matrix& x, const std::vector<int>& y) {
+  const std::size_t d = x.cols();
+  const std::size_t n = x.rows();
+  w_.assign(d, 0.0);
+  b_ = 0.0;
+  if (n == 0) return;
+
+  Rng rng(cfg_.seed);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    rng.shuffle(order);
+    // 1/sqrt(t) decay keeps early epochs aggressive and later ones stable.
+    const double eta =
+        cfg_.learning_rate / std::sqrt(1.0 + static_cast<double>(epoch));
+    for (const std::size_t i : order) {
+      const double p = predict_proba(x.row(i));
+      const double err = p - (y[i] == 1 ? 1.0 : 0.0);
+      const double* xi = x.row(i);
+      for (std::size_t j = 0; j < d; ++j) {
+        w_[j] -= eta * (err * xi[j] + cfg_.lambda * w_[j]);
+      }
+      b_ -= eta * err;
+    }
+  }
+}
+
+double LogisticRegression::predict_proba(const double* row) const {
+  const double z = dot(w_.data(), row, w_.size()) + b_;
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+int LogisticRegression::predict(const double* row) const {
+  return predict_proba(row) >= 0.5 ? 1 : 0;
+}
+
+}  // namespace jsrev::ml

@@ -1,0 +1,54 @@
+// Linear classifiers: Pegasos-style linear SVM and logistic regression.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "util/rng.h"
+
+namespace jsrev::ml {
+
+struct LinearConfig {
+  int epochs = 40;
+  double learning_rate = 0.1;   // logistic regression step size
+  double lambda = 1e-4;         // SVM regularization / LR weight decay
+  std::uint64_t seed = 9;
+};
+
+/// Linear SVM trained with the Pegasos stochastic sub-gradient method on
+/// hinge loss with L2 regularization.
+class LinearSvm : public Classifier {
+ public:
+  explicit LinearSvm(LinearConfig cfg = {});
+
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  int predict(const double* row) const override;
+  std::string name() const override { return "SVM"; }
+
+  double decision_function(const double* row) const;
+
+ private:
+  LinearConfig cfg_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+/// Logistic regression trained with mini-batch-free SGD + weight decay.
+class LogisticRegression : public Classifier {
+ public:
+  explicit LogisticRegression(LinearConfig cfg = {});
+
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  int predict(const double* row) const override;
+  std::string name() const override { return "LogisticRegression"; }
+
+  double predict_proba(const double* row) const;
+
+ private:
+  LinearConfig cfg_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+}  // namespace jsrev::ml

@@ -1,0 +1,57 @@
+// Minimal dense row-major matrix used by the ML components.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace jsrev::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* row(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Squared Euclidean distance between two equal-length vectors.
+inline double squared_distance(const double* a, const double* b,
+                               std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+inline double dot(const double* a, const double* b, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace jsrev::ml

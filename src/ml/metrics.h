@@ -1,0 +1,81 @@
+// Binary-classification metrics. Label convention across the library:
+// 1 = malicious (positive class), 0 = benign (negative class).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace jsrev::ml {
+
+struct ConfusionMatrix {
+  std::size_t tp = 0;  // malicious predicted malicious
+  std::size_t tn = 0;  // benign predicted benign
+  std::size_t fp = 0;  // benign predicted malicious
+  std::size_t fn = 0;  // malicious predicted benign
+
+  std::size_t total() const { return tp + tn + fp + fn; }
+};
+
+/// All the measures the paper reports (as fractions in [0,1]).
+struct Metrics {
+  double accuracy = 0;
+  double precision = 0;
+  double recall = 0;   // = 1 - fnr (a.k.a. TPR)
+  double f1 = 0;
+  double fpr = 0;
+  double fnr = 0;
+  ConfusionMatrix cm;
+};
+
+inline Metrics compute_metrics(const std::vector<int>& truth,
+                               const std::vector<int>& predicted) {
+  Metrics m;
+  const std::size_t n = truth.size() < predicted.size() ? truth.size()
+                                                        : predicted.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool pos = truth[i] == 1;
+    const bool pred_pos = predicted[i] == 1;
+    if (pos && pred_pos) ++m.cm.tp;
+    else if (pos && !pred_pos) ++m.cm.fn;
+    else if (!pos && pred_pos) ++m.cm.fp;
+    else ++m.cm.tn;
+  }
+  const auto& c = m.cm;
+  const double total = static_cast<double>(c.total());
+  m.accuracy = total > 0 ? (c.tp + c.tn) / total : 0;
+  m.precision = (c.tp + c.fp) > 0
+                    ? static_cast<double>(c.tp) / (c.tp + c.fp)
+                    : 0;
+  m.recall = (c.tp + c.fn) > 0 ? static_cast<double>(c.tp) / (c.tp + c.fn) : 0;
+  m.f1 = (m.precision + m.recall) > 0
+             ? 2 * m.precision * m.recall / (m.precision + m.recall)
+             : 0;
+  m.fpr = (c.fp + c.tn) > 0 ? static_cast<double>(c.fp) / (c.fp + c.tn) : 0;
+  m.fnr = (c.tp + c.fn) > 0 ? static_cast<double>(c.fn) / (c.tp + c.fn) : 0;
+  return m;
+}
+
+/// Averages a set of metric records field-by-field (the paper repeats every
+/// experiment five times and averages).
+inline Metrics average_metrics(const std::vector<Metrics>& runs) {
+  Metrics avg;
+  if (runs.empty()) return avg;
+  for (const Metrics& m : runs) {
+    avg.accuracy += m.accuracy;
+    avg.precision += m.precision;
+    avg.recall += m.recall;
+    avg.f1 += m.f1;
+    avg.fpr += m.fpr;
+    avg.fnr += m.fnr;
+  }
+  const double n = static_cast<double>(runs.size());
+  avg.accuracy /= n;
+  avg.precision /= n;
+  avg.recall /= n;
+  avg.f1 /= n;
+  avg.fpr /= n;
+  avg.fnr /= n;
+  return avg;
+}
+
+}  // namespace jsrev::ml

@@ -1,0 +1,109 @@
+// Serialization (save/load) implementations for the ML components that
+// participate in detector persistence.
+#include <istream>
+#include <ostream>
+
+#include "ml/attention_model.h"
+#include "ml/decision_tree.h"
+#include "ml/scaler.h"
+#include "util/serialize.h"
+
+namespace jsrev::ml {
+
+using ser::expect_tag;
+using ser::read_doubles;
+using ser::read_f64;
+using ser::read_i64;
+using ser::read_u64;
+using ser::write_doubles;
+using ser::write_f64;
+using ser::write_i64;
+using ser::write_tag;
+using ser::write_u64;
+
+void AttentionModel::save(std::ostream& out) const {
+  write_tag(out, "ATTN");
+  write_u64(out, static_cast<std::uint64_t>(cfg_.embedding_dim));
+  write_u64(out, vocab_size_);
+  write_u64(out, trained_ ? 1 : 0);
+  write_doubles(out, w_.data());
+  write_doubles(out, attn_);
+  write_doubles(out, u_.data());
+  write_doubles(out, bias_);
+}
+
+void AttentionModel::load(std::istream& in) {
+  expect_tag(in, "ATTN");
+  cfg_.embedding_dim = static_cast<int>(read_u64(in));
+  vocab_size_ = read_u64(in);
+  trained_ = read_u64(in) != 0;
+  const auto d = static_cast<std::size_t>(cfg_.embedding_dim);
+  w_ = Matrix(vocab_size_, d);
+  w_.data() = read_doubles(in);
+  if (w_.data().size() != vocab_size_ * d) {
+    throw ser::FormatError("attention W size mismatch");
+  }
+  attn_ = read_doubles(in);
+  u_ = Matrix(2, d);
+  u_.data() = read_doubles(in);
+  bias_ = read_doubles(in);
+}
+
+void DecisionTree::save(std::ostream& out) const {
+  write_tag(out, "TREE");
+  write_u64(out, n_features_);
+  write_u64(out, nodes_.size());
+  for (const TreeNode& n : nodes_) {
+    write_i64(out, n.feature);
+    write_f64(out, n.threshold);
+    write_i64(out, n.left);
+    write_i64(out, n.right);
+    write_f64(out, n.p_malicious);
+  }
+  write_doubles(out, importance_);
+}
+
+void DecisionTree::load(std::istream& in) {
+  expect_tag(in, "TREE");
+  n_features_ = read_u64(in);
+  nodes_.resize(read_u64(in));
+  for (TreeNode& n : nodes_) {
+    n.feature = static_cast<int>(read_i64(in));
+    n.threshold = read_f64(in);
+    n.left = static_cast<int>(read_i64(in));
+    n.right = static_cast<int>(read_i64(in));
+    n.p_malicious = read_f64(in);
+  }
+  importance_ = read_doubles(in);
+}
+
+void RandomForest::save(std::ostream& out) const {
+  write_tag(out, "FRST");
+  write_u64(out, n_features_);
+  write_u64(out, trees_.size());
+  for (const DecisionTree& t : trees_) t.save(out);
+}
+
+void RandomForest::load(std::istream& in) {
+  expect_tag(in, "FRST");
+  n_features_ = read_u64(in);
+  trees_.assign(read_u64(in), DecisionTree{});
+  for (DecisionTree& t : trees_) t.load(in);
+}
+
+void MinMaxScaler::save(std::ostream& out) const {
+  write_tag(out, "SCAL");
+  write_doubles(out, min_);
+  write_doubles(out, max_);
+}
+
+void MinMaxScaler::load(std::istream& in) {
+  expect_tag(in, "SCAL");
+  min_ = read_doubles(in);
+  max_ = read_doubles(in);
+  if (min_.size() != max_.size()) {
+    throw ser::FormatError("scaler min/max size mismatch");
+  }
+}
+
+}  // namespace jsrev::ml

@@ -1,0 +1,215 @@
+#include "ml/multiclass_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace jsrev::ml {
+namespace {
+
+double gini_multi(const std::vector<std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double s = 0.0;
+  for (const std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    s += p * p;
+  }
+  return 1.0 - s;
+}
+
+}  // namespace
+
+MulticlassDecisionTree::MulticlassDecisionTree(MulticlassTreeConfig cfg)
+    : cfg_(cfg) {}
+
+void MulticlassDecisionTree::fit(const Matrix& x, const std::vector<int>& y) {
+  int n_classes = 0;
+  for (const int label : y) n_classes = std::max(n_classes, label + 1);
+  std::vector<std::size_t> rows(x.rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  fit_subset(x, y, rows, std::max(1, n_classes));
+}
+
+void MulticlassDecisionTree::fit_subset(const Matrix& x,
+                                        const std::vector<int>& y,
+                                        const std::vector<std::size_t>& rows,
+                                        int n_classes) {
+  nodes_.clear();
+  n_classes_ = n_classes;
+  Rng rng(cfg_.seed);
+  std::vector<std::size_t> work = rows;
+  if (work.empty()) {
+    TreeNode leaf;
+    leaf.distribution.assign(static_cast<std::size_t>(n_classes_), 0.0);
+    nodes_.push_back(std::move(leaf));
+    return;
+  }
+  build(x, y, work, 0, work.size(), 0, rng);
+}
+
+int MulticlassDecisionTree::build(const Matrix& x, const std::vector<int>& y,
+                                  std::vector<std::size_t>& rows,
+                                  std::size_t begin, std::size_t end,
+                                  int depth, Rng& rng) {
+  const std::size_t n = end - begin;
+  std::vector<std::size_t> counts(static_cast<std::size_t>(n_classes_), 0);
+  for (std::size_t i = begin; i < end; ++i) {
+    ++counts[static_cast<std::size_t>(y[rows[i]])];
+  }
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back({});
+  auto& dist = nodes_[static_cast<std::size_t>(node_id)].distribution;
+  dist.assign(static_cast<std::size_t>(n_classes_), 0.0);
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    dist[c] = n > 0 ? static_cast<double>(counts[c]) / static_cast<double>(n)
+                    : 0.0;
+  }
+
+  const double node_gini = gini_multi(counts, n);
+  const bool pure =
+      *std::max_element(counts.begin(), counts.end()) == n;
+  if (depth >= cfg_.max_depth || pure ||
+      n < static_cast<std::size_t>(cfg_.min_samples_split)) {
+    return node_id;
+  }
+
+  const std::size_t n_features = x.cols();
+  std::vector<std::size_t> features;
+  if (cfg_.max_features > 0 &&
+      static_cast<std::size_t>(cfg_.max_features) < n_features) {
+    std::vector<std::size_t> all(n_features);
+    std::iota(all.begin(), all.end(), 0);
+    for (int i = 0; i < cfg_.max_features; ++i) {
+      const std::size_t j =
+          static_cast<std::size_t>(i) +
+          rng.below(n_features - static_cast<std::size_t>(i));
+      std::swap(all[static_cast<std::size_t>(i)], all[j]);
+      features.push_back(all[static_cast<std::size_t>(i)]);
+    }
+  } else {
+    features.resize(n_features);
+    std::iota(features.begin(), features.end(), 0);
+  }
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_impurity = node_gini + 1e-9;
+
+  std::vector<std::pair<double, int>> vals;
+  std::vector<std::size_t> left_counts(static_cast<std::size_t>(n_classes_));
+  for (const std::size_t f : features) {
+    vals.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      vals.emplace_back(x(rows[i], f), y[rows[i]]);
+    }
+    std::sort(vals.begin(), vals.end());
+    std::fill(left_counts.begin(), left_counts.end(), 0);
+    std::size_t left_n = 0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      ++left_n;
+      ++left_counts[static_cast<std::size_t>(vals[i].second)];
+      if (vals[i].first == vals[i + 1].first) continue;
+      const std::size_t right_n = n - left_n;
+      std::vector<std::size_t> right_counts(counts);
+      for (std::size_t c = 0; c < right_counts.size(); ++c) {
+        right_counts[c] -= left_counts[c];
+      }
+      const double impurity =
+          (static_cast<double>(left_n) * gini_multi(left_counts, left_n) +
+           static_cast<double>(right_n) * gini_multi(right_counts, right_n)) /
+          static_cast<double>(n);
+      if (impurity < best_impurity) {
+        best_impurity = impurity;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (vals[i].first + vals[i + 1].first);
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  const auto bf = static_cast<std::size_t>(best_feature);
+  std::size_t mid = begin;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (x(rows[i], bf) <= best_threshold) {
+      std::swap(rows[i], rows[mid]);
+      ++mid;
+    }
+  }
+  if (mid == begin || mid == end) return node_id;
+
+  nodes_[static_cast<std::size_t>(node_id)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(node_id)].threshold = best_threshold;
+  const int left = build(x, y, rows, begin, mid, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  const int right = build(x, y, rows, mid, end, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+const std::vector<double>& MulticlassDecisionTree::predict_distribution(
+    const double* row) const {
+  std::size_t cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    const auto& node = nodes_[cur];
+    cur = static_cast<std::size_t>(
+        row[static_cast<std::size_t>(node.feature)] <= node.threshold
+            ? node.left
+            : node.right);
+  }
+  return nodes_[cur].distribution;
+}
+
+int MulticlassDecisionTree::predict(const double* row) const {
+  const auto& dist = predict_distribution(row);
+  return static_cast<int>(
+      std::max_element(dist.begin(), dist.end()) - dist.begin());
+}
+
+MulticlassRandomForest::MulticlassRandomForest(MulticlassForestConfig cfg)
+    : cfg_(cfg) {}
+
+void MulticlassRandomForest::fit(const Matrix& x, const std::vector<int>& y) {
+  trees_.clear();
+  n_classes_ = 0;
+  for (const int label : y) n_classes_ = std::max(n_classes_, label + 1);
+  n_classes_ = std::max(1, n_classes_);
+
+  Rng rng(cfg_.seed);
+  const std::size_t n = x.rows();
+  const int mtry = std::max(
+      1, static_cast<int>(std::sqrt(static_cast<double>(x.cols()))));
+  for (int t = 0; t < cfg_.n_trees; ++t) {
+    MulticlassTreeConfig tc;
+    tc.max_depth = cfg_.max_depth;
+    tc.max_features = mtry;
+    tc.seed = rng();
+    MulticlassDecisionTree tree(tc);
+    std::vector<std::size_t> rows(n);
+    for (std::size_t i = 0; i < n; ++i) rows[i] = rng.below(n);
+    tree.fit_subset(x, y, rows, n_classes_);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<double> MulticlassRandomForest::predict_distribution(
+    const double* row) const {
+  std::vector<double> dist(static_cast<std::size_t>(n_classes_), 0.0);
+  if (trees_.empty()) return dist;
+  for (const auto& tree : trees_) {
+    const auto& d = tree.predict_distribution(row);
+    for (std::size_t c = 0; c < dist.size() && c < d.size(); ++c) {
+      dist[c] += d[c];
+    }
+  }
+  for (double& v : dist) v /= static_cast<double>(trees_.size());
+  return dist;
+}
+
+int MulticlassRandomForest::predict(const double* row) const {
+  const auto dist = predict_distribution(row);
+  return static_cast<int>(
+      std::max_element(dist.begin(), dist.end()) - dist.begin());
+}
+
+}  // namespace jsrev::ml

@@ -1,0 +1,80 @@
+// Multiclass CART decision tree and random forest (gini impurity over K
+// classes). Used by the malware family classifier — the paper's stated
+// future-work extension ("add a JavaScript malware family component").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "util/rng.h"
+
+namespace jsrev::ml {
+
+struct MulticlassTreeConfig {
+  int max_depth = 16;
+  int min_samples_split = 2;
+  int max_features = 0;  // 0 = all
+  std::uint64_t seed = 5;
+};
+
+class MulticlassDecisionTree {
+ public:
+  explicit MulticlassDecisionTree(MulticlassTreeConfig cfg = {});
+
+  /// Labels are 0..n_classes-1; n_classes inferred as max(y)+1.
+  void fit(const Matrix& x, const std::vector<int>& y);
+  void fit_subset(const Matrix& x, const std::vector<int>& y,
+                  const std::vector<std::size_t>& rows, int n_classes);
+
+  int predict(const double* row) const;
+
+  /// Class distribution at the reached leaf (size n_classes).
+  const std::vector<double>& predict_distribution(const double* row) const;
+
+  int n_classes() const { return n_classes_; }
+
+ private:
+  struct TreeNode {
+    int feature = -1;  // -1 = leaf
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    std::vector<double> distribution;  // class probabilities (leaves)
+  };
+
+  int build(const Matrix& x, const std::vector<int>& y,
+            std::vector<std::size_t>& rows, std::size_t begin,
+            std::size_t end, int depth, Rng& rng);
+
+  MulticlassTreeConfig cfg_;
+  std::vector<TreeNode> nodes_;
+  int n_classes_ = 0;
+};
+
+struct MulticlassForestConfig {
+  int n_trees = 60;
+  int max_depth = 16;
+  std::uint64_t seed = 5;
+};
+
+class MulticlassRandomForest {
+ public:
+  explicit MulticlassRandomForest(MulticlassForestConfig cfg = {});
+
+  void fit(const Matrix& x, const std::vector<int>& y);
+  int predict(const double* row) const;
+
+  /// Averaged class distribution across trees (size n_classes).
+  std::vector<double> predict_distribution(const double* row) const;
+
+  int n_classes() const { return n_classes_; }
+
+ private:
+  MulticlassForestConfig cfg_;
+  std::vector<MulticlassDecisionTree> trees_;
+  int n_classes_ = 0;
+};
+
+}  // namespace jsrev::ml

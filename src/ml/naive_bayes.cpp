@@ -1,0 +1,101 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+
+namespace jsrev::ml {
+
+void GaussianNaiveBayes::fit(const Matrix& x, const std::vector<int>& y) {
+  n_features_ = x.cols();
+  std::size_t counts[2] = {0, 0};
+  for (int c = 0; c < 2; ++c) {
+    mean_[c].assign(n_features_, 0.0);
+    var_[c].assign(n_features_, 0.0);
+  }
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const int c = y[i] == 1 ? 1 : 0;
+    ++counts[c];
+    const double* row = x.row(i);
+    for (std::size_t f = 0; f < n_features_; ++f) mean_[c][f] += row[f];
+  }
+  for (int c = 0; c < 2; ++c) {
+    if (counts[c] == 0) continue;
+    for (double& m : mean_[c]) m /= static_cast<double>(counts[c]);
+  }
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const int c = y[i] == 1 ? 1 : 0;
+    const double* row = x.row(i);
+    for (std::size_t f = 0; f < n_features_; ++f) {
+      const double d = row[f] - mean_[c][f];
+      var_[c][f] += d * d;
+    }
+  }
+  const double total = static_cast<double>(counts[0] + counts[1]);
+  for (int c = 0; c < 2; ++c) {
+    for (double& v : var_[c]) {
+      v = counts[c] > 1 ? v / static_cast<double>(counts[c]) : 0.0;
+      v += 1e-9;  // variance smoothing
+    }
+    log_prior_[c] = counts[c] > 0
+                        ? std::log(static_cast<double>(counts[c]) / total)
+                        : -1e9;
+  }
+}
+
+int GaussianNaiveBayes::predict(const double* row) const {
+  double log_like[2];
+  for (int c = 0; c < 2; ++c) {
+    double ll = log_prior_[c];
+    for (std::size_t f = 0; f < n_features_; ++f) {
+      const double v = var_[c][f];
+      const double d = row[f] - mean_[c][f];
+      ll += -0.5 * std::log(2.0 * M_PI * v) - d * d / (2.0 * v);
+    }
+    log_like[c] = ll;
+  }
+  return log_like[1] > log_like[0] ? 1 : 0;
+}
+
+void BernoulliNaiveBayes::fit(const Matrix& x, const std::vector<int>& y) {
+  n_features_ = x.cols();
+  std::size_t counts[2] = {0, 0};
+  std::vector<double> present[2];
+  present[0].assign(n_features_, 0.0);
+  present[1].assign(n_features_, 0.0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const int c = y[i] == 1 ? 1 : 0;
+    ++counts[c];
+    const double* row = x.row(i);
+    for (std::size_t f = 0; f < n_features_; ++f) {
+      present[c][f] += row[f] > 0 ? 1.0 : 0.0;
+    }
+  }
+  const double total = static_cast<double>(counts[0] + counts[1]);
+  for (int c = 0; c < 2; ++c) {
+    log_p_[c].assign(n_features_, 0.0);
+    log_not_p_[c].assign(n_features_, 0.0);
+    for (std::size_t f = 0; f < n_features_; ++f) {
+      // Laplace smoothing.
+      const double p = (present[c][f] + 1.0) /
+                       (static_cast<double>(counts[c]) + 2.0);
+      log_p_[c][f] = std::log(p);
+      log_not_p_[c][f] = std::log(1.0 - p);
+    }
+    log_prior_[c] = counts[c] > 0
+                        ? std::log(static_cast<double>(counts[c]) / total)
+                        : -1e9;
+  }
+}
+
+int BernoulliNaiveBayes::predict(const double* row) const {
+  double log_like[2];
+  for (int c = 0; c < 2; ++c) {
+    double ll = log_prior_[c];
+    for (std::size_t f = 0; f < n_features_; ++f) {
+      ll += row[f] > 0 ? log_p_[c][f] : log_not_p_[c][f];
+    }
+    log_like[c] = ll;
+  }
+  return log_like[1] > log_like[0] ? 1 : 0;
+}
+
+}  // namespace jsrev::ml

@@ -1,0 +1,39 @@
+// Gaussian naive Bayes (Table II classifier sweep) and Bernoulli naive
+// Bayes (the ZOZZLE baseline's classifier).
+#pragma once
+
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace jsrev::ml {
+
+class GaussianNaiveBayes : public Classifier {
+ public:
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  int predict(const double* row) const override;
+  std::string name() const override { return "GaussianNB"; }
+
+ private:
+  // Per class c (0 benign, 1 malicious), per feature: mean and variance.
+  std::vector<double> mean_[2];
+  std::vector<double> var_[2];
+  double log_prior_[2] = {0.0, 0.0};
+  std::size_t n_features_ = 0;
+};
+
+/// Features are treated as binary: value > 0 means "present".
+class BernoulliNaiveBayes : public Classifier {
+ public:
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  int predict(const double* row) const override;
+  std::string name() const override { return "BernoulliNB"; }
+
+ private:
+  std::vector<double> log_p_[2];      // log P(feature present | class)
+  std::vector<double> log_not_p_[2];  // log P(feature absent | class)
+  double log_prior_[2] = {0.0, 0.0};
+  std::size_t n_features_ = 0;
+};
+
+}  // namespace jsrev::ml

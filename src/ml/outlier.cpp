@@ -1,0 +1,247 @@
+#include "ml/outlier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace jsrev::ml {
+namespace {
+
+/// Indices of the k nearest neighbors of each point (excluding itself),
+/// by Euclidean distance. O(n^2 d) — fine at per-script path counts.
+std::vector<std::vector<std::size_t>> knn_indices(const Matrix& points,
+                                                  int k) {
+  const std::size_t n = points.rows();
+  const std::size_t d = points.cols();
+  const auto kk = static_cast<std::size_t>(
+      std::max(1, std::min<int>(k, static_cast<int>(n) - 1)));
+
+  std::vector<std::vector<std::size_t>> out(n);
+  std::vector<std::pair<double, std::size_t>> dist;
+  for (std::size_t i = 0; i < n; ++i) {
+    dist.clear();
+    dist.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      dist.emplace_back(squared_distance(points.row(i), points.row(j), d), j);
+    }
+    const std::size_t take = std::min(kk, dist.size());
+    std::partial_sort(dist.begin(), dist.begin() + static_cast<long>(take),
+                      dist.end());
+    out[i].reserve(take);
+    for (std::size_t t = 0; t < take; ++t) out[i].push_back(dist[t].second);
+  }
+  return out;
+}
+
+OutlierResult threshold(std::vector<double> scores, double contamination) {
+  OutlierResult res;
+  const std::size_t n = scores.size();
+  res.scores = std::move(scores);
+  res.is_outlier.assign(n, false);
+  if (n == 0) return res;
+
+  auto count = static_cast<std::size_t>(
+      std::floor(contamination * static_cast<double>(n)));
+  count = std::min(count, n > 0 ? n - 1 : 0);  // never flag everything
+  if (count == 0) return res;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(count),
+                    order.end(), [&res](std::size_t a, std::size_t b) {
+                      return res.scores[a] > res.scores[b];
+                    });
+  for (std::size_t i = 0; i < count; ++i) res.is_outlier[order[i]] = true;
+  res.outlier_count = count;
+  return res;
+}
+
+}  // namespace
+
+OutlierResult fastabod(const Matrix& points, const OutlierConfig& cfg) {
+  const std::size_t n = points.rows();
+  const std::size_t d = points.cols();
+  if (n < 3) {
+    OutlierResult res;
+    res.scores.assign(n, 0.0);
+    res.is_outlier.assign(n, false);
+    return res;
+  }
+  const auto nn = knn_indices(points, cfg.k_neighbors);
+
+  std::vector<double> scores(n, 0.0);
+  std::vector<double> diff_b(d), diff_c(d);
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto& neigh = nn[p];
+    double sum = 0.0, sum_sq = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t bi = 0; bi < neigh.size(); ++bi) {
+      const double* b = points.row(neigh[bi]);
+      double nb = 0.0;
+      for (std::size_t t = 0; t < d; ++t) {
+        diff_b[t] = b[t] - points.row(p)[t];
+        nb += diff_b[t] * diff_b[t];
+      }
+      if (nb < 1e-18) continue;
+      for (std::size_t ci = bi + 1; ci < neigh.size(); ++ci) {
+        const double* c = points.row(neigh[ci]);
+        double nc = 0.0, dp = 0.0;
+        for (std::size_t t = 0; t < d; ++t) {
+          diff_c[t] = c[t] - points.row(p)[t];
+          nc += diff_c[t] * diff_c[t];
+          dp += diff_b[t] * diff_c[t];
+        }
+        if (nc < 1e-18) continue;
+        const double term = dp / (nb * nc);  // angle weighted by distances
+        sum += term;
+        sum_sq += term * term;
+        ++pairs;
+      }
+    }
+    double abof = 0.0;
+    if (pairs > 1) {
+      const double mean = sum / static_cast<double>(pairs);
+      abof = sum_sq / static_cast<double>(pairs) - mean * mean;  // variance
+    }
+    // Small ABOF = outlier; negate so "higher = more outlying".
+    scores[p] = -abof;
+  }
+  return threshold(std::move(scores), cfg.contamination);
+}
+
+OutlierResult knn_outlier(const Matrix& points, const OutlierConfig& cfg) {
+  const std::size_t n = points.rows();
+  const std::size_t d = points.cols();
+  if (n < 2) {
+    OutlierResult res;
+    res.scores.assign(n, 0.0);
+    res.is_outlier.assign(n, false);
+    return res;
+  }
+  const auto nn = knn_indices(points, cfg.k_neighbors);
+  std::vector<double> scores(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (const std::size_t j : nn[i]) {
+      s += std::sqrt(squared_distance(points.row(i), points.row(j), d));
+    }
+    scores[i] = nn[i].empty() ? 0.0 : s / static_cast<double>(nn[i].size());
+  }
+  return threshold(std::move(scores), cfg.contamination);
+}
+
+OutlierResult lof(const Matrix& points, const OutlierConfig& cfg) {
+  const std::size_t n = points.rows();
+  const std::size_t d = points.cols();
+  if (n < 3) {
+    OutlierResult res;
+    res.scores.assign(n, 0.0);
+    res.is_outlier.assign(n, false);
+    return res;
+  }
+  const auto nn = knn_indices(points, cfg.k_neighbors);
+
+  // k-distance of each point = distance to its k-th nearest neighbor.
+  std::vector<double> kdist(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!nn[i].empty()) {
+      kdist[i] = std::sqrt(
+          squared_distance(points.row(i), points.row(nn[i].back()), d));
+    }
+  }
+
+  // Local reachability density.
+  std::vector<double> lrd(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double reach_sum = 0.0;
+    for (const std::size_t j : nn[i]) {
+      const double dist =
+          std::sqrt(squared_distance(points.row(i), points.row(j), d));
+      reach_sum += std::max(kdist[j], dist);
+    }
+    lrd[i] = reach_sum > 0
+                 ? static_cast<double>(nn[i].size()) / reach_sum
+                 : std::numeric_limits<double>::infinity();
+  }
+
+  std::vector<double> scores(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (nn[i].empty() || !std::isfinite(lrd[i]) || lrd[i] <= 0) {
+      scores[i] = 0.0;
+      continue;
+    }
+    double ratio_sum = 0.0;
+    for (const std::size_t j : nn[i]) {
+      ratio_sum += std::isfinite(lrd[j]) ? lrd[j] / lrd[i] : 1.0;
+    }
+    scores[i] = ratio_sum / static_cast<double>(nn[i].size());
+  }
+  return threshold(std::move(scores), cfg.contamination);
+}
+
+std::string outlier_method_name(OutlierMethod m) {
+  switch (m) {
+    case OutlierMethod::kFastAbod: return "FastABOD";
+    case OutlierMethod::kKnn: return "KNN";
+    case OutlierMethod::kLof: return "LOF";
+  }
+  return "?";
+}
+
+OutlierResult run_outlier(OutlierMethod m, const Matrix& points,
+                          const OutlierConfig& cfg) {
+  switch (m) {
+    case OutlierMethod::kFastAbod: return fastabod(points, cfg);
+    case OutlierMethod::kKnn: return knn_outlier(points, cfg);
+    case OutlierMethod::kLof: return lof(points, cfg);
+  }
+  return {};
+}
+
+OutlierMethod select_outlier_method(const Matrix& points,
+                                    const OutlierConfig& cfg) {
+  // Proxy criterion (MetaOD substitute): run every candidate, build the
+  // consensus outlier set (points flagged by a majority), and score each
+  // method by its agreement (Jaccard) with the consensus. Ties break toward
+  // FastABOD, the paper's selected model.
+  const OutlierMethod methods[] = {OutlierMethod::kFastAbod,
+                                   OutlierMethod::kKnn, OutlierMethod::kLof};
+  const std::size_t n = points.rows();
+  if (n < 3) return OutlierMethod::kFastAbod;
+
+  std::vector<OutlierResult> results;
+  for (const OutlierMethod m : methods) {
+    results.push_back(run_outlier(m, points, cfg));
+  }
+
+  std::vector<int> votes(n, 0);
+  for (const auto& r : results) {
+    for (std::size_t i = 0; i < n; ++i) votes[i] += r.is_outlier[i];
+  }
+  std::vector<bool> consensus(n, false);
+  for (std::size_t i = 0; i < n; ++i) consensus[i] = votes[i] >= 2;
+
+  OutlierMethod best = OutlierMethod::kFastAbod;
+  double best_score = -1.0;
+  for (std::size_t mi = 0; mi < 3; ++mi) {
+    std::size_t inter = 0, uni = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool a = results[mi].is_outlier[i];
+      const bool b = consensus[i];
+      inter += a && b;
+      uni += a || b;
+    }
+    const double score = uni > 0 ? static_cast<double>(inter) /
+                                       static_cast<double>(uni)
+                                 : 1.0;
+    if (score > best_score + 1e-12) {
+      best_score = score;
+      best = methods[mi];
+    }
+  }
+  return best;
+}
+
+}  // namespace jsrev::ml

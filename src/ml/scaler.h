@@ -1,0 +1,60 @@
+// Min-max feature normalization (paper Eq. 6).
+#pragma once
+
+#include <algorithm>
+#include <iosfwd>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace jsrev::ml {
+
+/// Per-feature min-max scaler fit on training data and applied to any row.
+class MinMaxScaler {
+ public:
+  void fit(const Matrix& x) {
+    const std::size_t d = x.cols();
+    min_.assign(d, 0.0);
+    max_.assign(d, 0.0);
+    if (x.rows() == 0) return;
+    for (std::size_t f = 0; f < d; ++f) {
+      min_[f] = max_[f] = x(0, f);
+    }
+    for (std::size_t i = 1; i < x.rows(); ++i) {
+      const double* row = x.row(i);
+      for (std::size_t f = 0; f < d; ++f) {
+        min_[f] = std::min(min_[f], row[f]);
+        max_[f] = std::max(max_[f], row[f]);
+      }
+    }
+  }
+
+  void transform_row(double* row) const {
+    for (std::size_t f = 0; f < min_.size(); ++f) {
+      const double range = max_[f] - min_[f];
+      row[f] = range > 0 ? (row[f] - min_[f]) / range
+                         : 0.0;
+      row[f] = std::clamp(row[f], 0.0, 1.0);  // unseen values may exceed fit
+    }
+  }
+
+  void transform(Matrix& x) const {
+    for (std::size_t i = 0; i < x.rows(); ++i) transform_row(x.row(i));
+  }
+
+  Matrix fit_transform(Matrix x) {
+    fit(x);
+    transform(x);
+    return x;
+  }
+
+  /// Scaler persistence (per-feature min/max).
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+ private:
+  std::vector<double> min_;
+  std::vector<double> max_;
+};
+
+}  // namespace jsrev::ml

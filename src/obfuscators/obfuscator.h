@@ -1,0 +1,49 @@
+// Common interface for JavaScript obfuscator models (paper Section IV-A2).
+//
+// Each obfuscator is an AST-to-AST transformation pipeline followed by code
+// generation. Obfuscation must preserve parseability and program structure
+// semantics (we never execute JS, but the transforms are designed to be
+// semantics-preserving in the same way the real tools are).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "js/ast.h"
+
+namespace jsrev::obf {
+
+class Obfuscator {
+ public:
+  virtual ~Obfuscator() = default;
+
+  /// Obfuscates a source string; returns the transformed source. The seed
+  /// controls name generation and randomized choices so runs reproduce.
+  virtual std::string obfuscate(const std::string& source,
+                                std::uint64_t seed) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+enum class ObfuscatorKind {
+  kJavaScriptObfuscator,  // hex renaming + string array + CFF + dead code
+  kJfogs,                 // call-identifier / parameter fogging
+  kJsObfu,                // iterative string/number encoding (3 rounds)
+  kJshaman,               // basic tier: variable renaming only
+};
+
+inline constexpr ObfuscatorKind kAllObfuscators[] = {
+    ObfuscatorKind::kJavaScriptObfuscator, ObfuscatorKind::kJfogs,
+    ObfuscatorKind::kJsObfu, ObfuscatorKind::kJshaman};
+
+std::string obfuscator_kind_name(ObfuscatorKind k);
+
+std::unique_ptr<Obfuscator> make_obfuscator(ObfuscatorKind kind);
+
+/// Whitespace-only minifier modeling the dominant benign "obfuscation" in
+/// the wild (Moog et al.: >60% of benign scripts are minified).
+std::string minify(const std::string& source);
+
+}  // namespace jsrev::obf

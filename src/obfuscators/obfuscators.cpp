@@ -1,0 +1,123 @@
+// The four obfuscator models (paper Section IV-A2) composed from the shared
+// transform passes, plus the whitespace minifier.
+#include "obfuscators/obfuscator.h"
+
+#include "js/parser.h"
+#include "js/printer.h"
+#include "obfuscators/transforms.h"
+#include "util/rng.h"
+
+namespace jsrev::obf {
+namespace {
+
+/// JavaScript-Obfuscator model: hex variable renaming, string-array
+/// extraction with base64 encoding, control-flow flattening, and dead-code
+/// injection — the tool's default-preset transformation inventory.
+class JavaScriptObfuscatorModel final : public Obfuscator {
+ public:
+  std::string obfuscate(const std::string& source,
+                        std::uint64_t seed) const override {
+    js::Ast ast = js::parse(source);
+    Rng rng(seed);
+    rename_variables(ast, NameStyle::kHex, rng);
+    flatten_control_flow(ast, rng, /*min_stmts=*/3);
+    // splitStrings + numbersToExpressions: intra-statement rewrites from the
+    // tool's default-ish preset, applied before string-array extraction so
+    // the array holds the split fragments.
+    encode_strings(ast, rng, /*min_len=*/6, /*charcode_p=*/0.0);
+    encode_numbers(ast, rng, /*p=*/0.5);
+    extract_string_array(ast, rng, /*encode=*/true);
+    inject_dead_code(ast, rng, /*density=*/0.25);
+    return js::print(ast.root, js::PrintStyle::kMinified);
+  }
+
+  std::string name() const override { return "JavaScript-Obfuscator"; }
+};
+
+/// Jfogs model: removes call identifiers and parameters — parameters become
+/// positional fog names and calls go through an indirection table.
+class JfogsModel final : public Obfuscator {
+ public:
+  std::string obfuscate(const std::string& source,
+                        std::uint64_t seed) const override {
+    js::Ast ast = js::parse(source);
+    Rng rng(seed);
+    fog_calls(ast, rng);
+    return js::print(ast.root, js::PrintStyle::kPretty);
+  }
+
+  std::string name() const override { return "Jfogs"; }
+};
+
+/// JSObfu model: randomizes/removes signaturable string constants (chunked
+/// concatenation + String.fromCharCode) and numeric literals, with fresh
+/// variable names, applied ITERATIVELY (3 rounds) as the paper configures.
+class JsObfuModel final : public Obfuscator {
+ public:
+  std::string obfuscate(const std::string& source,
+                        std::uint64_t seed) const override {
+    std::string cur = source;
+    Rng rng(seed);
+    for (int round = 0; round < 3; ++round) {
+      js::Ast ast = js::parse(cur);
+      rename_variables(ast, NameStyle::kGibberish, rng);
+      // Later rounds re-split the already-chunked strings and re-decompose
+      // the freshly created call statements, compounding the AST damage —
+      // the behaviour the paper attributes JSObfu's strength to.
+      hoist_call_args(ast, rng, /*p=*/0.75);
+      encode_strings(ast, rng, /*min_len=*/2, /*charcode_p=*/0.5);
+      encode_numbers(ast, rng, /*p=*/0.6);
+      cur = js::print(ast.root, js::PrintStyle::kMinified);
+    }
+    return cur;
+  }
+
+  std::string name() const override { return "JSObfu"; }
+};
+
+/// Jshaman (basic tier) model: variable obfuscation only.
+class JshamanModel final : public Obfuscator {
+ public:
+  std::string obfuscate(const std::string& source,
+                        std::uint64_t seed) const override {
+    js::Ast ast = js::parse(source);
+    Rng rng(seed);
+    rename_variables(ast, NameStyle::kGibberish, rng);
+    return js::print(ast.root, js::PrintStyle::kPretty);
+  }
+
+  std::string name() const override { return "Jshaman"; }
+};
+
+}  // namespace
+
+std::string obfuscator_kind_name(ObfuscatorKind k) {
+  switch (k) {
+    case ObfuscatorKind::kJavaScriptObfuscator: return "JavaScript-Obfuscator";
+    case ObfuscatorKind::kJfogs: return "Jfogs";
+    case ObfuscatorKind::kJsObfu: return "JSObfu";
+    case ObfuscatorKind::kJshaman: return "Jshaman";
+  }
+  return "?";
+}
+
+std::unique_ptr<Obfuscator> make_obfuscator(ObfuscatorKind kind) {
+  switch (kind) {
+    case ObfuscatorKind::kJavaScriptObfuscator:
+      return std::make_unique<JavaScriptObfuscatorModel>();
+    case ObfuscatorKind::kJfogs:
+      return std::make_unique<JfogsModel>();
+    case ObfuscatorKind::kJsObfu:
+      return std::make_unique<JsObfuModel>();
+    case ObfuscatorKind::kJshaman:
+      return std::make_unique<JshamanModel>();
+  }
+  return nullptr;
+}
+
+std::string minify(const std::string& source) {
+  js::Ast ast = js::parse(source);
+  return js::print(ast.root, js::PrintStyle::kMinified);
+}
+
+}  // namespace jsrev::obf

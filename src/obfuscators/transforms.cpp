@@ -1,0 +1,933 @@
+#include "obfuscators/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/scope.h"
+#include "js/visitor.h"
+#include "util/base64.h"
+
+namespace jsrev::obf {
+namespace {
+
+using js::Ast;
+using js::LiteralType;
+using js::Node;
+using js::NodeKind;
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+}  // namespace
+
+std::string make_name(NameStyle style, int index, Rng& rng) {
+  switch (style) {
+    case NameStyle::kHex: {
+      std::string s = "_0x";
+      for (int i = 0; i < 6; ++i) s += kHexDigits[rng.below(16)];
+      s += kHexDigits[index % 16];  // keep distinct even on rng collision
+      return s;
+    }
+    case NameStyle::kShort: {
+      // a..z, aa..az, ba.. — skip JS keywords implicitly (none match).
+      std::string s;
+      int n = index;
+      do {
+        s += static_cast<char>('a' + n % 26);
+        n = n / 26 - 1;
+      } while (n >= 0);
+      std::reverse(s.begin(), s.end());
+      return s + "_";
+    }
+    case NameStyle::kGibberish: {
+      static constexpr char kConsonants[] = "qwzxkvbnmj";
+      std::string s;
+      s += static_cast<char>('A' + rng.below(26));
+      for (int i = 0; i < 5; ++i) {
+        s += kConsonants[rng.below(sizeof kConsonants - 1)];
+      }
+      s += '_';
+      s += std::to_string(index);
+      return s;
+    }
+    case NameStyle::kFog:
+      return "fog" + std::to_string(index);
+  }
+  return "v" + std::to_string(index);
+}
+
+int rename_variables(Ast& ast, NameStyle style, Rng& rng) {
+  js::finalize_tree(ast.root);
+  const analysis::ScopeInfo scopes = analysis::analyze_scopes(ast.root);
+
+  // Assign a fresh name per declared symbol.
+  std::unordered_map<const analysis::Symbol*, std::string> new_names;
+  int index = 0;
+  for (const auto& sym : scopes.symbols()) {
+    if (sym->is_global_implicit) continue;  // external APIs stay put
+    new_names.emplace(sym.get(), make_name(style, index++, rng));
+  }
+
+  // Rewrite identifier references.
+  std::unordered_map<const Node*, const analysis::Symbol*> by_node;
+  for (const auto& sym : scopes.symbols()) {
+    for (const Node* ref : sym->references) by_node.emplace(ref, sym.get());
+  }
+  js::walk(ast.root, [&](Node* n) {
+    if (n->kind == NodeKind::kIdentifier) {
+      const auto it = by_node.find(n);
+      if (it != by_node.end()) {
+        const auto name_it = new_names.find(it->second);
+        if (name_it != new_names.end()) n->str = name_it->second;
+      }
+    }
+    return true;
+  });
+
+  // Function declaration/expression names live in `str`, not an Identifier
+  // node; rename them by locating the symbol of the same name in the scope
+  // where the function is declared. A simpler, faithful approach: rename by
+  // name matching against the declared symbol set.
+  std::unordered_map<std::string, std::string> fn_renames;
+  for (const auto& [sym, name] : new_names) {
+    if (sym->is_function) fn_renames[sym->name] = name;
+  }
+  js::walk(ast.root, [&](Node* n) {
+    if ((n->kind == NodeKind::kFunctionDeclaration ||
+         n->kind == NodeKind::kFunctionExpression) &&
+        !n->str.empty()) {
+      const auto it = fn_renames.find(n->str);
+      if (it != fn_renames.end()) n->str = it->second;
+    }
+    return true;
+  });
+
+  js::finalize_tree(ast.root);
+  return index;
+}
+
+int extract_string_array(Ast& ast, Rng& rng, bool encode) {
+  js::finalize_tree(ast.root);
+
+  // Collect string literals (skip object-literal keys and tiny strings that
+  // the real tool leaves alone).
+  std::vector<Node*> strings;
+  js::walk(ast.root, [&](Node* n) {
+    if (n->kind == NodeKind::kProperty && !n->has_flag(Node::kComputed)) {
+      // Visit only the value; the key must remain a literal.
+      js::walk(n->children[1], [&](Node* m) {
+        if (m->kind == NodeKind::kLiteral && m->lit == LiteralType::kString) {
+          strings.push_back(m);
+        }
+        return true;
+      });
+      return false;
+    }
+    if (n->kind == NodeKind::kLiteral && n->lit == LiteralType::kString) {
+      strings.push_back(n);
+    }
+    return true;
+  });
+  if (strings.empty()) return 0;
+
+  auto& arena = ast.arena;
+  Rng name_rng = rng.fork();
+  const std::string array_name = make_name(NameStyle::kHex, 900, name_rng);
+  const std::string getter_name = make_name(NameStyle::kHex, 901, name_rng);
+
+  // Deduplicated table of string values; random rotation offset like the
+  // real tool's --string-array-rotate.
+  std::vector<std::string> table;
+  std::unordered_map<std::string, std::size_t> table_index;
+  for (const Node* s : strings) {
+    if (table_index.emplace(s->str, table.size()).second) {
+      table.push_back(s->str);
+    }
+  }
+  const std::size_t offset = rng.below(97) + 3;
+
+  // Replace literals with getter calls `getter(index + offset)`.
+  for (Node* s : strings) {
+    const std::size_t idx = table_index[s->str];
+    Node* call = arena.make(NodeKind::kCallExpression);
+    call->children.push_back(arena.identifier(getter_name));
+    call->children.push_back(
+        arena.number_literal(static_cast<double>(idx + offset)));
+    // Overwrite the literal node in place to avoid hunting for the parent
+    // slot: turn it into the call node's content.
+    *s = *call;
+  }
+
+  // Build `var <array> = [...];`
+  Node* arr = arena.make(NodeKind::kArrayExpression);
+  for (const std::string& v : table) {
+    arr->children.push_back(
+        arena.string_literal(encode ? base64_encode(v) : v));
+  }
+  Node* decl = arena.make(NodeKind::kVariableDeclaration);
+  decl->str = "var";
+  Node* declarator = arena.make(NodeKind::kVariableDeclarator);
+  declarator->children.push_back(arena.identifier(array_name));
+  declarator->children.push_back(arr);
+  decl->children.push_back(declarator);
+
+  // Build the getter:
+  //   function getter(i) { var s = array[i - offset];
+  //     return s; }                         (plain)
+  //   ... return atob(s); }                 (encoded)
+  Node* fn = arena.make(NodeKind::kFunctionDeclaration);
+  fn->str = getter_name;
+  Node* param = arena.identifier("i");
+  Node* body = arena.make(NodeKind::kBlockStatement);
+  {
+    Node* idx_expr = arena.make(NodeKind::kBinaryExpression);
+    idx_expr->str = "-";
+    idx_expr->children.push_back(arena.identifier("i"));
+    idx_expr->children.push_back(
+        arena.number_literal(static_cast<double>(offset)));
+    Node* member = arena.make(NodeKind::kMemberExpression);
+    member->flags |= Node::kComputed;
+    member->children.push_back(arena.identifier(array_name));
+    member->children.push_back(idx_expr);
+
+    Node* svar = arena.make(NodeKind::kVariableDeclaration);
+    svar->str = "var";
+    Node* sdecl = arena.make(NodeKind::kVariableDeclarator);
+    sdecl->children.push_back(arena.identifier("s"));
+    sdecl->children.push_back(member);
+    svar->children.push_back(sdecl);
+    body->children.push_back(svar);
+
+    Node* ret = arena.make(NodeKind::kReturnStatement);
+    if (encode) {
+      Node* atob_call = arena.make(NodeKind::kCallExpression);
+      atob_call->children.push_back(arena.identifier("atob"));
+      atob_call->children.push_back(arena.identifier("s"));
+      ret->children.push_back(atob_call);
+    } else {
+      ret->children.push_back(arena.identifier("s"));
+    }
+    body->children.push_back(ret);
+  }
+  fn->children.push_back(param);
+  fn->children.push_back(body);
+
+  // Prepend table + getter to the program.
+  auto& prog = ast.root->children;
+  prog.insert(prog.begin(), fn);
+  prog.insert(prog.begin(), decl);
+
+  js::finalize_tree(ast.root);
+  return static_cast<int>(strings.size());
+}
+
+namespace {
+
+/// True if a statement can be moved into a switch case of the dispatch
+/// loop. Bare break/continue/labels would re-bind to the dispatcher;
+/// function declarations have hoisting semantics and stay outside.
+bool caseable(const Node* s) {
+  switch (s->kind) {
+    case NodeKind::kBreakStatement:
+    case NodeKind::kContinueStatement:
+    case NodeKind::kLabeledStatement:
+    case NodeKind::kFunctionDeclaration:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// True if the statement list can be flattened: every statement is either
+/// case-able or a hoistable function declaration, with at least `min`
+/// case-able statements. `let`/`const` declarations block the transform
+/// (hoisting them to `var` would change semantics for shadowed names).
+bool flattenable(const std::vector<Node*>& stmts, int min) {
+  int cases = 0;
+  for (const Node* s : stmts) {
+    if (s->kind == NodeKind::kVariableDeclaration && s->str != "var") {
+      return false;
+    }
+    if (caseable(s)) {
+      ++cases;
+    } else if (s->kind != NodeKind::kFunctionDeclaration) {
+      return false;
+    }
+  }
+  return cases >= min;
+}
+
+/// Rewrites `stmts` into:
+///   <function declarations, hoisted>
+///   var <hoisted var names>;
+///   var order = "<shuffled>".split("|"), i = 0;
+///   while (true) { switch (order[i++]) { case "k": stmt; continue; } break; }
+/// `var x = e` declarations are decomposed into a hoisted `var x;` plus an
+/// in-case assignment `x = e`, preserving execution order.
+void flatten_block(js::AstArena& arena, std::vector<Node*>& all_stmts,
+                   Rng& rng) {
+  std::vector<Node*> hoisted_fns;
+  std::vector<std::string> hoisted_vars;
+  std::vector<Node*> stmts;
+  for (Node* s : all_stmts) {
+    if (s->kind == NodeKind::kFunctionDeclaration) {
+      hoisted_fns.push_back(s);
+      continue;
+    }
+    if (s->kind == NodeKind::kVariableDeclaration) {
+      // Decompose into hoisted names + an assignment sequence statement.
+      std::vector<Node*> assigns;
+      for (Node* d : s->children) {
+        hoisted_vars.push_back(d->children[0]->str);
+        if (d->children.size() > 1 && d->children[1] != nullptr) {
+          Node* assign = arena.make(NodeKind::kAssignmentExpression);
+          assign->str = "=";
+          assign->children.push_back(
+              arena.identifier(d->children[0]->str));
+          assign->children.push_back(d->children[1]);
+          assigns.push_back(assign);
+        }
+      }
+      if (assigns.empty()) continue;  // pure declaration: hoist only
+      Node* stmt = arena.make(NodeKind::kExpressionStatement);
+      if (assigns.size() == 1) {
+        stmt->children.push_back(assigns[0]);
+      } else {
+        Node* seq = arena.make(NodeKind::kSequenceExpression);
+        seq->children = assigns;
+        stmt->children.push_back(seq);
+      }
+      stmts.push_back(stmt);
+      continue;
+    }
+    stmts.push_back(s);
+  }
+  const std::size_t n = stmts.size();
+
+  // Shuffle the *case placement*, not the execution order: each statement
+  // gets a random case tag, and the order string lists tags in execution
+  // order.
+  std::vector<std::string> tags(n);
+  std::vector<std::size_t> placement(n);
+  for (std::size_t i = 0; i < n; ++i) placement[i] = i;
+  rng.shuffle(placement);
+  for (std::size_t i = 0; i < n; ++i) tags[i] = std::to_string(placement[i]);
+
+  std::string order_str;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0) order_str += '|';
+    order_str += tags[i];
+  }
+
+  Rng name_rng = rng.fork();
+  const std::string order_name = make_name(NameStyle::kHex, 800, name_rng);
+  const std::string counter_name = make_name(NameStyle::kHex, 801, name_rng);
+
+  // var order = "...".split("|"); var i = 0;
+  Node* split_call = arena.make(NodeKind::kCallExpression);
+  Node* split_member = arena.make(NodeKind::kMemberExpression);
+  split_member->children.push_back(arena.string_literal(order_str));
+  split_member->children.push_back(arena.identifier("split"));
+  split_call->children.push_back(split_member);
+  split_call->children.push_back(arena.string_literal("|"));
+
+  Node* decl = arena.make(NodeKind::kVariableDeclaration);
+  decl->str = "var";
+  Node* d1 = arena.make(NodeKind::kVariableDeclarator);
+  d1->children.push_back(arena.identifier(order_name));
+  d1->children.push_back(split_call);
+  Node* d2 = arena.make(NodeKind::kVariableDeclarator);
+  d2->children.push_back(arena.identifier(counter_name));
+  d2->children.push_back(arena.number_literal(0));
+  decl->children.push_back(d1);
+  decl->children.push_back(d2);
+
+  // switch (order[i++]) { case "<tag>": stmt; continue; ... }
+  Node* idx = arena.make(NodeKind::kUpdateExpression);
+  idx->str = "++";
+  idx->children.push_back(arena.identifier(counter_name));
+  Node* disc = arena.make(NodeKind::kMemberExpression);
+  disc->flags |= Node::kComputed;
+  disc->children.push_back(arena.identifier(order_name));
+  disc->children.push_back(idx);
+
+  Node* sw = arena.make(NodeKind::kSwitchStatement);
+  sw->children.push_back(disc);
+  // Cases in placement order (so the source order differs from execution).
+  std::vector<std::size_t> case_order(n);
+  for (std::size_t i = 0; i < n; ++i) case_order[placement[i]] = i;
+  for (std::size_t c = 0; c < n; ++c) {
+    const std::size_t stmt_idx = case_order[c];
+    Node* cs = arena.make(NodeKind::kSwitchCase);
+    cs->children.push_back(arena.string_literal(std::to_string(c)));
+    cs->children.push_back(stmts[stmt_idx]);
+    Node* cont = arena.make(NodeKind::kContinueStatement);
+    cs->children.push_back(cont);
+    sw->children.push_back(cs);
+  }
+
+  // while (true) { switch ...; break; }
+  Node* loop_body = arena.make(NodeKind::kBlockStatement);
+  loop_body->children.push_back(sw);
+  loop_body->children.push_back(arena.make(NodeKind::kBreakStatement));
+  Node* loop = arena.make(NodeKind::kWhileStatement);
+  loop->children.push_back(arena.bool_literal(true));
+  loop->children.push_back(loop_body);
+
+  all_stmts.clear();
+  for (Node* fn : hoisted_fns) all_stmts.push_back(fn);
+  if (!hoisted_vars.empty()) {
+    Node* hoist = arena.make(NodeKind::kVariableDeclaration);
+    hoist->str = "var";
+    for (const std::string& name : hoisted_vars) {
+      Node* d = arena.make(NodeKind::kVariableDeclarator);
+      d->children.push_back(arena.identifier(name));
+      d->children.push_back(nullptr);
+      hoist->children.push_back(d);
+    }
+    all_stmts.push_back(hoist);
+  }
+  all_stmts.push_back(decl);
+  all_stmts.push_back(loop);
+}
+
+}  // namespace
+
+int flatten_control_flow(Ast& ast, Rng& rng, int min_stmts) {
+  int flattened = 0;
+  auto try_flatten = [&](std::vector<Node*>& stmts) {
+    if (flattenable(stmts, min_stmts)) {
+      flatten_block(ast.arena, stmts, rng);
+      ++flattened;
+      return true;
+    }
+    return false;
+  };
+
+  // Function bodies.
+  js::walk(ast.root, [&](Node* n) {
+    if (n->is_function()) {
+      try_flatten(n->children.back()->children);
+      return false;  // don't descend into the rewritten machinery
+    }
+    return true;
+  });
+  // Top level.
+  try_flatten(ast.root->children);
+
+  js::finalize_tree(ast.root);
+  return flattened;
+}
+
+namespace {
+
+Node* make_junk_statement(js::AstArena& arena, Rng& rng,
+                          const std::vector<const Node*>& pool, int salt) {
+  // Real javascript-obfuscator derives its dead code from the program's own
+  // statements (wrapped in never-taken branches), keeping the injected code
+  // statistically neutral; hex-string declarations and trap debuggers fill
+  // the remaining variants.
+  const std::string name = "_j" + std::to_string(salt);
+  switch (rng.below(3)) {
+    case 0: {
+      Node* iff = arena.make(NodeKind::kIfStatement);
+      iff->children.push_back(arena.bool_literal(false));
+      Node* blk = arena.make(NodeKind::kBlockStatement);
+      if (!pool.empty()) {
+        blk->children.push_back(clone(rng.pick(pool), arena));
+      } else {
+        blk->children.push_back(arena.make(NodeKind::kDebuggerStatement));
+      }
+      iff->children.push_back(blk);
+      iff->children.push_back(nullptr);
+      return iff;
+    }
+    case 1: {
+      // if (false) { debugger; }
+      Node* iff = arena.make(NodeKind::kIfStatement);
+      iff->children.push_back(arena.bool_literal(false));
+      Node* blk = arena.make(NodeKind::kBlockStatement);
+      blk->children.push_back(arena.make(NodeKind::kDebuggerStatement));
+      iff->children.push_back(blk);
+      iff->children.push_back(nullptr);
+      return iff;
+    }
+    default: {
+      // var _jN = "<hex gibberish>" + "<hex gibberish>";
+      auto hex = [&rng] {
+        std::string s;
+        for (int i = 0; i < 8; ++i) s += kHexDigits[rng.below(16)];
+        return s;
+      };
+      Node* concat = arena.make(NodeKind::kBinaryExpression);
+      concat->str = "+";
+      concat->children.push_back(arena.string_literal(hex()));
+      concat->children.push_back(arena.string_literal(hex()));
+      Node* decl = arena.make(NodeKind::kVariableDeclaration);
+      decl->str = "var";
+      Node* d = arena.make(NodeKind::kVariableDeclarator);
+      d->children.push_back(arena.identifier(name));
+      d->children.push_back(concat);
+      decl->children.push_back(d);
+      return decl;
+    }
+  }
+}
+
+}  // namespace
+
+int inject_dead_code(Ast& ast, Rng& rng, double density) {
+  int injected = 0;
+  int salt = 0;
+
+  // Pool of the program's own simple statements to clone into dead branches.
+  std::vector<const Node*> pool;
+  js::walk(const_cast<const Node*>(ast.root), [&pool](const Node* n) {
+    if (n->kind == NodeKind::kExpressionStatement ||
+        (n->kind == NodeKind::kVariableDeclaration && n->str == "var")) {
+      pool.push_back(n);
+    }
+    return true;
+  });
+
+  auto inject_into = [&](std::vector<Node*>& stmts) {
+    std::vector<Node*> out;
+    out.reserve(stmts.size() * 2);
+    for (Node* s : stmts) {
+      if (rng.chance(density)) {
+        out.push_back(make_junk_statement(ast.arena, rng, pool, salt++));
+        ++injected;
+      }
+      out.push_back(s);
+    }
+    if (rng.chance(density)) {
+      out.push_back(make_junk_statement(ast.arena, rng, pool, salt++));
+      ++injected;
+    }
+    stmts = std::move(out);
+  };
+
+  // Snapshot the target statement lists BEFORE mutating: injected clones can
+  // themselves contain functions, and injecting into freshly inserted junk
+  // would recurse without bound (clone → inject → clone → ...).
+  std::vector<std::vector<Node*>*> targets;
+  targets.push_back(&ast.root->children);
+  js::walk(ast.root, [&targets](Node* n) {
+    if (n->is_function()) targets.push_back(&n->children.back()->children);
+    return true;
+  });
+  for (auto* stmts : targets) inject_into(*stmts);
+
+  js::finalize_tree(ast.root);
+  return injected;
+}
+
+int encode_strings(Ast& ast, Rng& rng, std::size_t min_len,
+                   double charcode_p) {
+  js::finalize_tree(ast.root);
+  auto& arena = ast.arena;
+  int rewritten = 0;
+
+  std::vector<Node*> targets;
+  js::walk(ast.root, [&](Node* n) {
+    if (n->kind == NodeKind::kProperty && !n->has_flag(Node::kComputed)) {
+      js::walk(n->children[1], [&](Node* m) {
+        if (m->kind == NodeKind::kLiteral && m->lit == LiteralType::kString &&
+            m->str.size() >= min_len) {
+          targets.push_back(m);
+        }
+        return true;
+      });
+      return false;
+    }
+    if (n->kind == NodeKind::kLiteral && n->lit == LiteralType::kString &&
+        n->str.size() >= min_len) {
+      targets.push_back(n);
+    }
+    return true;
+  });
+
+  for (Node* s : targets) {
+    const std::string value = s->str;
+    // Split into 2-4 chunks.
+    const std::size_t nchunks =
+        std::min<std::size_t>(2 + rng.below(3), value.size());
+    std::vector<std::string> chunks;
+    std::size_t start = 0;
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      const std::size_t remaining = value.size() - start;
+      const std::size_t left = nchunks - c - 1;
+      std::size_t len = c + 1 == nchunks
+                            ? remaining
+                            : 1 + rng.below(std::max<std::size_t>(
+                                      1, remaining - left));
+      len = std::min(len, remaining - left);
+      chunks.push_back(value.substr(start, len));
+      start += len;
+    }
+
+    auto chunk_node = [&](const std::string& chunk) -> Node* {
+      const bool all_ascii = std::all_of(
+          chunk.begin(), chunk.end(),
+          [](char c) { return static_cast<unsigned char>(c) < 128; });
+      // fromCharCode only for short chunks (one argument per character —
+      // long chunks would blow the program up, and the real tool caps too).
+      if (all_ascii && !chunk.empty() && chunk.size() <= 24 &&
+          rng.chance(charcode_p)) {
+        // String.fromCharCode(c1, c2, ...)
+        Node* member = arena.make(NodeKind::kMemberExpression);
+        member->children.push_back(arena.identifier("String"));
+        member->children.push_back(arena.identifier("fromCharCode"));
+        Node* call = arena.make(NodeKind::kCallExpression);
+        call->children.push_back(member);
+        for (const char ch : chunk) {
+          call->children.push_back(arena.number_literal(
+              static_cast<double>(static_cast<unsigned char>(ch))));
+        }
+        return call;
+      }
+      return arena.string_literal(chunk);
+    };
+
+    Node* expr = chunk_node(chunks[0]);
+    bool any_encoded = chunks.size() > 1;
+    for (std::size_t c = 1; c < chunks.size(); ++c) {
+      Node* concat = arena.make(NodeKind::kBinaryExpression);
+      concat->str = "+";
+      concat->children.push_back(expr);
+      concat->children.push_back(chunk_node(chunks[c]));
+      expr = concat;
+    }
+    if (expr->kind == NodeKind::kLiteral) {
+      // Single unencoded chunk — force at least a "" + s concat so the shape
+      // still changes, as jsobfu does.
+      Node* concat = arena.make(NodeKind::kBinaryExpression);
+      concat->str = "+";
+      concat->children.push_back(arena.string_literal(""));
+      concat->children.push_back(expr);
+      expr = concat;
+      any_encoded = true;
+    }
+    if (any_encoded) {
+      *s = *expr;
+      ++rewritten;
+    }
+  }
+  js::finalize_tree(ast.root);
+  return rewritten;
+}
+
+int encode_numbers(Ast& ast, Rng& rng, double p) {
+  js::finalize_tree(ast.root);
+  auto& arena = ast.arena;
+  int rewritten = 0;
+
+  std::vector<Node*> targets;
+  js::walk(ast.root, [&](Node* n) {
+    // Skip object keys (must stay literal) — property values only.
+    if (n->kind == NodeKind::kProperty && !n->has_flag(Node::kComputed)) {
+      js::walk(n->children[1], [&](Node* m) {
+        if (m->kind == NodeKind::kLiteral && m->lit == LiteralType::kNumber &&
+            m->num == std::floor(m->num) && std::fabs(m->num) < 1e6) {
+          targets.push_back(m);
+        }
+        return true;
+      });
+      return false;
+    }
+    if (n->kind == NodeKind::kLiteral && n->lit == LiteralType::kNumber &&
+        n->num == std::floor(n->num) && std::fabs(n->num) < 1e6) {
+      targets.push_back(n);
+    }
+    return true;
+  });
+
+  for (Node* t : targets) {
+    if (!rng.chance(p)) continue;
+    const double v = t->num;
+    const auto delta = static_cast<double>(rng.below(1000) + 1);
+    Node* expr = arena.make(NodeKind::kBinaryExpression);
+    if (rng.chance(0.5)) {
+      expr->str = "-";
+      expr->children.push_back(arena.number_literal(v + delta));
+      expr->children.push_back(arena.number_literal(delta));
+    } else {
+      expr->str = "+";
+      expr->children.push_back(arena.number_literal(v - delta));
+      expr->children.push_back(arena.number_literal(delta));
+    }
+    *t = *expr;
+    ++rewritten;
+  }
+  js::finalize_tree(ast.root);
+  return rewritten;
+}
+
+int fog_calls(Ast& ast, Rng& rng) {
+  js::finalize_tree(ast.root);
+  auto& arena = ast.arena;
+
+  // 1. Rename every function's parameters to fog<k> (consistently, via the
+  //    scope machinery with the kFog style).
+  Rng rename_rng = rng.fork();
+  rename_variables(ast, NameStyle::kFog, rename_rng);
+
+  // 2. Uniformize call shapes: every direct call becomes an .apply() with
+  //    its arguments packed into an array (removing "call identifiers and
+  //    parameters" — Jfogs' signature trick). Identifier callees are
+  //    additionally routed through an indirection table; method calls on
+  //    simple identifier receivers become obj["m"].apply(obj, [...]).
+  std::vector<Node*> id_calls, member_calls;
+  std::vector<std::string> callee_names;
+  std::unordered_map<std::string, std::size_t> table_index;
+  js::walk(ast.root, [&](Node* n) {
+    if (n->kind != NodeKind::kCallExpression) return true;
+    Node* callee = n->children[0];
+    if (callee->kind == NodeKind::kIdentifier) {
+      if (table_index.emplace(callee->str, callee_names.size()).second) {
+        callee_names.push_back(callee->str);
+      }
+      id_calls.push_back(n);
+    } else if (callee->kind == NodeKind::kMemberExpression &&
+               !callee->has_flag(Node::kComputed) &&
+               callee->children[0]->kind == NodeKind::kIdentifier) {
+      member_calls.push_back(n);
+    }
+    return true;
+  });
+  if (id_calls.empty() && member_calls.empty()) {
+    js::finalize_tree(ast.root);
+    return 0;
+  }
+
+  Rng name_rng = rng.fork();
+  const std::string table_name = make_name(NameStyle::kFog, 9000, name_rng);
+
+  auto pack_args = [&arena](Node* call) {
+    Node* arr = arena.make(NodeKind::kArrayExpression);
+    for (std::size_t i = 1; i < call->children.size(); ++i) {
+      arr->children.push_back(call->children[i]);
+    }
+    return arr;
+  };
+
+  for (Node* call : id_calls) {
+    const std::size_t idx = table_index[call->children[0]->str];
+    Node* entry = arena.make(NodeKind::kMemberExpression);
+    entry->flags |= Node::kComputed;
+    entry->children.push_back(arena.identifier(table_name));
+    entry->children.push_back(arena.number_literal(static_cast<double>(idx)));
+    Node* apply = arena.make(NodeKind::kMemberExpression);
+    apply->children.push_back(entry);
+    apply->children.push_back(arena.identifier("apply"));
+    Node* args = pack_args(call);
+    call->children.clear();
+    call->children.push_back(apply);
+    call->children.push_back(arena.null_literal());
+    call->children.push_back(args);
+  }
+
+  for (Node* call : member_calls) {
+    Node* callee = call->children[0];
+    const std::string receiver = callee->children[0]->str;
+    const std::string method = callee->children[1]->str;
+    Node* lookup = arena.make(NodeKind::kMemberExpression);
+    lookup->flags |= Node::kComputed;
+    lookup->children.push_back(arena.identifier(receiver));
+    lookup->children.push_back(arena.string_literal(method));
+    Node* apply = arena.make(NodeKind::kMemberExpression);
+    apply->children.push_back(lookup);
+    apply->children.push_back(arena.identifier("apply"));
+    Node* args = pack_args(call);
+    call->children.clear();
+    call->children.push_back(apply);
+    call->children.push_back(arena.identifier(receiver));
+    call->children.push_back(args);
+  }
+  const std::size_t fogged = id_calls.size() + member_calls.size();
+
+  // 3. Hoist every constant (string/number/boolean literal outside property
+  //    keys) into one global fog-data array and replace occurrences with
+  //    indexed references — real Jfogs moves program constants into a
+  //    `$fog$` array. Every statement now references the same symbol, which
+  //    uniformizes the token stream (CUJO), perturbs all subtree shapes
+  //    (JAST/JSTAP), and floods the data flow with one variable's edges.
+  std::vector<Node*> fog_values;
+  const std::string data_name = make_name(NameStyle::kFog, 9001, name_rng);
+  auto fog_ref = [&](Node* literal) {
+    Node* ref = arena.make(NodeKind::kMemberExpression);
+    ref->flags |= Node::kComputed;
+    ref->children.push_back(arena.identifier(data_name));
+    ref->children.push_back(
+        arena.number_literal(static_cast<double>(fog_values.size())));
+    // Copy the literal into the table; rewrite the original node in place.
+    Node* stored = arena.make(NodeKind::kLiteral);
+    *stored = *literal;
+    fog_values.push_back(stored);
+    *literal = *ref;
+  };
+  js::walk(ast.root, [&](Node* n) {
+    if (n->kind == NodeKind::kProperty && !n->has_flag(Node::kComputed)) {
+      // Keys must remain literal; only descend into the value.
+      js::walk(n->children[1], [&](Node* m) {
+        if (m->kind == NodeKind::kLiteral && m->lit != LiteralType::kRegex &&
+            m->lit != LiteralType::kNull) {
+          fog_ref(m);
+          return false;
+        }
+        return true;
+      });
+      return false;
+    }
+    if (n->kind == NodeKind::kLiteral && n->lit != LiteralType::kRegex &&
+        n->lit != LiteralType::kNull) {
+      fog_ref(n);
+      return false;
+    }
+    return true;
+  });
+  if (!fog_values.empty()) {
+    Node* arr = arena.make(NodeKind::kArrayExpression);
+    arr->children = fog_values;
+    Node* decl = arena.make(NodeKind::kVariableDeclaration);
+    decl->str = "var";
+    Node* d = arena.make(NodeKind::kVariableDeclarator);
+    d->children.push_back(arena.identifier(data_name));
+    d->children.push_back(arr);
+    decl->children.push_back(d);
+    ast.root->children.insert(ast.root->children.begin(), decl);
+  }
+
+  // var <table> = [fn1, fn2, ...];
+  if (!callee_names.empty()) {
+    Node* arr = arena.make(NodeKind::kArrayExpression);
+    for (const std::string& name : callee_names) {
+      arr->children.push_back(arena.identifier(name));
+    }
+    Node* decl = arena.make(NodeKind::kVariableDeclaration);
+    decl->str = "var";
+    Node* d = arena.make(NodeKind::kVariableDeclarator);
+    d->children.push_back(arena.identifier(table_name));
+    d->children.push_back(arr);
+    decl->children.push_back(d);
+    ast.root->children.insert(ast.root->children.begin(), decl);
+  }
+
+  js::finalize_tree(ast.root);
+  return static_cast<int>(fogged);
+}
+
+int hoist_call_args(Ast& ast, Rng& rng, double p) {
+  js::finalize_tree(ast.root);
+  auto& arena = ast.arena;
+  int hoisted = 0;
+  int salt = 0;
+
+  auto process_list = [&](std::vector<Node*>& stmts) {
+    std::vector<Node*> out;
+    out.reserve(stmts.size());
+    for (Node* s : stmts) {
+      // Target: ExpressionStatement wrapping a direct call, or a var
+      // declaration whose single initializer is a direct call.
+      Node* call = nullptr;
+      if (s->kind == NodeKind::kExpressionStatement &&
+          s->children[0]->kind == NodeKind::kCallExpression) {
+        call = s->children[0];
+      } else if (s->kind == NodeKind::kVariableDeclaration &&
+                 s->children.size() == 1 &&
+                 s->children[0]->children.size() > 1 &&
+                 s->children[0]->children[1] != nullptr &&
+                 s->children[0]->children[1]->kind ==
+                     NodeKind::kCallExpression) {
+        call = s->children[0]->children[1];
+      }
+      // Skip argument-heavy calls (fromCharCode chains and the like): one
+      // temp per argument would explode the statement count across rounds.
+      if (call != nullptr && call->children.size() > 1 &&
+          call->children.size() <= 7 && rng.chance(p)) {
+        for (std::size_t a = 1; a < call->children.size(); ++a) {
+          Node* arg = call->children[a];
+          // Leave bare identifiers/this alone: no hoist needed.
+          if (arg->kind == NodeKind::kIdentifier ||
+              arg->kind == NodeKind::kThisExpression) {
+            continue;
+          }
+          const std::string tmp = "_t" + std::to_string(salt++) + "q";
+          Node* decl = arena.make(NodeKind::kVariableDeclaration);
+          decl->str = "var";
+          Node* d = arena.make(NodeKind::kVariableDeclarator);
+          d->children.push_back(arena.identifier(tmp));
+          d->children.push_back(arg);
+          decl->children.push_back(d);
+          out.push_back(decl);
+          call->children[a] = arena.identifier(tmp);
+          ++hoisted;
+        }
+      }
+      out.push_back(s);
+    }
+    stmts = std::move(out);
+  };
+
+  process_list(ast.root->children);
+  js::walk(ast.root, [&](Node* n) {
+    // Function bodies are BlockStatements and are covered by this branch.
+    if (n->kind == NodeKind::kBlockStatement) process_list(n->children);
+    return true;
+  });
+
+  js::finalize_tree(ast.root);
+  return hoisted;
+}
+
+int escape_encode_strings(Ast& ast, Rng& rng, std::size_t min_len,
+                          double p) {
+  js::finalize_tree(ast.root);
+  auto& arena = ast.arena;
+
+  std::vector<Node*> targets;
+  js::walk(ast.root, [&](Node* n) {
+    if (n->kind == NodeKind::kProperty && !n->has_flag(Node::kComputed)) {
+      js::walk(n->children[1], [&](Node* m) {
+        if (m->kind == NodeKind::kLiteral && m->lit == LiteralType::kString &&
+            m->str.size() >= min_len) {
+          targets.push_back(m);
+        }
+        return true;
+      });
+      return false;
+    }
+    if (n->kind == NodeKind::kLiteral && n->lit == LiteralType::kString &&
+        n->str.size() >= min_len) {
+      targets.push_back(n);
+    }
+    return true;
+  });
+
+  int rewritten = 0;
+  for (Node* s : targets) {
+    if (!rng.chance(p)) continue;
+    bool ascii = true;
+    for (const char c : s->str) {
+      ascii = ascii && static_cast<unsigned char>(c) < 128;
+    }
+    if (!ascii) continue;
+    std::string encoded;
+    encoded.reserve(s->str.size() * 3);
+    for (const char c : s->str) {
+      encoded += '%';
+      encoded += kHexDigits[(static_cast<unsigned char>(c) >> 4) & 15];
+      encoded += kHexDigits[static_cast<unsigned char>(c) & 15];
+    }
+    Node* call = arena.make(NodeKind::kCallExpression);
+    call->children.push_back(arena.identifier("unescape"));
+    call->children.push_back(arena.string_literal(encoded));
+    *s = *call;
+    ++rewritten;
+  }
+  js::finalize_tree(ast.root);
+  return rewritten;
+}
+
+}  // namespace jsrev::obf

@@ -1,0 +1,82 @@
+// Reusable AST rewriting passes composed by the obfuscator models.
+//
+// All passes mutate the tree in place (allocating new nodes from the tree's
+// arena) and require finalize_tree to be re-run afterwards; the driver in
+// each obfuscator takes care of that.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "js/ast.h"
+#include "util/rng.h"
+
+namespace jsrev::obf {
+
+/// Styles for generated replacement identifiers.
+enum class NameStyle {
+  kHex,        // _0x3f2a1c        (javascript-obfuscator)
+  kShort,      // a, b, ..., aa    (minifier-style)
+  kGibberish,  // qZwXk_9          (jshaman-style)
+  kFog,        // fog0, fog1, ...  (jfogs-style)
+};
+
+/// Generates the i-th name in the given style (deterministic, but kHex and
+/// kGibberish mix in bits from `rng` to look realistic).
+std::string make_name(NameStyle style, int index, Rng& rng);
+
+/// Renames every program-declared variable, parameter, and function name
+/// consistently (per symbol, via scope analysis). References to undeclared
+/// globals (browser APIs, etc.) are left intact — exactly what real
+/// renamers do. Returns the number of symbols renamed.
+int rename_variables(js::Ast& ast, NameStyle style, Rng& rng);
+
+/// Extracts every string literal into one global array; occurrences become
+/// indexed accessor calls `_sd(i)` through an emitted decoder function.
+/// When `encode` is true the array holds base64 text and the decoder decodes
+/// at runtime (javascript-obfuscator's "string array encoding").
+/// Returns the number of strings extracted.
+int extract_string_array(js::Ast& ast, Rng& rng, bool encode);
+
+/// Control-flow flattening: rewrites each function body (and the top level)
+/// with ≥ `min_stmts` straight-line statements into a while/switch dispatch
+/// driven by a shuffled order string. Statements that manage control flow
+/// (declarations hoisted, return/break/continue) keep the pass conservative:
+/// bodies containing them are skipped. Returns number of bodies flattened.
+int flatten_control_flow(js::Ast& ast, Rng& rng, int min_stmts = 3);
+
+/// Injects dead code: junk variable declarations and never-executed branches
+/// around existing statements. `density` in [0,1] controls how many
+/// insertion points are used. Returns number of injected statements.
+int inject_dead_code(js::Ast& ast, Rng& rng, double density);
+
+/// Splits string literals of length ≥ min_len into concatenations of random
+/// chunks; with probability `charcode_p` a chunk is rendered as
+/// String.fromCharCode(...). (JSObfu's signature transform.)
+int encode_strings(js::Ast& ast, Rng& rng, std::size_t min_len,
+                   double charcode_p);
+
+/// Rewrites integer literals as equivalent arithmetic (e.g. 7 → 0x3+0x4 or
+/// 16-9). `p` is the per-literal probability. Returns rewrites performed.
+int encode_numbers(js::Ast& ast, Rng& rng, double p);
+
+/// Jfogs-style fogging: for each function, parameters are renamed to
+/// positional fog names, and direct calls to known global-ish functions are
+/// routed through an indirection table `var _f = [fn1, fn2]; _f[0](...)`.
+int fog_calls(js::Ast& ast, Rng& rng);
+
+/// Decomposes direct call statements: non-trivial call arguments are hoisted
+/// into fresh temporary `var` declarations inserted before the statement
+/// (evaluation order preserved). Applied per statement with probability `p`.
+/// Statement-level restructuring used by the JSObfu model.
+int hoist_call_args(js::Ast& ast, Rng& rng, double p);
+
+/// Classic in-the-wild string hiding: rewrites string literals of length
+/// >= min_len as `unescape("%61%62...")` calls with probability `p`. Used by
+/// the corpus generator to model the unknown obfuscators applied to wild
+/// samples (deliberately DIFFERENT machinery from the four test-time
+/// obfuscator models).
+int escape_encode_strings(js::Ast& ast, Rng& rng, std::size_t min_len,
+                          double p);
+
+}  // namespace jsrev::obf

@@ -1,0 +1,217 @@
+#include "paths/path_extraction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "js/visitor.h"
+
+namespace jsrev::paths {
+namespace {
+
+using js::LiteralType;
+using js::Node;
+using js::NodeKind;
+
+/// Syntactic type indicator for a leaf without data dependencies.
+std::string type_indicator(const Node* leaf) {
+  if (leaf->kind == NodeKind::kLiteral) {
+    switch (leaf->lit) {
+      case LiteralType::kString: return "@var_str";
+      case LiteralType::kNumber: {
+        const double v = leaf->num;
+        return v == std::floor(v) ? "@var_int" : "@var_num";
+      }
+      case LiteralType::kBoolean: return "@var_bool";
+      case LiteralType::kNull: return "@var_null";
+      case LiteralType::kRegex: return "@var_re";
+      case LiteralType::kNone: return "@var_null";
+    }
+  }
+  if (leaf->kind == NodeKind::kThisExpression) return "@this";
+  if (leaf->kind == NodeKind::kIdentifier) {
+    // Without flow information the best static abstraction is a generic
+    // variable tag; member property names get their own tag since they are
+    // structurally different from variables.
+    const Node* p = leaf->parent;
+    if (p != nullptr && p->kind == NodeKind::kMemberExpression &&
+        !p->has_flag(Node::kComputed) && p->children.size() == 2 &&
+        p->children[1] == leaf) {
+      return "@prop";
+    }
+    return "@var";
+  }
+  // Structural leaves (empty blocks, empty statements, ...).
+  return std::string("@") + std::string(js::node_kind_name(leaf->kind));
+}
+
+/// Raw leaf value as code2vec uses (the "regular AST" ablation): the
+/// concrete identifier name or literal text. Long strings truncate.
+std::string raw_value(const Node* leaf) {
+  switch (leaf->kind) {
+    case NodeKind::kIdentifier:
+      return leaf->str;
+    case NodeKind::kThisExpression:
+      return "this";
+    case NodeKind::kLiteral:
+      switch (leaf->lit) {
+        case LiteralType::kString:
+          return leaf->str.size() <= 16 ? leaf->str : leaf->str.substr(0, 16);
+        case LiteralType::kNumber: {
+          char buf[32];
+          std::snprintf(buf, sizeof buf, "%g", leaf->num);
+          return buf;
+        }
+        case LiteralType::kBoolean:
+          return leaf->bval ? "true" : "false";
+        case LiteralType::kNull:
+          return "null";
+        case LiteralType::kRegex:
+          return leaf->str;
+        case LiteralType::kNone:
+          return "null";
+      }
+      return "?";
+    default:
+      return std::string(js::node_kind_name(leaf->kind));
+  }
+}
+
+struct LeafInfo {
+  const Node* node;
+  std::string value;
+  // Ancestor chain from the leaf to the root (inclusive), leaf first.
+  std::vector<const Node*> ancestors;
+  // Child index within each ancestor (slot of the chain's previous element).
+  std::vector<int> child_index;
+};
+
+int index_of_child(const Node* parent, const Node* child) {
+  for (std::size_t i = 0; i < parent->children.size(); ++i) {
+    if (parent->children[i] == child) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string leaf_value(const js::Node* leaf,
+                       const analysis::DataFlowInfo* dataflow) {
+  if (dataflow != nullptr && leaf->kind == NodeKind::kIdentifier &&
+      dataflow->canonical_index(leaf) >= 0) {
+    // Flow-linked leaf considered in isolation: tagged as linked. When a
+    // whole path is rendered, extract_paths refines this into @vs (both
+    // endpoints are the same symbol) / @va+@vb (two different linked
+    // symbols) — see the note there.
+    return "@vl";
+  }
+  return type_indicator(leaf);
+}
+
+std::vector<PathContext> extract_paths(const js::Node* program,
+                                       const analysis::DataFlowInfo* dataflow,
+                                       const PathConfig& cfg) {
+  // Collect leaves in source order together with their ancestor chains.
+  std::vector<LeafInfo> leaves;
+  for (const Node* leaf : js::leaves(program)) {
+    LeafInfo info;
+    info.node = leaf;
+    // Enhanced AST: abstracted values with flow-link refinement below.
+    // Regular-AST ablation: raw code2vec-style leaf values (the paper's
+    // Table IV shows this variant collapsing, FPR-first).
+    info.value = cfg.use_dataflow
+                     ? leaf_value(leaf, dataflow)
+                     : raw_value(leaf);
+    const Node* cur = leaf;
+    while (cur != nullptr) {
+      info.ancestors.push_back(cur);
+      if (cur->parent != nullptr) {
+        info.child_index.push_back(index_of_child(cur->parent, cur));
+      }
+      cur = cur->parent;
+    }
+    leaves.push_back(std::move(info));
+  }
+
+  std::vector<PathContext> out;
+  const std::size_t n = leaves.size();
+
+  for (std::size_t i = 0; i < n && out.size() < cfg.max_paths; ++i) {
+    for (std::size_t j = i + 1; j < n && out.size() < cfg.max_paths; ++j) {
+      const LeafInfo& a = leaves[i];
+      const LeafInfo& b = leaves[j];
+
+      // Find the lowest common ancestor by walking both chains from the root
+      // (node ids are preorder, so chains end at the same root).
+      std::size_t ai = a.ancestors.size();
+      std::size_t bi = b.ancestors.size();
+      while (ai > 0 && bi > 0 && a.ancestors[ai - 1] == b.ancestors[bi - 1]) {
+        --ai;
+        --bi;
+      }
+      // a.ancestors[ai] is the first divergent node; LCA is at ai (shared).
+      const std::size_t lca_a = ai;  // number of up-steps from a to LCA
+      const std::size_t lca_b = bi;
+
+      // Path length in nodes: up-chain (lca_a), LCA itself, down-chain.
+      const int length = static_cast<int>(lca_a + lca_b + 1);
+      if (length > cfg.max_length) continue;
+
+      // Width: child-index distance between the two subtrees at the LCA.
+      // When one leaf is an ancestor of the other (degenerate), width is 0.
+      int width = 0;
+      if (lca_a > 0 && lca_b > 0) {
+        const int ca = a.child_index[lca_a - 1];
+        const int cb = b.child_index[lca_b - 1];
+        width = std::abs(ca - cb);
+      }
+      if (width > cfg.max_width) continue;
+
+      PathContext pc;
+      pc.source_leaf = a.node;
+      pc.target_leaf = b.node;
+      pc.source_value = a.value;
+      pc.target_value = b.value;
+      // Flow-linked endpoint refinement. The paper preserves the concrete
+      // name on flow-linked leaves so related paths carry a shared value.
+      // Raw names are rename-fragile and any per-script numbering shifts
+      // when obfuscators prepend machinery, so we encode the
+      // position-independent essence instead: whether the path's two
+      // endpoints are the SAME flow-linked symbol (@vs ... @vs) or two
+      // DIFFERENT ones (@va ... @vb).
+      if (cfg.use_dataflow && dataflow != nullptr) {
+        const int sa = a.node->kind == NodeKind::kIdentifier
+                           ? dataflow->canonical_index(a.node)
+                           : -1;
+        const int sb = b.node->kind == NodeKind::kIdentifier
+                           ? dataflow->canonical_index(b.node)
+                           : -1;
+        if (sa >= 0 && sb >= 0) {
+          if (sa == sb) {
+            pc.source_value = "@vs";
+            pc.target_value = "@vs";
+          } else {
+            pc.source_value = "@va";
+            pc.target_value = "@vb";
+          }
+        }
+      }
+
+      // Render: leafKind ^ ... ^ LCA v ... v leafKind.
+      std::string& path = pc.path;
+      for (std::size_t k = 0; k < lca_a; ++k) {
+        path += js::node_kind_name(a.ancestors[k]->kind);
+        path += '^';
+      }
+      path += js::node_kind_name(a.ancestors[lca_a]->kind);  // the LCA
+      for (std::size_t k = lca_b; k > 0; --k) {
+        path += 'v';
+        path += js::node_kind_name(b.ancestors[k - 1]->kind);
+      }
+      out.push_back(std::move(pc));
+    }
+  }
+  return out;
+}
+
+}  // namespace jsrev::paths

@@ -1,0 +1,59 @@
+// AST path-context extraction over the (enhanced) AST.
+//
+// A path is a triple <x_s, n_1..n_k, x_t> between two AST leaves, where the
+// middle is the node-kind sequence along the tree walk from one leaf up to
+// the lowest common ancestor and down to the other leaf (with direction
+// markers). Limits: maximum path length (node count, default 12) and maximum
+// width (child-index distance at the common ancestor, default 4), following
+// code2vec and the paper.
+//
+// Leaf values:
+//  * identifier leaves that participate in a data-dependency edge keep their
+//    concrete name (so two paths sharing a flow collide on the value);
+//  * all other leaves are abstracted to indicators: `@var_str`, `@var_int`,
+//    `@var_num`, `@var_bool`, `@var_re`, `@var_null`, `@var_obj`, or the
+//    literal's type tag (`@lit_str` etc. become the same @var_ tags to keep
+//    the vocabulary small, matching the paper's examples which use @var_*
+//    for both).
+//
+// When `use_dataflow` is disabled ("regular AST" ablation in Table IV), every
+// leaf is abstracted by syntactic type only.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/dataflow.h"
+#include "js/ast.h"
+
+namespace jsrev::paths {
+
+struct PathConfig {
+  int max_length = 12;  // maximum nodes along the path (k)
+  int max_width = 4;    // maximum child-index distance at the top node
+  bool use_dataflow = true;  // enhanced AST (false = regular-AST ablation)
+  std::size_t max_paths = 20000;  // safety cap per script
+};
+
+struct PathContext {
+  std::string source_value;  // x_s
+  std::string path;          // n_1 ↑ ... ↓ n_k rendered as a string
+  std::string target_value;  // x_t
+  const js::Node* source_leaf = nullptr;
+  const js::Node* target_leaf = nullptr;
+
+  /// Canonical single-string form "x_s|path|x_t" used as the vocabulary key.
+  std::string key() const { return source_value + "|" + path + "|" + target_value; }
+};
+
+/// Abstracted value for a leaf (used for both endpoints). Public for tests.
+std::string leaf_value(const js::Node* leaf,
+                       const analysis::DataFlowInfo* dataflow);
+
+/// Extracts the path contexts of a finalized AST. `dataflow` may be null
+/// when cfg.use_dataflow is false.
+std::vector<PathContext> extract_paths(const js::Node* program,
+                                       const analysis::DataFlowInfo* dataflow,
+                                       const PathConfig& cfg = {});
+
+}  // namespace jsrev::paths

@@ -1,0 +1,41 @@
+#include "paths/vocab.h"
+
+#include <istream>
+#include <ostream>
+
+#include "util/serialize.h"
+
+namespace jsrev::paths {
+
+void PathVocab::save(std::ostream& out) const {
+  ser::write_tag(out, "VOCB");
+  ser::write_u64(out, keys_.size());
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    const PathContext& rep = representative_[i];
+    ser::write_string(out, rep.source_value);
+    ser::write_string(out, rep.path);
+    ser::write_string(out, rep.target_value);
+  }
+}
+
+void PathVocab::load(std::istream& in) {
+  ser::expect_tag(in, "VOCB");
+  const std::uint64_t n = ser::read_u64(in);
+  index_.clear();
+  keys_.clear();
+  representative_.clear();
+  keys_.reserve(n);
+  representative_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    PathContext pc;
+    pc.source_value = ser::read_string(in);
+    pc.path = ser::read_string(in);
+    pc.target_value = ser::read_string(in);
+    const std::int32_t id = add(pc);
+    if (static_cast<std::uint64_t>(id) != i) {
+      throw ser::FormatError("vocabulary contains duplicate path keys");
+    }
+  }
+}
+
+}  // namespace jsrev::paths

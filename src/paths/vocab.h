@@ -1,0 +1,63 @@
+// Path vocabulary: maps canonical path-context strings to dense indices.
+//
+// The embedding model's input is (conceptually) a one-hot vector over this
+// vocabulary, so W·p_i reduces to an embedding-column lookup. The vocabulary
+// also keeps one representative PathContext per entry — the inverse index
+// that powers the Table VII interpretability report (cluster center → the
+// human-readable central path).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "paths/path_extraction.h"
+
+namespace jsrev::paths {
+
+class PathVocab {
+ public:
+  static constexpr std::int32_t kUnknown = -1;
+
+  /// Interns a path key; grows the vocabulary (training-time use).
+  std::int32_t add(const PathContext& pc) {
+    const std::string k = pc.key();
+    const auto it = index_.find(k);
+    if (it != index_.end()) return it->second;
+    const auto id = static_cast<std::int32_t>(keys_.size());
+    index_.emplace(k, id);
+    keys_.push_back(k);
+    representative_.push_back({pc.source_value, pc.path, pc.target_value,
+                               nullptr, nullptr});
+    return id;
+  }
+
+  /// Looks up without growing (inference-time use). kUnknown if absent.
+  std::int32_t lookup(const PathContext& pc) const {
+    const auto it = index_.find(pc.key());
+    return it == index_.end() ? kUnknown : it->second;
+  }
+
+  std::size_t size() const { return keys_.size(); }
+
+  const std::string& key(std::int32_t id) const { return keys_[id]; }
+
+  /// Representative context for a vocabulary entry (leaf pointers unset).
+  const PathContext& representative(std::int32_t id) const {
+    return representative_[id];
+  }
+
+  /// Vocabulary persistence (entries in id order).
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+ private:
+  std::unordered_map<std::string, std::int32_t> index_;
+  std::vector<std::string> keys_;
+  std::vector<PathContext> representative_;
+};
+
+}  // namespace jsrev::paths

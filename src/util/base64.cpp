@@ -1,0 +1,74 @@
+#include "util/base64.h"
+
+#include <array>
+#include <cstdint>
+
+namespace jsrev {
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<std::int8_t, 256> make_decode_table() {
+  std::array<std::int8_t, 256> t{};
+  t.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    t[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  }
+  return t;
+}
+
+}  // namespace
+
+std::string base64_encode(std::string_view data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    const std::uint32_t n = (static_cast<std::uint8_t>(data[i]) << 16) |
+                            (static_cast<std::uint8_t>(data[i + 1]) << 8) |
+                            static_cast<std::uint8_t>(data[i + 2]);
+    out += kAlphabet[(n >> 18) & 63];
+    out += kAlphabet[(n >> 12) & 63];
+    out += kAlphabet[(n >> 6) & 63];
+    out += kAlphabet[n & 63];
+    i += 3;
+  }
+  const std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    const std::uint32_t n = static_cast<std::uint8_t>(data[i]) << 16;
+    out += kAlphabet[(n >> 18) & 63];
+    out += kAlphabet[(n >> 12) & 63];
+    out += "==";
+  } else if (rest == 2) {
+    const std::uint32_t n = (static_cast<std::uint8_t>(data[i]) << 16) |
+                            (static_cast<std::uint8_t>(data[i + 1]) << 8);
+    out += kAlphabet[(n >> 18) & 63];
+    out += kAlphabet[(n >> 12) & 63];
+    out += kAlphabet[(n >> 6) & 63];
+    out += '=';
+  }
+  return out;
+}
+
+std::string base64_decode(std::string_view data) {
+  static const std::array<std::int8_t, 256> table = make_decode_table();
+  std::string out;
+  out.reserve(data.size() / 4 * 3);
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (const char c : data) {
+    if (c == '=' || c == '\n' || c == '\r' || c == ' ') continue;
+    const std::int8_t v = table[static_cast<unsigned char>(c)];
+    if (v < 0) break;
+    buffer = (buffer << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out += static_cast<char>((buffer >> bits) & 0xff);
+    }
+  }
+  return out;
+}
+
+}  // namespace jsrev

@@ -1,0 +1,15 @@
+// Base64 encoding/decoding, used by the string-array obfuscator model.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace jsrev {
+
+/// Standard (RFC 4648) base64 with padding.
+std::string base64_encode(std::string_view data);
+
+/// Decodes base64; ignores whitespace. Invalid characters terminate decoding.
+std::string base64_decode(std::string_view data);
+
+}  // namespace jsrev

@@ -1,0 +1,27 @@
+// FNV-1a hashing utilities used for feature hashing and vocabulary keys.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace jsrev {
+
+/// 64-bit FNV-1a hash of a byte string. Deterministic across platforms.
+constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Mixes an existing hash with another value (for hashing tuples).
+constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                     std::uint64_t value) noexcept {
+  // boost::hash_combine style mixing adapted to 64 bits.
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+  return seed;
+}
+
+}  // namespace jsrev

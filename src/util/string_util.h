@@ -1,0 +1,33 @@
+// Small string helpers shared across the library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jsrev {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Returns `s` with leading/trailing ASCII whitespace removed.
+std::string_view trim(std::string_view s);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Replaces every occurrence of `from` with `to`.
+std::string replace_all(std::string s, std::string_view from,
+                        std::string_view to);
+
+/// Formats a double with `prec` digits after the decimal point.
+std::string fmt(double v, int prec = 1);
+
+/// Escapes a string for inclusion in a double-quoted JS string literal.
+std::string js_escape(std::string_view s);
+
+}  // namespace jsrev

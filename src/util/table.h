@@ -1,0 +1,27 @@
+// Console table rendering for bench output (paper tables/figures).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace jsrev {
+
+/// Builds fixed-width ASCII tables resembling the paper's tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with column alignment and a header separator.
+  std::string to_string() const;
+
+  /// Renders rows as CSV (header first) for machine post-processing.
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace jsrev

@@ -1,0 +1,80 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace jsrev {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Dynamic scheduling over a shared counter: items can have very uneven
+  // cost (file sizes vary by orders of magnitude).
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t shards = std::min(n, workers_.size());
+  for (std::size_t s = 0; s < shards; ++s) {
+    submit([next, n, &fn] {
+      while (true) {
+        const std::size_t i = next->fetch_add(1);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace jsrev

@@ -1,0 +1,51 @@
+// Fixed-size thread pool with a parallel-for helper.
+//
+// Used to parallelize per-file feature extraction across a corpus while
+// keeping each file's processing deterministic (work items are indexed, and
+// any per-item randomness is derived from the item index).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace jsrev {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Runs fn(i) for i in [0, n), distributing across the pool and blocking
+  /// until all iterations complete. fn must be safe to call concurrently.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace jsrev

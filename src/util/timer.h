@@ -1,0 +1,56 @@
+// Wall-clock timing helpers used by the per-stage runtime instrumentation
+// (Table VIII reproduction).
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace jsrev {
+
+/// Simple stopwatch reporting elapsed milliseconds.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/reset, in milliseconds.
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates timing samples and reports mean/stddev, as Table VIII does.
+class TimingStats {
+ public:
+  void add(double ms) { samples_.push_back(ms); }
+
+  std::size_t count() const { return samples_.size(); }
+
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (const double v : samples_) s += v;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  double stddev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double s = 0.0;
+    for (const double v : samples_) s += (v - m) * (v - m);
+    return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace jsrev

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+#include "analysis/pdg.h"
+#include "analysis/scope.h"
+#include "js/parser.h"
+#include "js/visitor.h"
+
+namespace jsrev::analysis {
+namespace {
+
+using js::Node;
+using js::NodeKind;
+
+const Symbol* find_symbol(const ScopeInfo& info, const std::string& name) {
+  for (const auto& sym : info.symbols()) {
+    if (sym->name == name) return sym.get();
+  }
+  return nullptr;
+}
+
+TEST(Scope, GlobalDeclarations) {
+  const js::Ast ast = js::parse("var a = 1; var b = a + 1;");
+  const ScopeInfo info = analyze_scopes(ast.root);
+  const Symbol* a = find_symbol(info, "a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->references.size(), 2u);  // declaration + read
+  EXPECT_EQ(a->writes.size(), 1u);
+  EXPECT_FALSE(a->is_global_implicit);
+}
+
+TEST(Scope, FunctionParamsAreScoped) {
+  const js::Ast ast = js::parse(
+      "var x = 1; function f(x) { return x; } f(x);");
+  const ScopeInfo info = analyze_scopes(ast.root);
+  // Two distinct `x` symbols: global and parameter.
+  int count = 0;
+  for (const auto& sym : info.symbols()) count += sym->name == "x";
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Scope, ImplicitGlobals) {
+  const js::Ast ast = js::parse("document.write(navigator.userAgent);");
+  const ScopeInfo info = analyze_scopes(ast.root);
+  const Symbol* doc = find_symbol(info, "document");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_TRUE(doc->is_global_implicit);
+  const Symbol* nav = find_symbol(info, "navigator");
+  ASSERT_NE(nav, nullptr);
+  EXPECT_TRUE(nav->is_global_implicit);
+}
+
+TEST(Scope, PropertyNamesNotResolved) {
+  const js::Ast ast = js::parse("var obj = {}; obj.foo = 1; use(obj.foo);");
+  const ScopeInfo info = analyze_scopes(ast.root);
+  EXPECT_EQ(find_symbol(info, "foo"), nullptr);
+}
+
+TEST(Scope, VarHoistingAcrossUse) {
+  // `v` is used before its var declaration — still the same symbol.
+  const js::Ast ast = js::parse("function f() { use(v); var v = 1; }");
+  const ScopeInfo info = analyze_scopes(ast.root);
+  const Symbol* v = find_symbol(info, "v");
+  ASSERT_NE(v, nullptr);
+  EXPECT_FALSE(v->is_global_implicit);
+  EXPECT_EQ(v->references.size(), 2u);
+}
+
+TEST(Scope, CatchParamScoped) {
+  const js::Ast ast = js::parse(
+      "var e = 1; try { f(); } catch (e) { log(e); } use(e);");
+  const ScopeInfo info = analyze_scopes(ast.root);
+  int count = 0;
+  for (const auto& sym : info.symbols()) count += sym->name == "e";
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Scope, ClosureResolvesToOuter) {
+  const js::Ast ast = js::parse(
+      "function outer() { var n = 0; return function() { n++; return n; }; }");
+  const ScopeInfo info = analyze_scopes(ast.root);
+  const Symbol* n = find_symbol(info, "n");
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->references.size(), 3u);  // decl + update + read
+}
+
+TEST(Scope, NamedFunctionExpressionSelfReference) {
+  const js::Ast ast = js::parse(
+      "var f = function fact(n) { return n < 2 ? 1 : n * fact(n - 1); };");
+  const ScopeInfo info = analyze_scopes(ast.root);
+  const Symbol* fact = find_symbol(info, "fact");
+  ASSERT_NE(fact, nullptr);
+  EXPECT_FALSE(fact->is_global_implicit);
+}
+
+TEST(DataFlow, SimpleDefUse) {
+  const js::Ast ast = js::parse("var a = 1; var b = a + a;");
+  const ScopeInfo scopes = analyze_scopes(ast.root);
+  const DataFlowInfo flow = analyze_dataflow(ast.root, scopes);
+  // a: one write, two reads -> 2 def-use edges; b: write, no read -> 0.
+  EXPECT_EQ(flow.edges().size(), 2u);
+}
+
+TEST(DataFlow, KilledByRedefinition) {
+  const js::Ast ast = js::parse("var a = 1; use(a); a = 2; use(a);");
+  const ScopeInfo scopes = analyze_scopes(ast.root);
+  const DataFlowInfo flow = analyze_dataflow(ast.root, scopes);
+  // First write reaches first use only; second write reaches second use.
+  EXPECT_EQ(flow.edges().size(), 2u);
+}
+
+TEST(DataFlow, CanonicalIndexSharedAcrossReferences) {
+  const js::Ast ast = js::parse("var a = 1; var b = a + 1; use(b);");
+  const ScopeInfo scopes = analyze_scopes(ast.root);
+  const DataFlowInfo flow = analyze_dataflow(ast.root, scopes);
+
+  std::vector<int> a_indices;
+  js::walk(const_cast<const Node*>(ast.root), [&](const Node* n) {
+    if (n->kind == NodeKind::kIdentifier && n->str == "a") {
+      a_indices.push_back(flow.canonical_index(n));
+    }
+    return true;
+  });
+  ASSERT_EQ(a_indices.size(), 2u);
+  EXPECT_GE(a_indices[0], 0);
+  EXPECT_EQ(a_indices[0], a_indices[1]);
+}
+
+TEST(DataFlow, CanonicalIndexInvariantUnderRenaming) {
+  const js::Ast a1 = js::parse("var count = 1; var total = count + 2; use(total);");
+  const js::Ast a2 = js::parse("var qq = 1; var zz = qq + 2; use(zz);");
+  auto indices = [](const js::Ast& ast) {
+    const ScopeInfo scopes = analyze_scopes(ast.root);
+    const DataFlowInfo flow = analyze_dataflow(ast.root, scopes);
+    std::vector<int> out;
+    js::walk(const_cast<const Node*>(ast.root), [&](const Node* n) {
+      if (n->kind == NodeKind::kIdentifier) {
+        out.push_back(flow.canonical_index(n));
+      }
+      return true;
+    });
+    return out;
+  };
+  EXPECT_EQ(indices(a1), indices(a2));
+}
+
+TEST(DataFlow, NoDependencyForSingleUseVar) {
+  const js::Ast ast = js::parse("var lonely = compute();");
+  const ScopeInfo scopes = analyze_scopes(ast.root);
+  const DataFlowInfo flow = analyze_dataflow(ast.root, scopes);
+  EXPECT_EQ(flow.edges().size(), 0u);
+  EXPECT_EQ(flow.linked_count(), 0u);
+}
+
+TEST(Cfg, StraightLine) {
+  const js::Ast ast = js::parse("a(); b(); c();");
+  const Cfg cfg = build_cfg(ast.root);
+  // entry + exit + 3 statements.
+  EXPECT_EQ(cfg.nodes().size(), 5u);
+  EXPECT_EQ(cfg.nodes()[cfg.entry()].succs.size(), 1u);
+}
+
+TEST(Cfg, IfBranches) {
+  const js::Ast ast = js::parse("if (x) { a(); } else { b(); } c();");
+  const Cfg cfg = build_cfg(ast.root);
+  // The if-test node must have two successors.
+  bool found = false;
+  for (const auto& n : cfg.nodes()) {
+    if (n.stmt != nullptr && n.stmt->kind == NodeKind::kIfStatement) {
+      EXPECT_EQ(n.succs.size(), 2u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Cfg, WhileBackEdge) {
+  const js::Ast ast = js::parse("while (x) { a(); } b();");
+  const Cfg cfg = build_cfg(ast.root);
+  std::size_t test_id = Cfg::npos;
+  for (std::size_t i = 0; i < cfg.nodes().size(); ++i) {
+    if (cfg.nodes()[i].stmt != nullptr &&
+        cfg.nodes()[i].stmt->kind == NodeKind::kWhileStatement) {
+      test_id = i;
+    }
+  }
+  ASSERT_NE(test_id, Cfg::npos);
+  // Loop body's statement flows back to the test.
+  bool has_back_edge = false;
+  for (const auto& n : cfg.nodes()) {
+    for (const std::size_t s : n.succs) {
+      if (s == test_id && n.stmt != nullptr &&
+          n.stmt->kind == NodeKind::kExpressionStatement) {
+        has_back_edge = true;
+      }
+    }
+  }
+  EXPECT_TRUE(has_back_edge);
+}
+
+TEST(Cfg, BreakLeavesLoop) {
+  const js::Ast ast = js::parse("while (x) { if (y) { break; } a(); } b();");
+  const Cfg cfg = build_cfg(ast.root);
+  // The break node's control continues after the loop (not back to test).
+  for (const auto& n : cfg.nodes()) {
+    if (n.stmt != nullptr && n.stmt->kind == NodeKind::kBreakStatement) {
+      ASSERT_EQ(n.succs.size(), 1u);
+      const auto& succ = cfg.nodes()[n.succs[0]];
+      EXPECT_TRUE(succ.stmt == nullptr ||
+                  succ.stmt->kind != NodeKind::kWhileStatement);
+    }
+  }
+}
+
+TEST(Cfg, ReturnGoesToExit) {
+  const js::Ast ast = js::parse("function f() { return 1; unreachable(); }");
+  const auto cfgs = build_all_cfgs(ast.root);
+  ASSERT_EQ(cfgs.size(), 2u);  // top level + function
+  const Cfg& fn = cfgs[1];
+  for (const auto& n : fn.nodes()) {
+    if (n.stmt != nullptr && n.stmt->kind == NodeKind::kReturnStatement) {
+      ASSERT_EQ(n.succs.size(), 1u);
+      EXPECT_TRUE(fn.nodes()[n.succs[0]].is_exit);
+    }
+  }
+}
+
+TEST(Cfg, SwitchFallthroughAndDefault) {
+  const js::Ast ast = js::parse(
+      "switch (x) { case 1: a(); case 2: b(); break; default: c(); } d();");
+  const Cfg cfg = build_cfg(ast.root);
+  // discriminant has an edge to each case entry.
+  for (const auto& n : cfg.nodes()) {
+    if (n.stmt != nullptr && n.stmt->kind == NodeKind::kSwitchStatement) {
+      EXPECT_GE(n.succs.size(), 3u);
+    }
+  }
+}
+
+TEST(Pdg, ControlDependence) {
+  const js::Ast ast = js::parse("if (x) { a(); b(); } c();");
+  const ScopeInfo scopes = analyze_scopes(ast.root);
+  const DataFlowInfo flow = analyze_dataflow(ast.root, scopes);
+  const Pdg pdg = build_pdg(ast.root, scopes, flow);
+  // a() and b() are control-dependent on the if; c() is not.
+  std::size_t if_node = Pdg::npos;
+  for (std::size_t i = 0; i < pdg.nodes().size(); ++i) {
+    if (pdg.nodes()[i].stmt->kind == NodeKind::kIfStatement) if_node = i;
+  }
+  ASSERT_NE(if_node, Pdg::npos);
+  EXPECT_EQ(pdg.nodes()[if_node].control_succs.size(), 2u);
+}
+
+TEST(Pdg, DataDependenceAcrossStatements) {
+  const js::Ast ast = js::parse("var a = f(); g(a); h(a);");
+  const ScopeInfo scopes = analyze_scopes(ast.root);
+  const DataFlowInfo flow = analyze_dataflow(ast.root, scopes);
+  const Pdg pdg = build_pdg(ast.root, scopes, flow);
+  EXPECT_EQ(pdg.data_edge_count(), 2u);
+}
+
+TEST(Pdg, IntraproceduralOnly) {
+  const js::Ast ast = js::parse(
+      "if (x) { function f() { a(); } }");
+  const ScopeInfo scopes = analyze_scopes(ast.root);
+  const DataFlowInfo flow = analyze_dataflow(ast.root, scopes);
+  const Pdg pdg = build_pdg(ast.root, scopes, flow);
+  // a() inside f must NOT be control-dependent on the outer if.
+  for (const auto& n : pdg.nodes()) {
+    if (n.stmt->kind == NodeKind::kIfStatement) {
+      for (const std::size_t s : n.control_succs) {
+        EXPECT_NE(pdg.nodes()[s].stmt->kind, NodeKind::kExpressionStatement);
+      }
+    }
+  }
+}
+
+TEST(Pdg, DedupesRepeatedEdges) {
+  const js::Ast ast = js::parse("var a = 1; use(a + a + a);");
+  const ScopeInfo scopes = analyze_scopes(ast.root);
+  const DataFlowInfo flow = analyze_dataflow(ast.root, scopes);
+  const Pdg pdg = build_pdg(ast.root, scopes, flow);
+  // Three identifier-level edges project to ONE statement-level edge.
+  EXPECT_EQ(pdg.data_edge_count(), 1u);
+}
+
+}  // namespace
+}  // namespace jsrev::analysis

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/cujo.h"
+#include "baselines/detector.h"
+#include "baselines/jast.h"
+#include "baselines/jstap.h"
+#include "baselines/ngram.h"
+#include "baselines/zozzle.h"
+#include "dataset/generator.h"
+#include "util/rng.h"
+
+namespace jsrev::detect {
+namespace {
+
+dataset::Split small_split(std::uint64_t seed) {
+  dataset::GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.benign_count = 80;
+  cfg.malicious_count = 80;
+  const dataset::Corpus corpus = dataset::generate_corpus(cfg);
+  Rng rng(seed + 1);
+  return dataset::split_corpus(corpus, 55, 55, rng);
+}
+
+TEST(NgramVocab, CountFreezeAccumulate) {
+  NgramVocab vocab(2, 100);
+  vocab.count({"a", "b", "c"});        // ab, bc
+  vocab.count({"a", "b", "d"});        // ab, bd
+  vocab.freeze(/*min_count=*/2);
+  EXPECT_EQ(vocab.dims(), 1u);  // only "ab" reaches count 2
+  std::vector<double> f(vocab.dims(), 0.0);
+  vocab.accumulate({"a", "b", "x", "a", "b"}, f);
+  EXPECT_DOUBLE_EQ(f[0], 2.0);
+}
+
+TEST(NgramVocab, UnknownGramsDropped) {
+  NgramVocab vocab(2, 100);
+  vocab.count({"a", "b"});
+  vocab.count({"a", "b"});
+  vocab.freeze(2);
+  std::vector<double> f(vocab.dims(), 0.0);
+  vocab.accumulate({"q", "r", "s"}, f);
+  for (const double v : f) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(NgramVocab, MaxFeaturesCap) {
+  NgramVocab vocab(1, 3);
+  vocab.count({"a", "a", "b", "b", "c", "c", "d", "d", "e", "e"});
+  vocab.freeze(2);
+  EXPECT_EQ(vocab.dims(), 3u);
+}
+
+TEST(NgramHasher, AccumulatesIntoFixedDims) {
+  NgramHasher hasher(3, 16);
+  std::vector<double> f(16, 0.0);
+  hasher.accumulate({"x", "y", "z", "w"}, f);  // 2 trigrams
+  double total = 0;
+  for (const double v : f) total += v;
+  EXPECT_DOUBLE_EQ(total, 2.0);
+}
+
+TEST(NgramHasher, TooShortSequenceIsNoop) {
+  NgramHasher hasher(4, 16);
+  std::vector<double> f(16, 0.0);
+  hasher.accumulate({"x", "y"}, f);
+  for (const double v : f) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(L2Normalize, UnitNorm) {
+  std::vector<double> v = {3.0, 4.0};
+  l2_normalize(v);
+  EXPECT_NEAR(v[0], 0.6, 1e-12);
+  EXPECT_NEAR(v[1], 0.8, 1e-12);
+}
+
+TEST(L2Normalize, ZeroVectorUntouched) {
+  std::vector<double> v = {0.0, 0.0};
+  l2_normalize(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+}
+
+TEST(Cujo, TokenNormalization) {
+  const auto toks = Cujo::normalize_tokens(
+      "var count = 42; f(\"short\", /re/);");
+  // identifiers -> ID, numbers -> NUM, strings bucketed, regex -> REGEX.
+  int id = 0, num = 0, str = 0, regex = 0;
+  for (const auto& t : toks) {
+    id += t == "ID";
+    num += t == "NUM";
+    str += t == "STR.short";
+    regex += t == "REGEX";
+  }
+  EXPECT_EQ(id, 2);
+  EXPECT_EQ(num, 1);
+  EXPECT_EQ(str, 1);
+  EXPECT_EQ(regex, 1);
+}
+
+TEST(Cujo, LongStringBucket) {
+  const auto toks = Cujo::normalize_tokens(
+      "var s = \"aaaaaaaaaaaaaaaaaaaaaaaaaaaa\";");
+  bool found = false;
+  for (const auto& t : toks) found = found || t == "STR.long";
+  EXPECT_TRUE(found);
+}
+
+TEST(Zozzle, ContextFeatures) {
+  const auto feats = Zozzle::context_features(
+      "function f() { if (x) { evil(); } } top();");
+  bool in_if = false, in_script = false;
+  for (const auto& f : feats) {
+    if (f.rfind("if:", 0) == 0) in_if = true;
+    if (f.rfind("script:", 0) == 0) in_script = true;
+  }
+  EXPECT_TRUE(in_if);
+  EXPECT_TRUE(in_script);
+}
+
+TEST(Jast, UnitSequencePreorder) {
+  const auto units = Jast::unit_sequence("var x = 1;");
+  ASSERT_GE(units.size(), 4u);
+  EXPECT_EQ(units[0], "Program");
+  EXPECT_EQ(units[1], "VariableDeclaration");
+}
+
+TEST(Jstap, WalksIncludeEdgeAnnotations) {
+  const auto walks = Jstap::pdg_walks("var a = 1; use(a);");
+  ASSERT_FALSE(walks.empty());
+  bool has_data_edge = false;
+  for (const auto& w : walks) {
+    for (const auto& tok : w) {
+      if (tok.rfind("D:", 0) == 0) has_data_edge = true;
+    }
+  }
+  EXPECT_TRUE(has_data_edge);
+}
+
+TEST(Jstap, ControlEdgesForBranches) {
+  const auto walks = Jstap::pdg_walks("if (x) { a(); }");
+  bool has_control_edge = false;
+  for (const auto& w : walks) {
+    for (const auto& tok : w) {
+      if (tok.rfind("C:", 0) == 0) has_control_edge = true;
+    }
+  }
+  EXPECT_TRUE(has_control_edge);
+}
+
+class BaselineSweep : public ::testing::TestWithParam<BaselineKind> {};
+
+TEST_P(BaselineSweep, TrainsAndSeparatesCleanCorpus) {
+  const dataset::Split split = small_split(42);
+  auto detector = make_baseline(GetParam(), 1);
+  detector->train(split.train);
+  const ml::Metrics m = detector->evaluate(split.test);
+  // All four baselines are strong on unobfuscated data (paper Table V row 1).
+  EXPECT_GE(m.accuracy, 0.70) << detector->name();
+}
+
+TEST_P(BaselineSweep, UnanalyzableInputClassifiedMalicious) {
+  const dataset::Split split = small_split(43);
+  auto detector = make_baseline(GetParam(), 1);
+  detector->train(split.train);
+  // An unterminated string fails even lexing, so every detector's frontend
+  // (including CUJO's purely lexical one) rejects it.
+  EXPECT_EQ(detector->classify("var s = \"unterminated"), 1)
+      << detector->name();
+}
+
+TEST_P(BaselineSweep, NameMatchesKind) {
+  auto detector = make_baseline(GetParam(), 1);
+  EXPECT_EQ(detector->name(), baseline_kind_name(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineSweep,
+                         ::testing::Values(BaselineKind::kCujo,
+                                           BaselineKind::kZozzle,
+                                           BaselineKind::kJast,
+                                           BaselineKind::kJstap),
+                         [](const ::testing::TestParamInfo<BaselineKind>& i) {
+                           return baseline_kind_name(i.param);
+                         });
+
+}  // namespace
+}  // namespace jsrev::detect

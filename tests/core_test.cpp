@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/jsrevealer.h"
+#include "dataset/generator.h"
+#include "obfuscators/obfuscator.h"
+#include "util/rng.h"
+
+namespace jsrev::core {
+namespace {
+
+// Shared small fixture: train one detector once (training is the costly
+// part) and reuse it across the tests that only inspect the trained state.
+class TrainedJsRevealer : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset::GeneratorConfig gc;
+    gc.seed = 7;
+    gc.benign_count = 140;
+    gc.malicious_count = 140;
+    corpus_ = new dataset::Corpus(dataset::generate_corpus(gc));
+    Rng rng(8);
+    split_ = new dataset::Split(dataset::split_corpus(*corpus_, 100, 100, rng));
+
+    Config cfg;
+    cfg.cluster_sample_per_class = 800;
+    cfg.embed_epochs = 8;
+    detector_ = new JsRevealer(cfg);
+    detector_->train(split_->train);
+  }
+
+  static void TearDownTestSuite() {
+    delete detector_;
+    delete split_;
+    delete corpus_;
+    detector_ = nullptr;
+    split_ = nullptr;
+    corpus_ = nullptr;
+  }
+
+  static dataset::Corpus* corpus_;
+  static dataset::Split* split_;
+  static JsRevealer* detector_;
+};
+
+dataset::Corpus* TrainedJsRevealer::corpus_ = nullptr;
+dataset::Split* TrainedJsRevealer::split_ = nullptr;
+JsRevealer* TrainedJsRevealer::detector_ = nullptr;
+
+TEST_F(TrainedJsRevealer, AccurateOnCleanTestSet) {
+  const ml::Metrics m = detector_->evaluate(split_->test);
+  EXPECT_GE(m.accuracy, 0.78);
+  EXPECT_GE(m.f1, 0.78);
+}
+
+TEST_F(TrainedJsRevealer, FeatureCountMatchesClusterConfig) {
+  // k_benign=11 + k_malicious=10 minus removed overlapping clusters.
+  EXPECT_EQ(detector_->feature_count() + detector_->clusters_removed(), 21u);
+  EXPECT_GE(detector_->feature_count(), 10u);
+}
+
+TEST_F(TrainedJsRevealer, FeaturizeIsDeterministic) {
+  const std::string src = split_->test.samples[0].source;
+  EXPECT_EQ(detector_->featurize(src), detector_->featurize(src));
+}
+
+TEST_F(TrainedJsRevealer, FeaturesInUnitInterval) {
+  for (int i = 0; i < 5; ++i) {
+    const auto f = detector_->featurize(split_->test.samples[
+        static_cast<std::size_t>(i)].source);
+    EXPECT_EQ(f.size(), detector_->feature_count());
+    for (const double v : f) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST_F(TrainedJsRevealer, UnparseableInputClassifiedMalicious) {
+  EXPECT_EQ(detector_->classify("function ( { nope"), 1);
+}
+
+TEST_F(TrainedJsRevealer, FeatureReportHasEntries) {
+  const auto report = detector_->feature_report(5);
+  ASSERT_EQ(report.size(), 5u);
+  double prev = 1e9;
+  bool any_benign = false, any_malicious = false, any_path = false;
+  for (const auto& e : report) {
+    EXPECT_LE(e.importance, prev);  // sorted descending
+    prev = e.importance;
+    any_benign = any_benign || e.from_benign;
+    any_malicious = any_malicious || !e.from_benign;
+    any_path = any_path || !e.central_path.empty();
+  }
+  EXPECT_TRUE(any_path);
+  // Both cluster families are usually represented in the top five; at
+  // minimum the report must tag each entry with its provenance.
+  EXPECT_TRUE(any_benign || any_malicious);
+}
+
+TEST_F(TrainedJsRevealer, RobustToJshamanRenaming) {
+  // Variable renaming alone must barely move the verdicts (the paper's
+  // least harmful obfuscator).
+  const auto obf = obf::make_obfuscator(obf::ObfuscatorKind::kJshaman);
+  int agree = 0, total = 0;
+  for (std::size_t i = 0; i < split_->test.samples.size() && total < 30;
+       ++i) {
+    const auto& s = split_->test.samples[i];
+    std::string obfuscated;
+    try {
+      obfuscated = obf->obfuscate(s.source, i);
+    } catch (const std::exception&) {
+      continue;
+    }
+    agree += detector_->classify(s.source) == detector_->classify(obfuscated);
+    ++total;
+  }
+  EXPECT_GE(static_cast<double>(agree) / static_cast<double>(total), 0.85);
+}
+
+TEST_F(TrainedJsRevealer, TimingsPopulated) {
+  const StageTimings& t = detector_->timings();
+  EXPECT_GT(t.enhanced_ast.count(), 0u);
+  EXPECT_GT(t.path_traversal.count(), 0u);
+  EXPECT_GT(t.pretraining.count(), 0u);
+  EXPECT_GT(t.embedding.count(), 0u);
+  EXPECT_GT(t.outlier.count(), 0u);
+  EXPECT_GT(t.clustering.count(), 0u);
+  EXPECT_GT(t.classifying.count(), 0u);
+}
+
+TEST_F(TrainedJsRevealer, DefaultOutlierMethodIsFastAbod) {
+  EXPECT_EQ(detector_->outlier_method(), ml::OutlierMethod::kFastAbod);
+}
+
+TEST(JsRevealerConfig, RegularAstAblationTrains) {
+  dataset::GeneratorConfig gc;
+  gc.seed = 9;
+  gc.benign_count = 50;
+  gc.malicious_count = 50;
+  const dataset::Corpus corpus = dataset::generate_corpus(gc);
+  Rng rng(10);
+  const dataset::Split split = dataset::split_corpus(corpus, 35, 35, rng);
+
+  Config cfg;
+  cfg.path.use_dataflow = false;  // Table IV "regular AST" ablation
+  cfg.k_benign = 5;
+  cfg.k_malicious = 6;
+  cfg.embed_epochs = 6;
+  cfg.cluster_sample_per_class = 500;
+  JsRevealer det(cfg);
+  det.train(split.train);
+  const ml::Metrics m = det.evaluate(split.test);
+  EXPECT_GE(m.accuracy, 0.6);  // works, though weaker than enhanced AST
+}
+
+TEST(JsRevealerConfig, AlternativeClassifierKinds) {
+  dataset::GeneratorConfig gc;
+  gc.seed = 11;
+  gc.benign_count = 70;
+  gc.malicious_count = 70;
+  const dataset::Corpus corpus = dataset::generate_corpus(gc);
+  Rng rng(12);
+  const dataset::Split split = dataset::split_corpus(corpus, 50, 50, rng);
+
+  for (const auto kind : {ml::ClassifierKind::kSvm,
+                          ml::ClassifierKind::kLogisticRegression,
+                          ml::ClassifierKind::kGaussianNaiveBayes}) {
+    Config cfg;
+    cfg.classifier = kind;
+    cfg.embed_epochs = 5;
+    cfg.cluster_sample_per_class = 400;
+    JsRevealer det(cfg);
+    det.train(split.train);
+    const ml::Metrics m = det.evaluate(split.test);
+    // Small fixture: the point is that every classifier plugs in and beats
+    // chance, not that it matches the random forest (Table II's finding).
+    EXPECT_GE(m.accuracy, 0.55) << ml::classifier_kind_name(kind);
+    // Non-forest classifiers provide no importance report.
+    EXPECT_TRUE(det.feature_report(5).empty());
+  }
+}
+
+TEST(JsRevealerConfig, SseCurveMonotonicallyDecreasing) {
+  dataset::GeneratorConfig gc;
+  gc.seed = 13;
+  gc.benign_count = 40;
+  gc.malicious_count = 40;
+  const dataset::Corpus corpus = dataset::generate_corpus(gc);
+
+  Config cfg;
+  cfg.embed_epochs = 5;
+  cfg.cluster_sample_per_class = 400;
+  JsRevealer det(cfg);
+  const auto sse = det.sse_curve(corpus, /*label=*/0, 2, 8);
+  ASSERT_EQ(sse.size(), 7u);
+  for (std::size_t i = 1; i < sse.size(); ++i) {
+    EXPECT_LE(sse[i], sse[i - 1] * 1.05) << "k=" << (2 + i);
+  }
+}
+
+TEST(JsRevealerConfig, OutlierSelectionRuns) {
+  dataset::GeneratorConfig gc;
+  gc.seed = 14;
+  gc.benign_count = 30;
+  gc.malicious_count = 30;
+  const dataset::Corpus corpus = dataset::generate_corpus(gc);
+
+  Config cfg;
+  cfg.run_outlier_selection = true;  // exercise the MetaOD substitute
+  cfg.embed_epochs = 4;
+  cfg.cluster_sample_per_class = 300;
+  JsRevealer det(cfg);
+  det.train(corpus);
+  // Any of the three methods is acceptable; the call must have resolved.
+  const std::string name = ml::outlier_method_name(det.outlier_method());
+  EXPECT_FALSE(name.empty());
+}
+
+}  // namespace
+}  // namespace jsrev::core

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dataset/corpus.h"
+#include "dataset/generator.h"
+#include "js/parser.h"
+#include "util/rng.h"
+
+namespace jsrev::dataset {
+namespace {
+
+TEST(Generator, BenignScriptsParse) {
+  Rng rng(1);
+  for (int i = 0; i < 40; ++i) {
+    std::string genre;
+    const std::string src = generate_benign(rng, &genre);
+    EXPECT_TRUE(js::parses_ok(src)) << genre << "\n" << src;
+    EXPECT_FALSE(genre.empty());
+  }
+}
+
+TEST(Generator, MaliciousScriptsParse) {
+  Rng rng(2);
+  for (int i = 0; i < 40; ++i) {
+    std::string family;
+    const std::string src = generate_malicious(rng, &family);
+    EXPECT_TRUE(js::parses_ok(src)) << family << "\n" << src;
+    EXPECT_FALSE(family.empty());
+  }
+}
+
+TEST(Generator, ScriptsVary) {
+  Rng rng(3);
+  std::set<std::string> sources;
+  for (int i = 0; i < 20; ++i) {
+    sources.insert(generate_benign(rng, nullptr));
+  }
+  EXPECT_EQ(sources.size(), 20u);
+}
+
+TEST(Generator, CorpusRespectsCounts) {
+  GeneratorConfig cfg;
+  cfg.benign_count = 30;
+  cfg.malicious_count = 20;
+  const Corpus corpus = generate_corpus(cfg);
+  EXPECT_EQ(corpus.size(), 50u);
+  EXPECT_EQ(corpus.count_label(0), 30u);
+  EXPECT_EQ(corpus.count_label(1), 20u);
+}
+
+TEST(Generator, CorpusDeterministicForSeed) {
+  GeneratorConfig cfg;
+  cfg.benign_count = 10;
+  cfg.malicious_count = 10;
+  cfg.seed = 99;
+  const Corpus a = generate_corpus(cfg);
+  const Corpus b = generate_corpus(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.samples[i].source, b.samples[i].source);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorConfig a_cfg, b_cfg;
+  a_cfg.benign_count = b_cfg.benign_count = 5;
+  a_cfg.malicious_count = b_cfg.malicious_count = 5;
+  a_cfg.seed = 1;
+  b_cfg.seed = 2;
+  const Corpus a = generate_corpus(a_cfg);
+  const Corpus b = generate_corpus(b_cfg);
+  EXPECT_NE(a.samples[0].source, b.samples[0].source);
+}
+
+TEST(Generator, WholeCorpusParses) {
+  GeneratorConfig cfg;
+  cfg.benign_count = 60;
+  cfg.malicious_count = 60;
+  const Corpus corpus = generate_corpus(cfg);
+  for (const auto& s : corpus.samples) {
+    EXPECT_TRUE(js::parses_ok(s.source)) << s.family;
+  }
+}
+
+TEST(Generator, OriginsModelTableOne) {
+  GeneratorConfig cfg;
+  cfg.benign_count = 200;
+  cfg.malicious_count = 200;
+  const Corpus corpus = generate_corpus(cfg);
+  std::size_t hynek = 0, benign150k = 0;
+  for (const auto& s : corpus.samples) {
+    hynek += s.origin == "hynek-petrak";
+    benign150k += s.origin == "150k-js-dataset";
+  }
+  // Hynek Petrak dominates malicious (39450/42598 in Table I); the 150k
+  // dataset dominates benign (150000/215203).
+  EXPECT_GT(hynek, 160u);
+  EXPECT_GT(benign150k, 110u);
+}
+
+TEST(Generator, WildObfuscationTogglable) {
+  GeneratorConfig with, without;
+  with.benign_count = without.benign_count = 40;
+  with.malicious_count = without.malicious_count = 40;
+  with.seed = without.seed = 7;
+  without.apply_wild_obfuscation = false;
+  const Corpus raw = generate_corpus(without);
+  const Corpus wild = generate_corpus(with);
+  // With wild obfuscation, some sources must differ from the raw run.
+  int differs = 0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    differs += raw.samples[i].source != wild.samples[i].source;
+  }
+  EXPECT_GT(differs, 10);
+}
+
+TEST(Split, SizesAndBalance) {
+  GeneratorConfig cfg;
+  cfg.benign_count = 50;
+  cfg.malicious_count = 50;
+  const Corpus corpus = generate_corpus(cfg);
+  Rng rng(4);
+  const Split split = split_corpus(corpus, 30, 30, rng);
+  EXPECT_EQ(split.train.size(), 60u);
+  EXPECT_EQ(split.train.count_label(0), 30u);
+  EXPECT_EQ(split.train.count_label(1), 30u);
+  EXPECT_EQ(split.test.size(), 40u);
+}
+
+TEST(Split, NoSampleLost) {
+  GeneratorConfig cfg;
+  cfg.benign_count = 20;
+  cfg.malicious_count = 20;
+  const Corpus corpus = generate_corpus(cfg);
+  Rng rng(5);
+  const Split split = split_corpus(corpus, 10, 10, rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), corpus.size());
+}
+
+TEST(Balance, EqualizesClasses) {
+  Corpus corpus;
+  for (int i = 0; i < 30; ++i) corpus.samples.push_back({"b;", 0, "", ""});
+  for (int i = 0; i < 10; ++i) corpus.samples.push_back({"m;", 1, "", ""});
+  Rng rng(6);
+  const Corpus balanced = balance(corpus, rng);
+  EXPECT_EQ(balanced.count_label(0), 10u);
+  EXPECT_EQ(balanced.count_label(1), 10u);
+}
+
+TEST(Balance, EmptyClassYieldsEmpty) {
+  Corpus corpus;
+  corpus.samples.push_back({"b;", 0, "", ""});
+  Rng rng(7);
+  EXPECT_EQ(balance(corpus, rng).size(), 0u);
+}
+
+// Family sweep: each malicious family name appears over a large sample.
+TEST(Generator, AllFamiliesRepresented) {
+  Rng rng(8);
+  std::set<std::string> families;
+  for (int i = 0; i < 200; ++i) {
+    std::string family;
+    generate_malicious(rng, &family);
+    families.insert(family);
+  }
+  EXPECT_GE(families.size(), 6u);
+  EXPECT_TRUE(families.count("dropper"));
+  EXPECT_TRUE(families.count("heap-spray"));
+  EXPECT_TRUE(families.count("web-skimmer"));
+  EXPECT_TRUE(families.count("cryptojacker"));
+}
+
+TEST(Generator, AllGenresRepresented) {
+  Rng rng(9);
+  std::set<std::string> genres;
+  for (int i = 0; i < 400; ++i) {
+    std::string genre;
+    generate_benign(rng, &genre);
+    genres.insert(genre);
+  }
+  EXPECT_GE(genres.size(), 12u);
+}
+
+}  // namespace
+}  // namespace jsrev::dataset

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "js/lexer.h"
+
+namespace jsrev::js {
+namespace {
+
+std::vector<Token> lex(std::string_view src) {
+  Lexer lexer(src);
+  return lexer.tokenize();
+}
+
+TEST(Lexer, EmptyInput) {
+  const auto toks = lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].type, TokenType::kEof);
+}
+
+TEST(Lexer, Identifiers) {
+  const auto toks = lex("foo _bar $baz a1");
+  ASSERT_EQ(toks.size(), 5u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(toks[i].type, TokenType::kIdentifier);
+  }
+  EXPECT_EQ(toks[0].value, "foo");
+  EXPECT_EQ(toks[1].value, "_bar");
+  EXPECT_EQ(toks[2].value, "$baz");
+}
+
+TEST(Lexer, Keywords) {
+  const auto toks = lex("var function if while return");
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(toks[i].type, TokenType::kKeyword) << toks[i].value;
+  }
+}
+
+TEST(Lexer, BooleanAndNull) {
+  const auto toks = lex("true false null");
+  EXPECT_EQ(toks[0].type, TokenType::kBooleanLiteral);
+  EXPECT_EQ(toks[1].type, TokenType::kBooleanLiteral);
+  EXPECT_EQ(toks[2].type, TokenType::kNullLiteral);
+}
+
+TEST(Lexer, DecimalNumbers) {
+  const auto toks = lex("0 42 3.14 .5 1e3 2.5e-2");
+  EXPECT_DOUBLE_EQ(toks[0].numeric_value, 0);
+  EXPECT_DOUBLE_EQ(toks[1].numeric_value, 42);
+  EXPECT_DOUBLE_EQ(toks[2].numeric_value, 3.14);
+  EXPECT_DOUBLE_EQ(toks[3].numeric_value, 0.5);
+  EXPECT_DOUBLE_EQ(toks[4].numeric_value, 1000);
+  EXPECT_DOUBLE_EQ(toks[5].numeric_value, 0.025);
+}
+
+TEST(Lexer, HexBinaryOctalNumbers) {
+  const auto toks = lex("0xff 0b101 0o17");
+  EXPECT_DOUBLE_EQ(toks[0].numeric_value, 255);
+  EXPECT_DOUBLE_EQ(toks[1].numeric_value, 5);
+  EXPECT_DOUBLE_EQ(toks[2].numeric_value, 15);
+}
+
+TEST(Lexer, NumberFollowedByDotCall) {
+  // `1..toString()` style is rare; but `x.e1` must not lex as exponent.
+  const auto toks = lex("x.e1");
+  EXPECT_EQ(toks[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(toks[1].value, ".");
+  EXPECT_EQ(toks[2].value, "e1");
+}
+
+TEST(Lexer, StringEscapes) {
+  const auto toks = lex(R"JS("a\nb" 'c\td' "q\"x" "\x41" "B")JS");
+  EXPECT_EQ(toks[0].string_value, "a\nb");
+  EXPECT_EQ(toks[1].string_value, "c\td");
+  EXPECT_EQ(toks[2].string_value, "q\"x");
+  EXPECT_EQ(toks[3].string_value, "A");
+  EXPECT_EQ(toks[4].string_value, "B");
+}
+
+TEST(Lexer, UnicodeEscapeNonAscii) {
+  const auto toks = lex(R"("中")");
+  EXPECT_EQ(toks[0].string_value, "\xe4\xb8\xad");  // UTF-8 for U+4E2D
+}
+
+TEST(Lexer, TemplateLiteral) {
+  const auto toks = lex("`hello world`");
+  EXPECT_EQ(toks[0].type, TokenType::kTemplateString);
+  EXPECT_EQ(toks[0].string_value, "hello world");
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(lex("\"abc"), LexError);
+}
+
+TEST(Lexer, UnterminatedCommentThrows) {
+  EXPECT_THROW(lex("/* abc"), LexError);
+}
+
+TEST(Lexer, LineComment) {
+  const auto toks = lex("a // comment\nb");
+  EXPECT_EQ(toks[0].value, "a");
+  EXPECT_EQ(toks[1].value, "b");
+  EXPECT_TRUE(toks[1].newline_before);
+}
+
+TEST(Lexer, BlockCommentTracksNewline) {
+  const auto toks = lex("a /* x\ny */ b");
+  EXPECT_TRUE(toks[1].newline_before);
+}
+
+TEST(Lexer, RegexAfterOperator) {
+  const auto toks = lex("x = /ab+c/gi;");
+  EXPECT_EQ(toks[2].type, TokenType::kRegexLiteral);
+  EXPECT_EQ(toks[2].value, "/ab+c/gi");
+}
+
+TEST(Lexer, DivisionAfterIdentifier) {
+  const auto toks = lex("a / b");
+  EXPECT_EQ(toks[1].type, TokenType::kPunctuator);
+  EXPECT_EQ(toks[1].value, "/");
+}
+
+TEST(Lexer, DivisionAfterCloseParen) {
+  const auto toks = lex("(a) / b");
+  EXPECT_EQ(toks[3].value, "/");
+  EXPECT_EQ(toks[3].type, TokenType::kPunctuator);
+}
+
+TEST(Lexer, RegexWithCharClassSlash) {
+  const auto toks = lex("x = /[/]/;");
+  EXPECT_EQ(toks[2].type, TokenType::kRegexLiteral);
+}
+
+TEST(Lexer, RegexAfterReturn) {
+  const auto toks = lex("return /x/;");
+  EXPECT_EQ(toks[1].type, TokenType::kRegexLiteral);
+}
+
+TEST(Lexer, MultiCharPunctuators) {
+  const auto toks = lex("=== !== >>> <<= && || ++ -- => ...");
+  const std::vector<std::string> expect = {"===", "!==", ">>>", "<<=", "&&",
+                                           "||",  "++",  "--",  "=>",  "..."};
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(toks[i].value, expect[i]);
+  }
+}
+
+TEST(Lexer, LineNumbersTracked) {
+  const auto toks = lex("a\nb\n\nc");
+  EXPECT_EQ(toks[0].line, 1u);
+  EXPECT_EQ(toks[1].line, 2u);
+  EXPECT_EQ(toks[2].line, 4u);
+}
+
+TEST(Lexer, NewlineBeforeFlag) {
+  const auto toks = lex("a b\nc");
+  EXPECT_FALSE(toks[1].newline_before);
+  EXPECT_TRUE(toks[2].newline_before);
+}
+
+TEST(Lexer, UnexpectedCharacterThrows) {
+  EXPECT_THROW(lex("a # b"), LexError);
+}
+
+}  // namespace
+}  // namespace jsrev::js

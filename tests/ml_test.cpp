@@ -1,0 +1,462 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ml/attention_model.h"
+#include "ml/classifier.h"
+#include "ml/decision_tree.h"
+#include "ml/kmeans.h"
+#include "ml/linear_models.h"
+#include "ml/matrix.h"
+#include "ml/metrics.h"
+#include "ml/naive_bayes.h"
+#include "ml/outlier.h"
+#include "ml/scaler.h"
+#include "util/rng.h"
+
+namespace jsrev::ml {
+namespace {
+
+// Two well-separated Gaussian blobs in d dimensions.
+struct Blobs {
+  Matrix x;
+  std::vector<int> y;
+};
+
+Blobs make_blobs(std::size_t per_class, std::size_t d, double separation,
+                 std::uint64_t seed) {
+  Rng rng(seed);
+  Blobs b;
+  b.x = Matrix(per_class * 2, d);
+  b.y.resize(per_class * 2);
+  for (std::size_t i = 0; i < per_class * 2; ++i) {
+    const int label = i < per_class ? 0 : 1;
+    b.y[i] = label;
+    for (std::size_t j = 0; j < d; ++j) {
+      b.x(i, j) = rng.normal() + (label == 1 ? separation : 0.0);
+    }
+  }
+  return b;
+}
+
+TEST(Metrics, PerfectPrediction) {
+  const Metrics m = compute_metrics({1, 0, 1, 0}, {1, 0, 1, 0});
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_DOUBLE_EQ(m.fpr, 0.0);
+  EXPECT_DOUBLE_EQ(m.fnr, 0.0);
+}
+
+TEST(Metrics, AllWrong) {
+  const Metrics m = compute_metrics({1, 0}, {0, 1});
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(m.fpr, 1.0);
+  EXPECT_DOUBLE_EQ(m.fnr, 1.0);
+}
+
+TEST(Metrics, KnownConfusion) {
+  // truth: 4 pos, 4 neg. predictions: 3 TP 1 FN, 1 FP 3 TN.
+  const Metrics m = compute_metrics({1, 1, 1, 1, 0, 0, 0, 0},
+                                    {1, 1, 1, 0, 1, 0, 0, 0});
+  EXPECT_EQ(m.cm.tp, 3u);
+  EXPECT_EQ(m.cm.fn, 1u);
+  EXPECT_EQ(m.cm.fp, 1u);
+  EXPECT_EQ(m.cm.tn, 3u);
+  EXPECT_DOUBLE_EQ(m.precision, 0.75);
+  EXPECT_DOUBLE_EQ(m.recall, 0.75);
+  EXPECT_DOUBLE_EQ(m.f1, 0.75);
+  EXPECT_DOUBLE_EQ(m.fpr, 0.25);
+  EXPECT_DOUBLE_EQ(m.fnr, 0.25);
+}
+
+TEST(Metrics, FprFnrIndependentOfClassRatio) {
+  // Duplicate the negative class 3x: FPR/FNR must not change.
+  const Metrics a = compute_metrics({1, 1, 0, 0}, {1, 0, 1, 0});
+  const Metrics b = compute_metrics({1, 1, 0, 0, 0, 0, 0, 0},
+                                    {1, 0, 1, 0, 1, 0, 1, 0});
+  EXPECT_DOUBLE_EQ(a.fnr, b.fnr);
+  EXPECT_DOUBLE_EQ(a.fpr, b.fpr);
+}
+
+TEST(Metrics, AverageMetrics) {
+  Metrics m1, m2;
+  m1.accuracy = 0.8;
+  m2.accuracy = 1.0;
+  const Metrics avg = average_metrics({m1, m2});
+  EXPECT_DOUBLE_EQ(avg.accuracy, 0.9);
+}
+
+TEST(Scaler, MapsToUnitInterval) {
+  Matrix x(3, 2);
+  x(0, 0) = 0; x(0, 1) = 10;
+  x(1, 0) = 5; x(1, 1) = 20;
+  x(2, 0) = 10; x(2, 1) = 30;
+  MinMaxScaler scaler;
+  const Matrix t = scaler.fit_transform(x);
+  EXPECT_DOUBLE_EQ(t(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(t(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t(2, 1), 1.0);
+}
+
+TEST(Scaler, ClampsUnseenValues) {
+  Matrix x(2, 1);
+  x(0, 0) = 0;
+  x(1, 0) = 1;
+  MinMaxScaler scaler;
+  scaler.fit(x);
+  double row[1] = {5.0};
+  scaler.transform_row(row);
+  EXPECT_DOUBLE_EQ(row[0], 1.0);
+}
+
+TEST(Scaler, ConstantFeatureYieldsZero) {
+  Matrix x(2, 1);
+  x(0, 0) = 7;
+  x(1, 0) = 7;
+  MinMaxScaler scaler;
+  scaler.fit(x);
+  double row[1] = {7.0};
+  scaler.transform_row(row);
+  EXPECT_DOUBLE_EQ(row[0], 0.0);
+}
+
+TEST(KMeans, RecoversSeparatedClusters) {
+  const Blobs b = make_blobs(50, 4, 10.0, 1);
+  KMeansConfig cfg;
+  cfg.k = 2;
+  const Clustering c = kmeans(b.x, cfg);
+  // Each true class must map to one cluster homogeneously.
+  int first_cluster = c.assignment[0];
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(c.assignment[i], first_cluster);
+  }
+  for (std::size_t i = 50; i < 100; ++i) {
+    EXPECT_NE(c.assignment[i], first_cluster);
+  }
+}
+
+TEST(KMeans, SseDecreasesWithK) {
+  const Blobs b = make_blobs(60, 3, 3.0, 2);
+  double prev = 1e300;
+  for (int k = 1; k <= 6; ++k) {
+    KMeansConfig cfg;
+    cfg.k = k;
+    const Clustering c = bisecting_kmeans(b.x, cfg);
+    EXPECT_LE(c.sse, prev + 1e-9) << "k=" << k;
+    prev = c.sse;
+  }
+}
+
+TEST(BisectingKMeans, ProducesKClusters) {
+  const Blobs b = make_blobs(40, 5, 6.0, 3);
+  KMeansConfig cfg;
+  cfg.k = 5;
+  const Clustering c = bisecting_kmeans(b.x, cfg);
+  EXPECT_EQ(c.centroids.rows(), 5u);
+  EXPECT_EQ(c.sizes.size(), 5u);
+  std::size_t total = 0;
+  for (const std::size_t s : c.sizes) total += s;
+  EXPECT_EQ(total, b.x.rows());
+}
+
+TEST(BisectingKMeans, KLargerThanPointsClamped) {
+  Matrix x(3, 2);
+  x(0, 0) = 0; x(1, 0) = 5; x(2, 0) = 10;
+  KMeansConfig cfg;
+  cfg.k = 10;
+  const Clustering c = bisecting_kmeans(x, cfg);
+  EXPECT_LE(c.centroids.rows(), 3u);
+}
+
+TEST(BisectingKMeans, DeterministicForSeed) {
+  const Blobs b = make_blobs(30, 4, 4.0, 4);
+  KMeansConfig cfg;
+  cfg.k = 4;
+  const Clustering c1 = bisecting_kmeans(b.x, cfg);
+  const Clustering c2 = bisecting_kmeans(b.x, cfg);
+  EXPECT_EQ(c1.assignment, c2.assignment);
+  EXPECT_DOUBLE_EQ(c1.sse, c2.sse);
+}
+
+TEST(NearestCentroid, PicksClosest) {
+  Matrix centroids(2, 2);
+  centroids(0, 0) = 0; centroids(0, 1) = 0;
+  centroids(1, 0) = 10; centroids(1, 1) = 10;
+  const double p1[2] = {1, 1};
+  const double p2[2] = {9, 9};
+  EXPECT_EQ(nearest_centroid(centroids, p1), 0);
+  EXPECT_EQ(nearest_centroid(centroids, p2), 1);
+  EXPECT_NEAR(nearest_centroid_distance(centroids, p1), std::sqrt(2.0), 1e-9);
+}
+
+TEST(Outlier, FastAbodFlagsInjectedOutlier) {
+  Rng rng(5);
+  Matrix x(51, 3);
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) x(i, j) = rng.normal();
+  }
+  // A far-away point.
+  x(50, 0) = 60;
+  x(50, 1) = -55;
+  x(50, 2) = 70;
+  OutlierConfig cfg;
+  cfg.contamination = 0.05;
+  const OutlierResult r = fastabod(x, cfg);
+  EXPECT_TRUE(r.is_outlier[50]);
+}
+
+TEST(Outlier, KnnFlagsInjectedOutlier) {
+  Rng rng(6);
+  Matrix x(41, 2);
+  for (std::size_t i = 0; i < 40; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = rng.normal();
+  }
+  x(40, 0) = 100;
+  x(40, 1) = 100;
+  OutlierConfig cfg;
+  cfg.contamination = 0.05;
+  const OutlierResult r = knn_outlier(x, cfg);
+  EXPECT_TRUE(r.is_outlier[40]);
+}
+
+TEST(Outlier, LofFlagsInjectedOutlier) {
+  Rng rng(7);
+  Matrix x(41, 2);
+  for (std::size_t i = 0; i < 40; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = rng.normal();
+  }
+  x(40, 0) = 50;
+  x(40, 1) = 50;
+  OutlierConfig cfg;
+  cfg.contamination = 0.05;
+  const OutlierResult r = lof(x, cfg);
+  EXPECT_TRUE(r.is_outlier[40]);
+}
+
+TEST(Outlier, ContaminationControlsCount) {
+  const Blobs b = make_blobs(50, 3, 0.0, 8);
+  OutlierConfig cfg;
+  cfg.contamination = 0.2;
+  const OutlierResult r = fastabod(b.x, cfg);
+  EXPECT_EQ(r.outlier_count, static_cast<std::size_t>(0.2 * 100));
+}
+
+TEST(Outlier, TinyInputsSafe)  {
+  Matrix x(2, 2);
+  const OutlierResult r = fastabod(x, {});
+  EXPECT_EQ(r.scores.size(), 2u);
+  EXPECT_FALSE(r.is_outlier[0]);
+}
+
+TEST(Outlier, SelectorReturnsValidMethod) {
+  const Blobs b = make_blobs(40, 3, 1.0, 9);
+  const OutlierMethod m = select_outlier_method(b.x, {});
+  EXPECT_FALSE(outlier_method_name(m).empty());
+  // Running the selected method must work.
+  const OutlierResult r = run_outlier(m, b.x, {});
+  EXPECT_EQ(r.scores.size(), b.x.rows());
+}
+
+// ---- classifiers: parameterized over all kinds --------------------------
+
+class ClassifierSweep : public ::testing::TestWithParam<ClassifierKind> {};
+
+TEST_P(ClassifierSweep, LearnsSeparableBlobs) {
+  const Blobs train = make_blobs(80, 6, 4.0, 11);
+  const Blobs test = make_blobs(40, 6, 4.0, 12);
+  auto clf = make_classifier(GetParam(), 1);
+  clf->fit(train.x, train.y);
+  const Metrics m = clf->evaluate(test.x, test.y);
+  EXPECT_GE(m.accuracy, 0.9) << clf->name();
+}
+
+TEST_P(ClassifierSweep, HandlesSingleClassGracefully) {
+  Matrix x(10, 3);
+  std::vector<int> y(10, 0);
+  Rng rng(13);
+  for (auto& v : x.data()) v = rng.normal();
+  auto clf = make_classifier(GetParam(), 1);
+  clf->fit(x, y);
+  EXPECT_EQ(clf->predict(x.row(0)), 0) << clf->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ClassifierSweep,
+    ::testing::Values(ClassifierKind::kSvm,
+                      ClassifierKind::kLogisticRegression,
+                      ClassifierKind::kDecisionTree,
+                      ClassifierKind::kGaussianNaiveBayes,
+                      ClassifierKind::kBernoulliNaiveBayes,
+                      ClassifierKind::kRandomForest),
+    [](const ::testing::TestParamInfo<ClassifierKind>& info) {
+      return classifier_kind_name(info.param);
+    });
+
+TEST(DecisionTree, AxisAlignedSplit) {
+  // 1-D threshold problem: x < 0 -> 0, x > 0 -> 1.
+  Matrix x(20, 1);
+  std::vector<int> y(20);
+  for (int i = 0; i < 20; ++i) {
+    x(static_cast<std::size_t>(i), 0) = i < 10 ? -1.0 - i : 1.0 + i;
+    y[static_cast<std::size_t>(i)] = i < 10 ? 0 : 1;
+  }
+  DecisionTree tree;
+  tree.fit(x, y);
+  // The split threshold lies midway between -1 and 11; probe clear of it.
+  const double neg[1] = {-3.0};
+  const double pos[1] = {8.0};
+  EXPECT_EQ(tree.predict(neg), 0);
+  EXPECT_EQ(tree.predict(pos), 1);
+}
+
+TEST(DecisionTree, XorNeedsDepth) {
+  // XOR is not linearly separable; a depth-2 tree handles it.
+  Matrix x(4, 2);
+  x(0, 0) = 0; x(0, 1) = 0;
+  x(1, 0) = 0; x(1, 1) = 1;
+  x(2, 0) = 1; x(2, 1) = 0;
+  x(3, 0) = 1; x(3, 1) = 1;
+  const std::vector<int> y = {0, 1, 1, 0};
+  TreeConfig cfg;
+  cfg.min_samples_split = 2;
+  DecisionTree tree(cfg);
+  tree.fit(x, y);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(tree.predict(x.row(i)), y[i]);
+  }
+}
+
+TEST(RandomForest, FeatureImportancesSumToOne) {
+  const Blobs b = make_blobs(60, 5, 3.0, 14);
+  RandomForest forest;
+  forest.fit(b.x, b.y);
+  const auto imp = forest.feature_importances();
+  ASSERT_EQ(imp.size(), 5u);
+  double sum = 0;
+  for (const double v : imp) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(RandomForest, ImportanceConcentratesOnInformativeFeature) {
+  // Only feature 0 carries signal.
+  Rng rng(15);
+  Matrix x(200, 4);
+  std::vector<int> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    y[i] = i % 2 == 0 ? 0 : 1;
+    x(i, 0) = (y[i] == 1 ? 5.0 : -5.0) + rng.normal() * 0.1;
+    for (std::size_t j = 1; j < 4; ++j) x(i, j) = rng.normal();
+  }
+  RandomForest forest;
+  forest.fit(x, y);
+  const auto imp = forest.feature_importances();
+  EXPECT_GT(imp[0], 0.8);
+}
+
+TEST(LinearSvm, DecisionFunctionSign) {
+  const Blobs b = make_blobs(100, 2, 6.0, 16);
+  LinearSvm svm;
+  svm.fit(b.x, b.y);
+  EXPECT_LT(svm.decision_function(b.x.row(0)), 0.0);
+  EXPECT_GT(svm.decision_function(b.x.row(150)), 0.0);
+}
+
+TEST(LogisticRegression, ProbabilitiesCalibratedDirection) {
+  const Blobs b = make_blobs(100, 2, 6.0, 17);
+  LogisticRegression lr;
+  lr.fit(b.x, b.y);
+  EXPECT_LT(lr.predict_proba(b.x.row(0)), 0.5);
+  EXPECT_GT(lr.predict_proba(b.x.row(150)), 0.5);
+}
+
+TEST(AttentionModel, LearnsToSeparateByPathIds) {
+  // Scripts of class 1 contain paths {0..4}; class 0 contain {5..9}.
+  AttentionModelConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.epochs = 40;
+  AttentionModel model(cfg);
+  std::vector<ScriptPaths> scripts;
+  Rng rng(18);
+  for (int i = 0; i < 60; ++i) {
+    ScriptPaths s;
+    s.label = i % 2;
+    for (int j = 0; j < 6; ++j) {
+      s.path_ids.push_back(static_cast<std::int32_t>(
+          (s.label == 1 ? 0 : 5) + rng.below(5)));
+    }
+    scripts.push_back(std::move(s));
+  }
+  const double loss = model.train(scripts, 10);
+  EXPECT_LT(loss, 0.2);
+  EXPECT_GT(model.predict_malicious({0, 1, 2}), 0.5);
+  EXPECT_LT(model.predict_malicious({5, 6, 7}), 0.5);
+}
+
+TEST(AttentionModel, EmbedSkipsUnknownIds) {
+  AttentionModelConfig cfg;
+  cfg.embedding_dim = 4;
+  cfg.epochs = 1;
+  AttentionModel model(cfg);
+  model.train({{{0, 1}, 0}, {{2, 3}, 1}}, 4);
+  const EmbeddedScript e = model.embed({0, -1, 99, 2});
+  EXPECT_EQ(e.embeddings.rows(), 2u);
+  EXPECT_EQ(e.path_ids.size(), 2u);
+}
+
+TEST(AttentionModel, WeightsSumToOne) {
+  AttentionModelConfig cfg;
+  cfg.embedding_dim = 4;
+  cfg.epochs = 2;
+  AttentionModel model(cfg);
+  model.train({{{0, 1, 2}, 0}, {{3, 4}, 1}}, 5);
+  const EmbeddedScript e = model.embed({0, 1, 2, 3});
+  double sum = 0;
+  for (const double w : e.weights) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(AttentionModel, EmptyScriptSafe) {
+  AttentionModelConfig cfg;
+  cfg.embedding_dim = 4;
+  cfg.epochs = 1;
+  AttentionModel model(cfg);
+  model.train({{{0}, 0}, {{1}, 1}}, 2);
+  const EmbeddedScript e = model.embed({});
+  EXPECT_EQ(e.embeddings.rows(), 0u);
+  EXPECT_EQ(model.predict_malicious({}), 0.5);
+}
+
+TEST(AttentionModel, EmbeddingsBoundedByTanh) {
+  AttentionModelConfig cfg;
+  cfg.embedding_dim = 6;
+  cfg.epochs = 5;
+  AttentionModel model(cfg);
+  model.train({{{0, 1}, 0}, {{2, 3}, 1}}, 4);
+  for (std::int32_t id = 0; id < 4; ++id) {
+    for (const double v : model.path_embedding(id)) {
+      EXPECT_LE(std::fabs(v), 1.0);
+    }
+  }
+}
+
+TEST(AttentionModel, DeterministicForSeed) {
+  AttentionModelConfig cfg;
+  cfg.embedding_dim = 4;
+  cfg.epochs = 3;
+  cfg.seed = 77;
+  std::vector<ScriptPaths> scripts = {{{0, 1}, 0}, {{2, 3}, 1}};
+  AttentionModel m1(cfg), m2(cfg);
+  m1.train(scripts, 4);
+  m2.train(scripts, 4);
+  EXPECT_EQ(m1.path_embedding(0), m2.path_embedding(0));
+}
+
+}  // namespace
+}  // namespace jsrev::ml

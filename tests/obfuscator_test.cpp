@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "js/parser.h"
+#include "js/printer.h"
+#include "js/visitor.h"
+#include "obfuscators/obfuscator.h"
+#include "obfuscators/transforms.h"
+#include "util/rng.h"
+
+namespace jsrev::obf {
+namespace {
+
+using js::Node;
+using js::NodeKind;
+
+const std::string kSample = R"JS(
+var config = {retries: 3, mode: "fast"};
+function fetchData(url, callback) {
+  var attempts = 0;
+  function attempt() {
+    attempts = attempts + 1;
+    if (attempts > config.retries) {
+      callback("too many retries", null);
+      return;
+    }
+    send(url, callback);
+  }
+  attempt();
+}
+fetchData("/api/items", function(err, data) {
+  var message = "got " + data;
+  log(message);
+});
+)JS";
+
+int count_kind(const Node* root, NodeKind k) {
+  int n = 0;
+  js::walk_all(root, [&](const Node* node) { n += node->kind == k; });
+  return n;
+}
+
+bool has_identifier(const Node* root, const std::string& name) {
+  bool found = false;
+  js::walk(root, [&](const Node* n) {
+    if (n->kind == NodeKind::kIdentifier && n->str == name) found = true;
+    return !found;
+  });
+  return found;
+}
+
+TEST(MakeName, StylesAreDistinct) {
+  Rng rng(1);
+  EXPECT_EQ(make_name(NameStyle::kHex, 0, rng).substr(0, 3), "_0x");
+  EXPECT_EQ(make_name(NameStyle::kFog, 7, rng), "fog7");
+  const std::string s0 = make_name(NameStyle::kShort, 0, rng);
+  const std::string s25 = make_name(NameStyle::kShort, 25, rng);
+  const std::string s26 = make_name(NameStyle::kShort, 26, rng);
+  EXPECT_EQ(s0, "a_");
+  EXPECT_EQ(s25, "z_");
+  EXPECT_EQ(s26, "aa_");
+}
+
+TEST(MakeName, UniquePerIndex) {
+  Rng rng(2);
+  std::set<std::string> names;
+  for (int i = 0; i < 100; ++i) {
+    names.insert(make_name(NameStyle::kGibberish, i, rng));
+  }
+  EXPECT_EQ(names.size(), 100u);
+}
+
+TEST(RenameVariables, RenamesDeclaredKeepsGlobals) {
+  js::Ast ast = js::parse(kSample);
+  Rng rng(3);
+  const int renamed = rename_variables(ast, NameStyle::kGibberish, rng);
+  EXPECT_GT(renamed, 0);
+  // Declared names are gone; external APIs survive.
+  EXPECT_FALSE(has_identifier(ast.root, "attempts"));
+  EXPECT_FALSE(has_identifier(ast.root, "config"));
+  EXPECT_TRUE(has_identifier(ast.root, "send"));
+  EXPECT_TRUE(has_identifier(ast.root, "log"));
+  // Property names survive (config.retries -> X.retries).
+  bool retries_prop = false;
+  js::walk(const_cast<const Node*>(ast.root), [&](const Node* n) {
+    if (n->kind == NodeKind::kMemberExpression &&
+        !n->has_flag(Node::kComputed) && n->children[1]->str == "retries") {
+      retries_prop = true;
+    }
+    return true;
+  });
+  EXPECT_TRUE(retries_prop);
+  EXPECT_TRUE(js::parses_ok(js::print(ast.root)));
+}
+
+TEST(RenameVariables, ConsistentWithinSymbol) {
+  js::Ast ast = js::parse("var abc = 1; use(abc); abc = abc + 1;");
+  Rng rng(4);
+  rename_variables(ast, NameStyle::kShort, rng);
+  // All four occurrences of `abc` share one new name.
+  std::set<std::string> names;
+  js::walk(const_cast<const Node*>(ast.root), [&](const Node* n) {
+    if (n->kind == NodeKind::kIdentifier && n->str != "use") {
+      names.insert(n->str);
+    }
+    return true;
+  });
+  EXPECT_EQ(names.size(), 1u);
+}
+
+TEST(ExtractStringArray, ReplacesLiteralsWithGetterCalls) {
+  js::Ast ast = js::parse("var a = \"hello\"; var b = \"world\"; f(\"hello\");");
+  Rng rng(5);
+  const int n = extract_string_array(ast, rng, /*encode=*/false);
+  EXPECT_EQ(n, 3);
+  const std::string out = js::print(ast.root);
+  EXPECT_TRUE(js::parses_ok(out));
+  // Original plaintext strings no longer appear as direct literals in
+  // expression positions; they live in the table.
+  const js::Ast re = js::parse(out);
+  int direct_hello = 0;
+  js::walk(const_cast<const Node*>(re.root), [&](const Node* node) {
+    if (node->kind == NodeKind::kLiteral &&
+        node->lit == js::LiteralType::kString && node->str == "hello" &&
+        node->parent != nullptr &&
+        node->parent->kind != NodeKind::kArrayExpression) {
+      ++direct_hello;
+    }
+    return true;
+  });
+  EXPECT_EQ(direct_hello, 0);
+}
+
+TEST(ExtractStringArray, EncodedTableIsBase64) {
+  js::Ast ast = js::parse("var a = \"hello\";");
+  Rng rng(6);
+  extract_string_array(ast, rng, /*encode=*/true);
+  const std::string out = js::print(ast.root);
+  EXPECT_NE(out.find("aGVsbG8="), std::string::npos) << out;
+  EXPECT_NE(out.find("atob"), std::string::npos);
+}
+
+TEST(ExtractStringArray, ObjectKeysUntouched) {
+  js::Ast ast = js::parse("var o = {key: \"value\"};");
+  Rng rng(7);
+  extract_string_array(ast, rng, false);
+  const js::Ast re = js::parse(js::print(ast.root));
+  // The property key is still an identifier/literal key.
+  const Node* prop = nullptr;
+  js::walk(const_cast<const Node*>(re.root), [&](const Node* n) {
+    if (n->kind == NodeKind::kProperty) prop = n;
+    return true;
+  });
+  ASSERT_NE(prop, nullptr);
+  EXPECT_EQ(prop->children[0]->kind, NodeKind::kIdentifier);
+}
+
+TEST(FlattenControlFlow, RewritesEligibleBody) {
+  js::Ast ast = js::parse(
+      "function f() { var a = g1(); var b = g2(a); h(a, b); done(); }");
+  Rng rng(8);
+  const int flattened = flatten_control_flow(ast, rng, 3);
+  EXPECT_EQ(flattened, 1);
+  const std::string out = js::print(ast.root);
+  EXPECT_TRUE(js::parses_ok(out));
+  EXPECT_NE(out.find("switch"), std::string::npos);
+  EXPECT_NE(out.find("while"), std::string::npos);
+  // Var names hoisted.
+  const js::Ast re = js::parse(out);
+  EXPECT_GT(count_kind(re.root, NodeKind::kSwitchCase), 2);
+}
+
+TEST(FlattenControlFlow, SkipsBodiesWithBreak) {
+  js::Ast ast = js::parse(
+      "function f() { a(); b(); break; }");  // not even legal JS semantics,
+  // but the transform must refuse bodies containing bare break.
+  Rng rng(9);
+  const int flattened = flatten_control_flow(ast, rng, 2);
+  EXPECT_EQ(flattened, 0);
+}
+
+TEST(FlattenControlFlow, SkipsLetConstBodies) {
+  js::Ast ast = js::parse("function f() { let a = 1; use(a); more(); }");
+  Rng rng(10);
+  EXPECT_EQ(flatten_control_flow(ast, rng, 2), 0);
+}
+
+TEST(InjectDeadCode, AddsStatements) {
+  js::Ast ast = js::parse("a(); b(); c();");
+  const int before = count_kind(ast.root, NodeKind::kExpressionStatement);
+  Rng rng(11);
+  const int injected = inject_dead_code(ast, rng, /*density=*/1.0);
+  EXPECT_GT(injected, 0);
+  EXPECT_TRUE(js::parses_ok(js::print(ast.root)));
+  const int after = count_kind(ast.root, NodeKind::kExpressionStatement);
+  EXPECT_GE(after, before);
+}
+
+TEST(InjectDeadCode, ZeroDensityIsNoop) {
+  js::Ast ast = js::parse("a(); b();");
+  Rng rng(12);
+  EXPECT_EQ(inject_dead_code(ast, rng, 0.0), 0);
+}
+
+TEST(EncodeStrings, SplitsAndFromCharCode) {
+  js::Ast ast = js::parse("var s = \"abcdefghij\";");
+  Rng rng(13);
+  const int n = encode_strings(ast, rng, 2, /*charcode_p=*/1.0);
+  EXPECT_EQ(n, 1);
+  const std::string out = js::print(ast.root);
+  EXPECT_TRUE(js::parses_ok(out));
+  EXPECT_NE(out.find("fromCharCode"), std::string::npos);
+}
+
+TEST(EncodeNumbers, RewritesIntegerLiterals) {
+  js::Ast ast = js::parse("var n = 42; var m = 7;");
+  Rng rng(14);
+  const int n = encode_numbers(ast, rng, 1.0);
+  EXPECT_EQ(n, 2);
+  const std::string out = js::print(ast.root);
+  EXPECT_TRUE(js::parses_ok(out));
+  // Values must be recomputable: X-Y or X+Y == original.
+  const js::Ast re = js::parse(out);
+  int binexprs = count_kind(re.root, NodeKind::kBinaryExpression);
+  EXPECT_GE(binexprs, 2);
+}
+
+TEST(HoistCallArgs, CreatesTempChain) {
+  js::Ast ast = js::parse("f(a + 1, g(2));");
+  Rng rng(15);
+  const int hoisted = hoist_call_args(ast, rng, 1.0);
+  EXPECT_EQ(hoisted, 2);
+  const std::string out = js::print(ast.root);
+  EXPECT_TRUE(js::parses_ok(out));
+  const js::Ast re = js::parse(out);
+  EXPECT_GE(count_kind(re.root, NodeKind::kVariableDeclaration), 2);
+}
+
+TEST(EscapeEncodeStrings, ProducesUnescapeCalls) {
+  js::Ast ast = js::parse("var s = \"secret\";");
+  Rng rng(16);
+  const int n = escape_encode_strings(ast, rng, 3, 1.0);
+  EXPECT_EQ(n, 1);
+  const std::string out = js::print(ast.root);
+  EXPECT_NE(out.find("unescape"), std::string::npos);
+  EXPECT_NE(out.find("%73%65%63%72%65%74"), std::string::npos) << out;
+}
+
+TEST(FogCalls, UniformizesCallsAndHoistsConstants) {
+  js::Ast ast = js::parse("work(1, \"x\"); console.log(\"hi\");");
+  Rng rng(17);
+  const int fogged = fog_calls(ast, rng);
+  EXPECT_EQ(fogged, 2);
+  const std::string out = js::print(ast.root);
+  EXPECT_TRUE(js::parses_ok(out)) << out;
+  EXPECT_NE(out.find(".apply("), std::string::npos);
+  // Constants moved into the fog data array: no direct literal args remain.
+  EXPECT_NE(out.find("fog"), std::string::npos);
+}
+
+TEST(Minify, RemovesNewlinesPreservesStructure) {
+  const std::string out = minify("var x = 1;\n\nvar y = 2;\n");
+  EXPECT_EQ(out.find('\n'), std::string::npos);
+  EXPECT_TRUE(js::parses_ok(out));
+}
+
+// ---- full obfuscator models ----------------------------------------------
+
+class ObfuscatorSweep : public ::testing::TestWithParam<ObfuscatorKind> {};
+
+TEST_P(ObfuscatorSweep, OutputReparses) {
+  const auto obf = make_obfuscator(GetParam());
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const std::string out = obf->obfuscate(kSample, seed);
+    EXPECT_TRUE(js::parses_ok(out))
+        << obf->name() << " seed " << seed << "\n" << out;
+  }
+}
+
+TEST_P(ObfuscatorSweep, OutputDiffersFromInput) {
+  const auto obf = make_obfuscator(GetParam());
+  EXPECT_NE(obf->obfuscate(kSample, 1), kSample);
+}
+
+TEST_P(ObfuscatorSweep, DeterministicPerSeed) {
+  const auto obf = make_obfuscator(GetParam());
+  EXPECT_EQ(obf->obfuscate(kSample, 9), obf->obfuscate(kSample, 9));
+}
+
+TEST_P(ObfuscatorSweep, RemovesDeclaredIdentifiers) {
+  const auto obf = make_obfuscator(GetParam());
+  const std::string out = obf->obfuscate(kSample, 3);
+  // Every model renames (directly or via fogging); `attempts` is internal.
+  if (GetParam() != ObfuscatorKind::kJfogs) {
+    EXPECT_EQ(out.find("attempts"), std::string::npos) << obf->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllObfuscators, ObfuscatorSweep,
+    ::testing::Values(ObfuscatorKind::kJavaScriptObfuscator,
+                      ObfuscatorKind::kJfogs, ObfuscatorKind::kJsObfu,
+                      ObfuscatorKind::kJshaman),
+    [](const ::testing::TestParamInfo<ObfuscatorKind>& info) {
+      std::string name = obfuscator_kind_name(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(JsObfuModel, IsIterative) {
+  // Three rounds must nest string concatenation deeper than one round of
+  // encode_strings would.
+  const auto obf = make_obfuscator(ObfuscatorKind::kJsObfu);
+  const std::string out = obf->obfuscate("var s = \"abcdefgh\";", 4);
+  const js::Ast re = js::parse(out);
+  EXPECT_GE(count_kind(re.root, NodeKind::kBinaryExpression), 3) << out;
+}
+
+TEST(JshamanModel, OnlyRenames) {
+  const auto obf = make_obfuscator(ObfuscatorKind::kJshaman);
+  const std::string src = "var alpha = 5; use(alpha + 1);";
+  const std::string out = obf->obfuscate(src, 5);
+  const js::Ast a = js::parse(src);
+  const js::Ast b = js::parse(out);
+  // Structure identical: same node-kind multiset.
+  EXPECT_EQ(count_kind(a.root, NodeKind::kBinaryExpression),
+            count_kind(b.root, NodeKind::kBinaryExpression));
+  EXPECT_EQ(count_kind(a.root, NodeKind::kLiteral),
+            count_kind(b.root, NodeKind::kLiteral));
+  EXPECT_EQ(out.find("alpha"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jsrev::obf

@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "js/parser.h"
+#include "js/visitor.h"
+
+namespace jsrev::js {
+namespace {
+
+// Returns the first node of the given kind in preorder, or nullptr.
+const Node* find_kind(const Node* root, NodeKind k) {
+  const Node* hit = nullptr;
+  walk(root, [&](const Node* n) {
+    if (hit == nullptr && n->kind == k) hit = n;
+    return hit == nullptr;
+  });
+  return hit;
+}
+
+int count_kind(const Node* root, NodeKind k) {
+  int n = 0;
+  walk_all(root, [&](const Node* node) { n += node->kind == k; });
+  return n;
+}
+
+TEST(Parser, EmptyProgram) {
+  const Ast ast = parse("");
+  EXPECT_EQ(ast.root->kind, NodeKind::kProgram);
+  EXPECT_TRUE(ast.root->children.empty());
+}
+
+TEST(Parser, VariableDeclaration) {
+  const Ast ast = parse("var x = 1, y;");
+  const Node* decl = ast.root->children[0];
+  ASSERT_EQ(decl->kind, NodeKind::kVariableDeclaration);
+  EXPECT_EQ(decl->str, "var");
+  ASSERT_EQ(decl->children.size(), 2u);
+  EXPECT_EQ(decl->children[0]->children[0]->str, "x");
+  EXPECT_EQ(decl->children[1]->children[1], nullptr);
+}
+
+TEST(Parser, LetConst) {
+  const Ast ast = parse("let a = 1; const b = 2;");
+  EXPECT_EQ(ast.root->children[0]->str, "let");
+  EXPECT_EQ(ast.root->children[1]->str, "const");
+}
+
+TEST(Parser, BinaryPrecedence) {
+  const Ast ast = parse("x = 1 + 2 * 3;");
+  const Node* assign = find_kind(ast.root, NodeKind::kAssignmentExpression);
+  ASSERT_NE(assign, nullptr);
+  const Node* plus = assign->children[1];
+  ASSERT_EQ(plus->kind, NodeKind::kBinaryExpression);
+  EXPECT_EQ(plus->str, "+");
+  EXPECT_EQ(plus->children[1]->str, "*");
+}
+
+TEST(Parser, LeftAssociativity) {
+  const Ast ast = parse("r = a - b - c;");
+  const Node* outer =
+      find_kind(ast.root, NodeKind::kAssignmentExpression)->children[1];
+  // (a - b) - c
+  EXPECT_EQ(outer->children[0]->kind, NodeKind::kBinaryExpression);
+  EXPECT_EQ(outer->children[1]->kind, NodeKind::kIdentifier);
+}
+
+TEST(Parser, LogicalVsBinary) {
+  const Ast ast = parse("r = a && b || c;");
+  const Node* outer =
+      find_kind(ast.root, NodeKind::kAssignmentExpression)->children[1];
+  EXPECT_EQ(outer->kind, NodeKind::kLogicalExpression);
+  EXPECT_EQ(outer->str, "||");
+  EXPECT_EQ(outer->children[0]->str, "&&");
+}
+
+TEST(Parser, ConditionalExpression) {
+  const Ast ast = parse("r = a ? b : c;");
+  EXPECT_NE(find_kind(ast.root, NodeKind::kConditionalExpression), nullptr);
+}
+
+TEST(Parser, MemberAndCall) {
+  const Ast ast = parse("obj.foo.bar(1, 2)[x]();");
+  EXPECT_EQ(count_kind(ast.root, NodeKind::kMemberExpression), 3);
+  EXPECT_EQ(count_kind(ast.root, NodeKind::kCallExpression), 2);
+}
+
+TEST(Parser, ComputedMemberFlag) {
+  const Ast ast = parse("a[b]; a.b;");
+  const Node* computed = find_kind(ast.root, NodeKind::kMemberExpression);
+  EXPECT_TRUE(computed->has_flag(Node::kComputed));
+}
+
+TEST(Parser, NewExpression) {
+  const Ast ast = parse("var d = new Date(); var x = new a.b.C(1);");
+  EXPECT_EQ(count_kind(ast.root, NodeKind::kNewExpression), 2);
+}
+
+TEST(Parser, NewWithoutArguments) {
+  const Ast ast = parse("var d = new Date;");
+  const Node* n = find_kind(ast.root, NodeKind::kNewExpression);
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->children.size(), 1u);  // just the callee
+}
+
+TEST(Parser, FunctionDeclaration) {
+  const Ast ast = parse("function add(a, b) { return a + b; }");
+  const Node* fn = ast.root->children[0];
+  ASSERT_EQ(fn->kind, NodeKind::kFunctionDeclaration);
+  EXPECT_EQ(fn->str, "add");
+  EXPECT_EQ(fn->children.size(), 3u);  // 2 params + body
+  EXPECT_EQ(fn->children.back()->kind, NodeKind::kBlockStatement);
+}
+
+TEST(Parser, FunctionExpressionAndIife) {
+  const Ast ast = parse("(function() { var x = 1; })();");
+  EXPECT_NE(find_kind(ast.root, NodeKind::kFunctionExpression), nullptr);
+  EXPECT_NE(find_kind(ast.root, NodeKind::kCallExpression), nullptr);
+}
+
+TEST(Parser, ArrowFunctions) {
+  const Ast ast = parse("var f = x => x + 1; var g = (a, b) => { return a; };");
+  EXPECT_EQ(count_kind(ast.root, NodeKind::kArrowFunctionExpression), 2);
+}
+
+TEST(Parser, ObjectLiteral) {
+  const Ast ast = parse("var o = {a: 1, \"b\": 2, 3: x, if: 4};");
+  EXPECT_EQ(count_kind(ast.root, NodeKind::kProperty), 4);
+}
+
+TEST(Parser, ArrayLiteralWithHoles) {
+  const Ast ast = parse("var a = [1, , 3];");
+  const Node* arr = find_kind(ast.root, NodeKind::kArrayExpression);
+  ASSERT_EQ(arr->children.size(), 3u);
+  EXPECT_EQ(arr->children[1], nullptr);
+}
+
+TEST(Parser, IfElseChain) {
+  const Ast ast = parse("if (a) b(); else if (c) d(); else e();");
+  EXPECT_EQ(count_kind(ast.root, NodeKind::kIfStatement), 2);
+}
+
+TEST(Parser, ForClassic) {
+  const Ast ast = parse("for (var i = 0; i < 10; i++) { work(i); }");
+  const Node* f = find_kind(ast.root, NodeKind::kForStatement);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->children[0]->kind, NodeKind::kVariableDeclaration);
+  EXPECT_NE(f->children[1], nullptr);
+  EXPECT_NE(f->children[2], nullptr);
+}
+
+TEST(Parser, ForEmptyHeads) {
+  const Ast ast = parse("for (;;) { break; }");
+  const Node* f = find_kind(ast.root, NodeKind::kForStatement);
+  EXPECT_EQ(f->children[0], nullptr);
+  EXPECT_EQ(f->children[1], nullptr);
+  EXPECT_EQ(f->children[2], nullptr);
+}
+
+TEST(Parser, ForIn) {
+  const Ast ast = parse("for (var k in obj) { use(k); }");
+  const Node* f = find_kind(ast.root, NodeKind::kForInStatement);
+  ASSERT_NE(f, nullptr);
+  EXPECT_FALSE(f->has_flag(Node::kOfLoop));
+}
+
+TEST(Parser, ForOf) {
+  const Ast ast = parse("for (var v of list) { use(v); }");
+  const Node* f = find_kind(ast.root, NodeKind::kForInStatement);
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->has_flag(Node::kOfLoop));
+}
+
+TEST(Parser, WhileAndDoWhile) {
+  const Ast ast = parse("while (a) b(); do { c(); } while (d);");
+  EXPECT_NE(find_kind(ast.root, NodeKind::kWhileStatement), nullptr);
+  EXPECT_NE(find_kind(ast.root, NodeKind::kDoWhileStatement), nullptr);
+}
+
+TEST(Parser, SwitchWithDefault) {
+  const Ast ast = parse(
+      "switch (x) { case 1: a(); break; case 2: b(); break; default: c(); }");
+  const Node* sw = find_kind(ast.root, NodeKind::kSwitchStatement);
+  ASSERT_NE(sw, nullptr);
+  EXPECT_EQ(count_kind(sw, NodeKind::kSwitchCase), 3);
+  // default case has nullptr test slot
+  const Node* last = sw->children.back();
+  EXPECT_EQ(last->children[0], nullptr);
+}
+
+TEST(Parser, TryCatchFinally) {
+  const Ast ast = parse("try { a(); } catch (e) { b(e); } finally { c(); }");
+  const Node* t = find_kind(ast.root, NodeKind::kTryStatement);
+  ASSERT_NE(t, nullptr);
+  EXPECT_NE(t->children[1], nullptr);
+  EXPECT_NE(t->children[2], nullptr);
+}
+
+TEST(Parser, TryWithoutHandlerThrows) {
+  EXPECT_THROW(parse("try { a(); }"), ParseError);
+}
+
+TEST(Parser, ThrowStatement) {
+  const Ast ast = parse("throw new Error('x');");
+  EXPECT_NE(find_kind(ast.root, NodeKind::kThrowStatement), nullptr);
+}
+
+TEST(Parser, LabeledBreakContinue) {
+  const Ast ast = parse(
+      "outer: for (;;) { for (;;) { break outer; } continue outer; }");
+  const Node* lab = find_kind(ast.root, NodeKind::kLabeledStatement);
+  ASSERT_NE(lab, nullptr);
+  EXPECT_EQ(lab->str, "outer");
+  EXPECT_EQ(find_kind(ast.root, NodeKind::kBreakStatement)->str, "outer");
+}
+
+TEST(Parser, WithStatement) {
+  const Ast ast = parse("with (obj) { a = b; }");
+  EXPECT_NE(find_kind(ast.root, NodeKind::kWithStatement), nullptr);
+}
+
+TEST(Parser, SequenceExpression) {
+  const Ast ast = parse("a = (b, c, d);");
+  const Node* seq = find_kind(ast.root, NodeKind::kSequenceExpression);
+  ASSERT_NE(seq, nullptr);
+  EXPECT_EQ(seq->children.size(), 3u);
+}
+
+TEST(Parser, UnaryOperators) {
+  const Ast ast = parse("x = typeof a; y = -b; z = !c; delete o.p; void 0;");
+  EXPECT_EQ(count_kind(ast.root, NodeKind::kUnaryExpression), 5);
+}
+
+TEST(Parser, UpdatePrefixPostfix) {
+  const Ast ast = parse("++i; j--;");
+  const Node* pre = find_kind(ast.root, NodeKind::kUpdateExpression);
+  EXPECT_TRUE(pre->has_flag(Node::kPrefix));
+  int postfix = 0;
+  walk_all(ast.root, [&](const Node* n) {
+    if (n->kind == NodeKind::kUpdateExpression && !n->has_flag(Node::kPrefix))
+      ++postfix;
+  });
+  EXPECT_EQ(postfix, 1);
+}
+
+TEST(Parser, CompoundAssignment) {
+  const Ast ast = parse("a += 1; b <<= 2; c >>>= 3;");
+  EXPECT_EQ(count_kind(ast.root, NodeKind::kAssignmentExpression), 3);
+}
+
+TEST(Parser, InvalidAssignmentTargetThrows) {
+  EXPECT_THROW(parse("1 = x;"), ParseError);
+}
+
+TEST(Parser, AutomaticSemicolonInsertion) {
+  const Ast ast = parse("var a = 1\nvar b = 2\nreturn_like()");
+  EXPECT_EQ(ast.root->children.size(), 3u);
+}
+
+TEST(Parser, ReturnNewlineRestriction) {
+  // `return \n x` must parse as `return; x;`
+  const Ast ast = parse("function f() { return\n42; }");
+  const Node* ret = find_kind(ast.root, NodeKind::kReturnStatement);
+  EXPECT_TRUE(ret->children.empty());
+}
+
+TEST(Parser, MissingSemicolonSameLineThrows) {
+  EXPECT_THROW(parse("var a = 1 var b = 2"), ParseError);
+}
+
+TEST(Parser, InOperatorInsideForInit) {
+  // `in` must not terminate the init clause when parenthesized context
+  const Ast ast = parse("for (var i = 0; i < n; i++) { if ('x' in o) y(); }");
+  EXPECT_NE(find_kind(ast.root, NodeKind::kForStatement), nullptr);
+}
+
+TEST(Parser, KeywordAsPropertyName) {
+  const Ast ast = parse("a.delete(); b.in = 1; c.typeof;");
+  EXPECT_EQ(count_kind(ast.root, NodeKind::kMemberExpression), 3);
+}
+
+TEST(Parser, RegexLiteral) {
+  const Ast ast = parse("var re = /a[b/]+/g;");
+  const Node* lit = find_kind(ast.root, NodeKind::kLiteral);
+  EXPECT_EQ(lit->lit, LiteralType::kRegex);
+}
+
+TEST(Parser, TemplateLiteralAsString) {
+  const Ast ast = parse("var s = `hello`;");
+  const Node* lit = find_kind(ast.root, NodeKind::kLiteral);
+  EXPECT_EQ(lit->lit, LiteralType::kString);
+  EXPECT_EQ(lit->str, "hello");
+}
+
+TEST(Parser, FinalizeAssignsIdsAndParents) {
+  const Ast ast = parse("var x = f(1) + 2;");
+  EXPECT_EQ(ast.root->id, 0);
+  walk(const_cast<const Node*>(ast.root), [&](const Node* n) {
+    if (n != ast.root) {
+      EXPECT_NE(n->parent, nullptr);
+      EXPECT_GT(n->id, n->parent->id);
+    }
+    return true;
+  });
+}
+
+TEST(Parser, ParsesOkHelper) {
+  EXPECT_TRUE(parses_ok("var x = 1;"));
+  EXPECT_FALSE(parses_ok("var = ;"));
+}
+
+TEST(Parser, DeeplyNestedExpressions) {
+  std::string src = "x = ";
+  for (int i = 0; i < 50; ++i) src += "(1 + ";
+  src += "0";
+  for (int i = 0; i < 50; ++i) src += ")";
+  src += ";";
+  EXPECT_TRUE(parses_ok(src));
+}
+
+TEST(Parser, RealWorldSnippet) {
+  // The motivating example shape from the paper's Listing 1 region.
+  const char* src = R"JS(
+    function getTimezoneOffset(dateStr) {
+      var timeZoneMinutes = new Date(dateStr).getTimezoneOffset();
+      var hours = Math.floor(timeZoneMinutes / 60);
+      var minutes = timeZoneMinutes % 60;
+      if (hours < 0) {
+        return "-" + pad(-hours) + ":" + pad(minutes);
+      } else {
+        return "+" + pad(hours) + ":" + pad(minutes);
+      }
+    }
+  )JS";
+  EXPECT_TRUE(parses_ok(src));
+}
+
+TEST(Parser, GetSetAsIdentifiers) {
+  EXPECT_TRUE(parses_ok("var get = 1; var set = get + 1; set = get;"));
+}
+
+TEST(Parser, ExpressionStatementParenthesizedObject) {
+  EXPECT_TRUE(parses_ok("({a: 1});"));
+}
+
+}  // namespace
+}  // namespace jsrev::js

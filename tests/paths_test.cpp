@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "analysis/dataflow.h"
+#include "analysis/scope.h"
+#include "js/parser.h"
+#include "paths/path_extraction.h"
+#include "paths/vocab.h"
+
+namespace jsrev::paths {
+namespace {
+
+struct Extracted {
+  js::Ast ast;
+  analysis::ScopeInfo scopes;
+  analysis::DataFlowInfo flow;
+  std::vector<PathContext> paths;
+};
+
+Extracted extract(const std::string& src, PathConfig cfg = {}) {
+  Extracted e;
+  e.ast = js::parse(src);
+  e.scopes = analysis::analyze_scopes(e.ast.root);
+  e.flow = analysis::analyze_dataflow(e.ast.root, e.scopes);
+  e.paths = extract_paths(e.ast.root, &e.flow, cfg);
+  return e;
+}
+
+TEST(PathExtraction, SimpleProgramYieldsPaths) {
+  const auto e = extract("var a = 1 + 2;");
+  EXPECT_FALSE(e.paths.empty());
+  for (const auto& p : e.paths) {
+    EXPECT_FALSE(p.path.empty());
+    EXPECT_FALSE(p.source_value.empty());
+    EXPECT_FALSE(p.target_value.empty());
+  }
+}
+
+TEST(PathExtraction, EmptyProgramYieldsNoPaths) {
+  const auto e = extract("");
+  EXPECT_TRUE(e.paths.empty());
+}
+
+TEST(PathExtraction, PathCountGrowsWithLeafPairs) {
+  const auto small = extract("var a = 1;");
+  const auto big = extract("var a = 1; var b = 2; var c = 3;");
+  EXPECT_GT(big.paths.size(), small.paths.size());
+}
+
+TEST(PathExtraction, MaxLengthRespected) {
+  PathConfig cfg;
+  cfg.max_length = 4;
+  const auto e = extract(
+      "function f(x) { if (x) { return g(x + 1) * 2; } return 0; }", cfg);
+  for (const auto& p : e.paths) {
+    // Count nodes in the rendered path: separators are '^' and 'v' between
+    // kind names; nodes = separators + 1.
+    int seps = 0;
+    for (std::size_t i = 0; i < p.path.size(); ++i) {
+      const char c = p.path[i];
+      if (c == '^') ++seps;
+      // 'v' is a separator only between an uppercase-terminated kind and an
+      // uppercase start; our kinds never contain lowercase 'v' followed by
+      // uppercase except as the separator.
+      if (c == 'v' && i + 1 < p.path.size() && std::isupper(p.path[i + 1]))
+        ++seps;
+    }
+    EXPECT_LE(seps + 1, cfg.max_length) << p.path;
+  }
+}
+
+TEST(PathExtraction, MaxWidthRespected) {
+  PathConfig narrow;
+  narrow.max_width = 1;
+  PathConfig wide;
+  wide.max_width = 100;
+  const std::string src = "f(a, b, c, d, e, g, h, i);";
+  const auto n = extract(src, narrow);
+  const auto w = extract(src, wide);
+  EXPECT_LT(n.paths.size(), w.paths.size());
+}
+
+TEST(PathExtraction, MaxPathsCap) {
+  PathConfig cfg;
+  cfg.max_paths = 10;
+  std::string src;
+  for (int i = 0; i < 30; ++i) src += "var v" + std::to_string(i) + " = 1;\n";
+  const auto e = extract(src, cfg);
+  EXPECT_EQ(e.paths.size(), 10u);
+}
+
+TEST(PathExtraction, DataLinkedLeavesShareValue) {
+  // `total` flows between two statements: a path between its two
+  // occurrences carries the shared same-symbol value @vs on both ends.
+  const auto e = extract("var total = 1; use(total);");
+  bool found_same = false;
+  for (const auto& p : e.paths) {
+    if (p.source_value == "@vs" && p.target_value == "@vs") {
+      found_same = true;
+    }
+  }
+  EXPECT_TRUE(found_same);
+}
+
+TEST(PathExtraction, DistinctLinkedSymbolsMarkedDifferent) {
+  // Two different flow-linked variables in one path: @va / @vb endpoints.
+  const auto e = extract("var a = 1; var b = a + 2; use(a, b);");
+  bool found_diff = false;
+  for (const auto& p : e.paths) {
+    if (p.source_value == "@va" && p.target_value == "@vb") {
+      found_diff = true;
+    }
+  }
+  EXPECT_TRUE(found_diff);
+}
+
+TEST(PathExtraction, LinkedValuesStableUnderPrefixInsertion) {
+  // Prepending unrelated code must not change the payload's path keys
+  // (insertion-invariance of the linked-value encoding).
+  const std::string payload = "var total = f(); use(total); total = total + 1;";
+  const auto plain = extract(payload);
+  const auto shifted = extract(
+      "var zz1 = g(); h(zz1); var zz2 = zz1 * 3; send(zz2);\n" + payload);
+  std::multiset<std::string> plain_keys;
+  for (const auto& p : plain.paths) plain_keys.insert(p.key());
+  std::size_t found = 0;
+  std::multiset<std::string> shifted_keys;
+  for (const auto& p : shifted.paths) shifted_keys.insert(p.key());
+  for (const auto& k : plain_keys) found += shifted_keys.count(k) > 0;
+  // Every within-payload path key must reappear verbatim.
+  EXPECT_EQ(found, plain_keys.size());
+}
+
+TEST(PathExtraction, UnlinkedLeavesAbstracted) {
+  const auto e = extract("var s = \"hello\";");
+  std::set<std::string> values;
+  for (const auto& p : e.paths) {
+    values.insert(p.source_value);
+    values.insert(p.target_value);
+  }
+  EXPECT_TRUE(values.count("@var_str") == 1);
+}
+
+TEST(PathExtraction, IntegerVsFloatIndicators) {
+  const auto e = extract("f(3, 2.5);");
+  std::set<std::string> values;
+  for (const auto& p : e.paths) {
+    values.insert(p.source_value);
+    values.insert(p.target_value);
+  }
+  EXPECT_TRUE(values.count("@var_int") == 1);
+  EXPECT_TRUE(values.count("@var_num") == 1);
+}
+
+TEST(PathExtraction, RegularAstAblationUsesRawValues) {
+  // The Table IV ablation is code2vec-style: concrete leaf values.
+  PathConfig cfg;
+  cfg.use_dataflow = false;
+  const auto ast = js::parse("var total = 1; use(total);");
+  const auto paths = extract_paths(ast.root, nullptr, cfg);
+  bool saw_raw_name = false;
+  for (const auto& p : paths) {
+    saw_raw_name = saw_raw_name || p.source_value == "total" ||
+                   p.target_value == "total";
+  }
+  EXPECT_TRUE(saw_raw_name);
+}
+
+TEST(PathExtraction, RenamingInvariantWithDataflow) {
+  // Consistent renaming must produce the identical path-key multiset.
+  const auto a = extract("var count = f(); g(count); var x = count + 1;");
+  const auto b = extract("var qz = f(); g(qz); var ww = qz + 1;");
+  std::multiset<std::string> ka, kb;
+  for (const auto& p : a.paths) ka.insert(p.key());
+  for (const auto& p : b.paths) kb.insert(p.key());
+  EXPECT_EQ(ka, kb);
+}
+
+TEST(PathExtraction, DirectionMarkersPresent) {
+  const auto e = extract("var a = b + c;");
+  bool has_up_down = false;
+  for (const auto& p : e.paths) {
+    if (p.path.find('^') != std::string::npos &&
+        p.path.find('v') != std::string::npos) {
+      has_up_down = true;
+    }
+  }
+  EXPECT_TRUE(has_up_down);
+}
+
+TEST(PathVocab, AddAndLookup) {
+  PathVocab vocab;
+  PathContext pc{"@var_int", "Literal^BinaryExpressionvLiteral", "@var_int",
+                 nullptr, nullptr};
+  const auto id = vocab.add(pc);
+  EXPECT_EQ(vocab.lookup(pc), id);
+  EXPECT_EQ(vocab.size(), 1u);
+}
+
+TEST(PathVocab, DuplicateAddReturnsSameId) {
+  PathVocab vocab;
+  PathContext pc{"a", "P", "b", nullptr, nullptr};
+  EXPECT_EQ(vocab.add(pc), vocab.add(pc));
+  EXPECT_EQ(vocab.size(), 1u);
+}
+
+TEST(PathVocab, UnknownLookup) {
+  PathVocab vocab;
+  PathContext pc{"a", "P", "b", nullptr, nullptr};
+  EXPECT_EQ(vocab.lookup(pc), PathVocab::kUnknown);
+}
+
+TEST(PathVocab, RepresentativeRoundTrip) {
+  PathVocab vocab;
+  PathContext pc{"x", "IdentifiervLiteral", "y", nullptr, nullptr};
+  const auto id = vocab.add(pc);
+  const PathContext& rep = vocab.representative(id);
+  EXPECT_EQ(rep.source_value, "x");
+  EXPECT_EQ(rep.path, "IdentifiervLiteral");
+  EXPECT_EQ(rep.target_value, "y");
+  EXPECT_EQ(vocab.key(id), pc.key());
+}
+
+// Property sweep: path extraction must be deterministic and within caps for
+// a variety of generated programs.
+class PathSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathSweep, DeterministicAndBounded) {
+  std::string src;
+  const int n = GetParam();
+  for (int i = 0; i < n; ++i) {
+    src += "function fn" + std::to_string(i) + "(a, b) { var r = a * " +
+           std::to_string(i) + " + b; if (r > 10) { return r; } return b; }\n";
+  }
+  PathConfig cfg;
+  const auto e1 = extract(src, cfg);
+  const auto e2 = extract(src, cfg);
+  ASSERT_EQ(e1.paths.size(), e2.paths.size());
+  for (std::size_t i = 0; i < e1.paths.size(); ++i) {
+    EXPECT_EQ(e1.paths[i].key(), e2.paths[i].key());
+  }
+  EXPECT_LE(e1.paths.size(), cfg.max_paths);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PathSweep, ::testing::Values(1, 3, 7, 15));
+
+}  // namespace
+}  // namespace jsrev::paths

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "js/parser.h"
+#include "js/printer.h"
+#include "js/visitor.h"
+
+namespace jsrev::js {
+namespace {
+
+// Structural equality ignoring ids/parents (which finalize_tree assigns).
+bool tree_equal(const Node* a, const Node* b) {
+  if (a == nullptr || b == nullptr) return a == b;
+  if (a->kind != b->kind || a->lit != b->lit || a->str != b->str ||
+      a->flags != b->flags || a->bval != b->bval) {
+    return false;
+  }
+  if (a->lit == LiteralType::kNumber && a->num != b->num) return false;
+  if (a->children.size() != b->children.size()) return false;
+  for (std::size_t i = 0; i < a->children.size(); ++i) {
+    if (!tree_equal(a->children[i], b->children[i])) return false;
+  }
+  return true;
+}
+
+void expect_roundtrip(const std::string& src) {
+  const Ast first = parse(src);
+  const std::string pretty = print(first.root, PrintStyle::kPretty);
+  const Ast second = parse(pretty);
+  EXPECT_TRUE(tree_equal(first.root, second.root))
+      << "pretty round-trip failed\nsource: " << src
+      << "\nprinted: " << pretty;
+
+  const std::string mini = print(first.root, PrintStyle::kMinified);
+  const Ast third = parse(mini);
+  EXPECT_TRUE(tree_equal(first.root, third.root))
+      << "minified round-trip failed\nsource: " << src
+      << "\nprinted: " << mini;
+}
+
+TEST(Printer, SimpleStatements) {
+  expect_roundtrip("var x = 1;");
+  expect_roundtrip("let y = \"s\";");
+  expect_roundtrip("const z = true;");
+  expect_roundtrip(";");
+  expect_roundtrip("debugger;");
+}
+
+TEST(Printer, Expressions) {
+  expect_roundtrip("r = 1 + 2 * 3;");
+  expect_roundtrip("r = (1 + 2) * 3;");
+  expect_roundtrip("r = a - b - c;");
+  expect_roundtrip("r = a - (b - c);");
+  expect_roundtrip("r = a / b / c;");
+  expect_roundtrip("r = a % (b * c);");
+}
+
+TEST(Printer, UnaryEdgeCases) {
+  expect_roundtrip("r = -x;");
+  expect_roundtrip("r = - -x;");
+  expect_roundtrip("r = +(+x);");
+  expect_roundtrip("r = typeof typeof x;");
+  expect_roundtrip("r = !(a && b);");
+  expect_roundtrip("r = ~x + 1;");
+  expect_roundtrip("delete obj.prop;");
+  expect_roundtrip("r = void 0;");
+}
+
+TEST(Printer, UpdateExpressions) {
+  expect_roundtrip("++i;");
+  expect_roundtrip("i++;");
+  expect_roundtrip("r = ++a + b++;");
+}
+
+TEST(Printer, LogicalAndConditional) {
+  expect_roundtrip("r = a && b || c;");
+  expect_roundtrip("r = a && (b || c);");
+  expect_roundtrip("r = a ? b : c ? d : e;");
+  expect_roundtrip("r = (a ? b : c) ? d : e;");
+}
+
+TEST(Printer, AssignmentChains) {
+  expect_roundtrip("a = b = c;");
+  expect_roundtrip("a += b -= c;");
+  expect_roundtrip("a[0] = b.c = 3;");
+}
+
+TEST(Printer, MemberAndCalls) {
+  expect_roundtrip("obj.a.b.c;");
+  expect_roundtrip("obj[a][b];");
+  expect_roundtrip("f(1)(2)(3);");
+  expect_roundtrip("a.b(c).d(e);");
+  expect_roundtrip("(a + b).toString();");
+}
+
+TEST(Printer, NewExpressions) {
+  expect_roundtrip("var d = new Date();");
+  expect_roundtrip("var x = new ns.Thing(1, 2);");
+  expect_roundtrip("var y = new Date;");
+}
+
+TEST(Printer, Literals) {
+  expect_roundtrip("var a = [1, 2, 3];");
+  expect_roundtrip("var b = [];");
+  expect_roundtrip("var c = {x: 1, \"y\": 2, 3: z};");
+  expect_roundtrip("var d = {};");
+  expect_roundtrip("var e = \"a\\nb\\\"c\";");
+  expect_roundtrip("var f = /ab+/gi;");
+  expect_roundtrip("var g = null;");
+  expect_roundtrip("var h = 3.25;");
+  expect_roundtrip("var i = 1e21;");
+}
+
+TEST(Printer, ControlFlow) {
+  expect_roundtrip("if (a) b();");
+  expect_roundtrip("if (a) { b(); } else { c(); }");
+  expect_roundtrip("if (a) b(); else if (c) d(); else e();");
+  expect_roundtrip("while (a) { b(); }");
+  expect_roundtrip("do { a(); } while (b);");
+  expect_roundtrip("for (var i = 0; i < 10; i++) work(i);");
+  expect_roundtrip("for (;;) { break; }");
+  expect_roundtrip("for (var k in o) { use(k); }");
+  expect_roundtrip("for (var v of xs) { use(v); }");
+  expect_roundtrip("for (i = 0, j = 9; i < j; i++, j--) swap(i, j);");
+}
+
+TEST(Printer, SwitchTryThrow) {
+  expect_roundtrip(
+      "switch (x) { case 1: a(); break; default: b(); }");
+  expect_roundtrip("try { a(); } catch (e) { b(e); }");
+  expect_roundtrip("try { a(); } finally { c(); }");
+  expect_roundtrip("try { a(); } catch (e) { b(); } finally { c(); }");
+  expect_roundtrip("throw new Error(\"boom\");");
+}
+
+TEST(Printer, Functions) {
+  expect_roundtrip("function f() { return; }");
+  expect_roundtrip("function add(a, b) { return a + b; }");
+  expect_roundtrip("var f = function() { return 1; };");
+  expect_roundtrip("var g = function named(n) { return n && named(n - 1); };");
+  expect_roundtrip("(function() { var x = 1; })();");
+  expect_roundtrip("var h = x => x * 2;");
+  expect_roundtrip("var k = (a, b) => { return a + b; };");
+}
+
+TEST(Printer, LabeledAndWith) {
+  expect_roundtrip("loop: for (;;) { break loop; }");
+  expect_roundtrip("with (o) { a = b; }");
+}
+
+TEST(Printer, SequenceExpressionRoundTrip) {
+  expect_roundtrip("r = (a, b, c);");
+  expect_roundtrip("f((a, b), c);");
+}
+
+TEST(Printer, ExpressionStatementGuards) {
+  // Object literal / function expression at statement start need parens.
+  const Ast ast = parse("({a: 1});");
+  const std::string out = print(ast.root);
+  EXPECT_TRUE(parses_ok(out)) << out;
+}
+
+TEST(Printer, MinifiedIsCompact) {
+  const Ast ast = parse("var x = 1;   \n  var y = 2;\n");
+  const std::string mini = print(ast.root, PrintStyle::kMinified);
+  EXPECT_EQ(mini.find('\n'), std::string::npos);
+  EXPECT_TRUE(parses_ok(mini));
+}
+
+TEST(Printer, NumberFormats) {
+  expect_roundtrip("var a = 0;");
+  expect_roundtrip("var b = 1000000;");
+  expect_roundtrip("var c = 0.001;");
+  expect_roundtrip("var d = 123456789012345;");
+}
+
+TEST(Printer, NestedFunctionsAndClosures) {
+  expect_roundtrip(R"(
+    function outer() {
+      var state = 0;
+      return function inner(x) {
+        state += x;
+        return state;
+      };
+    }
+  )");
+}
+
+TEST(Printer, ComplexRealisticProgram) {
+  expect_roundtrip(R"(
+    var config = {retries: 3, timeout: 1000, verbose: false};
+    function fetchData(url, cb) {
+      var attempts = 0;
+      function attempt() {
+        attempts++;
+        if (attempts > config.retries) {
+          cb(new Error("too many retries"), null);
+          return;
+        }
+        send(url, function(err, data) {
+          if (err) { attempt(); } else { cb(null, data); }
+        });
+      }
+      attempt();
+    }
+    for (var i = 0; i < urls.length; i++) {
+      fetchData(urls[i], function(e, d) { results.push(d); });
+    }
+  )");
+}
+
+// Property sweep: a battery of generated nesting shapes must round-trip.
+class PrinterSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrinterSweep, RoundTripGeneratedNesting) {
+  const int depth = GetParam();
+  std::string src = "function f0(x) { return x; }\n";
+  for (int i = 1; i <= depth; ++i) {
+    src += "function f" + std::to_string(i) + "(x) { if (x > " +
+           std::to_string(i) + ") { return f" + std::to_string(i - 1) +
+           "(x - 1) * " + std::to_string(i) + "; } else { return x + " +
+           std::to_string(i) + "; } }\n";
+  }
+  expect_roundtrip(src);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, PrinterSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace jsrev::js

@@ -1,0 +1,258 @@
+// Semantic-preservation checks for the obfuscating transforms, via a small
+// constant-expression evaluator: transforms that claim value preservation
+// (number encoding, string splitting/encoding, string-array extraction with
+// its decoder) must produce expressions that evaluate back to the original
+// constants.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "js/parser.h"
+#include "js/printer.h"
+#include "js/visitor.h"
+#include "obfuscators/transforms.h"
+#include "util/base64.h"
+#include "util/rng.h"
+
+namespace jsrev::obf {
+namespace {
+
+using js::LiteralType;
+using js::Node;
+using js::NodeKind;
+
+/// Evaluates constant numeric expressions (+,-,*,/ on literals).
+std::optional<double> eval_number(const Node* n) {
+  if (n->kind == NodeKind::kLiteral && n->lit == LiteralType::kNumber) {
+    return n->num;
+  }
+  if (n->kind == NodeKind::kBinaryExpression) {
+    const auto lhs = eval_number(n->children[0]);
+    const auto rhs = eval_number(n->children[1]);
+    if (!lhs || !rhs) return std::nullopt;
+    if (n->str == "+") return *lhs + *rhs;
+    if (n->str == "-") return *lhs - *rhs;
+    if (n->str == "*") return *lhs * *rhs;
+    if (n->str == "/" && *rhs != 0) return *lhs / *rhs;
+  }
+  return std::nullopt;
+}
+
+/// Evaluates constant string expressions: literals, `+` concatenation, and
+/// String.fromCharCode(...) with constant arguments.
+std::optional<std::string> eval_string(const Node* n) {
+  if (n->kind == NodeKind::kLiteral && n->lit == LiteralType::kString) {
+    return n->str;
+  }
+  if (n->kind == NodeKind::kBinaryExpression && n->str == "+") {
+    const auto lhs = eval_string(n->children[0]);
+    const auto rhs = eval_string(n->children[1]);
+    if (!lhs || !rhs) return std::nullopt;
+    return *lhs + *rhs;
+  }
+  if (n->kind == NodeKind::kCallExpression &&
+      n->children[0]->kind == NodeKind::kMemberExpression) {
+    const Node* callee = n->children[0];
+    if (callee->children[0]->kind == NodeKind::kIdentifier &&
+        callee->children[0]->str == "String" &&
+        callee->children[1]->str == "fromCharCode") {
+      std::string out;
+      for (std::size_t i = 1; i < n->children.size(); ++i) {
+        const auto code = eval_number(n->children[i]);
+        if (!code) return std::nullopt;
+        out += static_cast<char>(static_cast<int>(*code));
+      }
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+/// The initializer expression of `var <anything> = <expr>;` statement #idx.
+const Node* nth_var_init(const Node* program, std::size_t idx) {
+  std::size_t seen = 0;
+  const Node* hit = nullptr;
+  js::walk(program, [&](const Node* n) {
+    if (hit != nullptr) return false;
+    if (n->kind == NodeKind::kVariableDeclarator && n->children.size() > 1 &&
+        n->children[1] != nullptr) {
+      if (seen == idx) {
+        hit = n->children[1];
+        return false;
+      }
+      ++seen;
+    }
+    return true;
+  });
+  return hit;
+}
+
+TEST(Semantics, EncodeNumbersPreservesValues) {
+  Rng rng(1);
+  for (const double value : {0.0, 1.0, 7.0, 42.0, 999.0, 123456.0}) {
+    js::Ast ast = js::parse("var n = " + std::to_string(static_cast<long long>(value)) + ";");
+    encode_numbers(ast, rng, 1.0);
+    const Node* init = nth_var_init(ast.root, 0);
+    ASSERT_NE(init, nullptr);
+    const auto result = eval_number(init);
+    ASSERT_TRUE(result.has_value()) << value;
+    EXPECT_DOUBLE_EQ(*result, value);
+  }
+}
+
+TEST(Semantics, EncodeStringsPreservesValues) {
+  Rng rng(2);
+  for (const std::string value :
+       {"hi", "hello world", "a longer string with words",
+        "punctuation: <>!@#$%", "0123456789abcdef0123456789abcdef"}) {
+    js::Ast ast = js::parse("var s = \"" + value + "\";");
+    encode_strings(ast, rng, /*min_len=*/1, /*charcode_p=*/0.7);
+    const Node* init = nth_var_init(ast.root, 0);
+    ASSERT_NE(init, nullptr);
+    const auto result = eval_string(init);
+    ASSERT_TRUE(result.has_value()) << value;
+    EXPECT_EQ(*result, value);
+  }
+}
+
+TEST(Semantics, EscapeEncodeDecodesBack) {
+  Rng rng(3);
+  const std::string value = "decode-me-123";
+  js::Ast ast = js::parse("var s = \"" + value + "\";");
+  escape_encode_strings(ast, rng, 1, 1.0);
+  // Init is unescape("%..%.."): decode the escape sequence manually.
+  const Node* init = nth_var_init(ast.root, 0);
+  ASSERT_NE(init, nullptr);
+  ASSERT_EQ(init->kind, NodeKind::kCallExpression);
+  ASSERT_EQ(init->children[0]->str, "unescape");
+  const std::string& encoded = init->children[1]->str;
+  std::string decoded;
+  for (std::size_t i = 0; i + 2 < encoded.size(); i += 3) {
+    ASSERT_EQ(encoded[i], '%');
+    decoded += static_cast<char>(
+        std::stoi(encoded.substr(i + 1, 2), nullptr, 16));
+  }
+  EXPECT_EQ(decoded, value);
+}
+
+TEST(Semantics, StringArrayTableHoldsOriginals) {
+  Rng rng(4);
+  js::Ast ast = js::parse(
+      "var a = \"alpha\"; var b = \"beta\"; use(\"alpha\", \"gamma\");");
+  extract_string_array(ast, rng, /*encode=*/false);
+  // The first statement is now the table: it must contain exactly the
+  // distinct original strings.
+  const Node* table = nth_var_init(ast.root, 0);
+  ASSERT_NE(table, nullptr);
+  ASSERT_EQ(table->kind, NodeKind::kArrayExpression);
+  std::multiset<std::string> values;
+  for (const Node* el : table->children) values.insert(el->str);
+  EXPECT_EQ(values.count("alpha"), 1u);  // deduplicated
+  EXPECT_EQ(values.count("beta"), 1u);
+  EXPECT_EQ(values.count("gamma"), 1u);
+}
+
+TEST(Semantics, EncodedStringArrayRoundTripsThroughBase64) {
+  Rng rng(5);
+  js::Ast ast = js::parse("var a = \"round-trip me\";");
+  extract_string_array(ast, rng, /*encode=*/true);
+  const Node* table = nth_var_init(ast.root, 0);
+  ASSERT_NE(table, nullptr);
+  ASSERT_EQ(table->children.size(), 1u);
+  EXPECT_EQ(base64_decode(table->children[0]->str), "round-trip me");
+}
+
+TEST(Semantics, GetterIndexArithmeticConsistent) {
+  // getter(i) returns table[i - offset]; every call site must therefore
+  // carry index + offset. Verify by re-parsing and checking each call's
+  // argument >= offset and < offset + table size.
+  Rng rng(6);
+  js::Ast ast = js::parse("f(\"x\"); g(\"y\"); h(\"x\");");
+  extract_string_array(ast, rng, false);
+  const std::string out = js::print(ast.root);
+  const js::Ast re = js::parse(out);
+
+  // Find the getter's offset: `i - <offset>` inside the getter function.
+  double offset = -1;
+  js::walk(const_cast<const Node*>(re.root), [&](const Node* n) {
+    if (n->kind == NodeKind::kBinaryExpression && n->str == "-" &&
+        n->children[0]->kind == NodeKind::kIdentifier &&
+        n->children[0]->str == "i" &&
+        n->children[1]->kind == NodeKind::kLiteral) {
+      offset = n->children[1]->num;
+    }
+    return true;
+  });
+  ASSERT_GE(offset, 0.0);
+
+  std::size_t table_size = 0;
+  const Node* table = nth_var_init(re.root, 0);
+  ASSERT_NE(table, nullptr);
+  table_size = table->children.size();
+
+  int checked = 0;
+  js::walk(const_cast<const Node*>(re.root), [&](const Node* n) {
+    // Getter call sites: calls whose single argument is a numeric literal.
+    if (n->kind == NodeKind::kCallExpression && n->children.size() == 2 &&
+        n->children[1]->kind == NodeKind::kLiteral &&
+        n->children[1]->lit == LiteralType::kNumber) {
+      const double idx = n->children[1]->num;
+      EXPECT_GE(idx, offset);
+      EXPECT_LT(idx, offset + static_cast<double>(table_size));
+      ++checked;
+    }
+    return true;
+  });
+  EXPECT_GE(checked, 3);
+}
+
+TEST(Semantics, FlattenPreservesExecutionOrder) {
+  // The dispatch order string must replay the original statement order:
+  // decode it and confirm the case bodies, replayed in order-string order,
+  // are the original statements.
+  Rng rng(7);
+  js::Ast ast = js::parse("function f() { a(); b(); c(); d(); }");
+  ASSERT_EQ(flatten_control_flow(ast, rng, 3), 1);
+  const std::string out = js::print(ast.root);
+  const js::Ast re = js::parse(out);
+
+  // Collect order string and the case bodies by tag.
+  std::string order;
+  std::map<std::string, std::string> case_callee;
+  js::walk(const_cast<const Node*>(re.root), [&](const Node* n) {
+    if (n->kind == NodeKind::kLiteral && n->lit == LiteralType::kString &&
+        n->str.size() > 1 && n->str.find('|') != std::string::npos) {
+      order = n->str;
+    }
+    if (n->kind == NodeKind::kSwitchCase && n->children[0] != nullptr) {
+      const std::string tag = n->children[0]->str;
+      // First statement of the case is the original ExpressionStatement.
+      for (std::size_t i = 1; i < n->children.size(); ++i) {
+        const Node* stmt = n->children[i];
+        if (stmt->kind == NodeKind::kExpressionStatement &&
+            stmt->children[0]->kind == NodeKind::kCallExpression &&
+            stmt->children[0]->children[0]->kind == NodeKind::kIdentifier) {
+          case_callee[tag] = stmt->children[0]->children[0]->str;
+        }
+      }
+    }
+    return true;
+  });
+  ASSERT_FALSE(order.empty());
+
+  std::string replay;
+  std::string tag;
+  for (const char c : order + "|") {
+    if (c == '|') {
+      replay += case_callee[tag];
+      tag.clear();
+    } else {
+      tag += c;
+    }
+  }
+  EXPECT_EQ(replay, "abcd");
+}
+
+}  // namespace
+}  // namespace jsrev::obf

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "util/base64.h"
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace jsrev {
+namespace {
+
+TEST(Hash, Deterministic) {
+  EXPECT_EQ(fnv1a64("abc"), fnv1a64("abc"));
+  EXPECT_NE(fnv1a64("abc"), fnv1a64("abd"));
+  EXPECT_NE(fnv1a64(""), fnv1a64("a"));
+}
+
+TEST(Hash, CombineOrderSensitive) {
+  const auto a = hash_combine(fnv1a64("x"), fnv1a64("y"));
+  const auto b = hash_combine(fnv1a64("y"), fnv1a64("x"));
+  EXPECT_NE(a, b);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(13);
+  double sum = 0, sq = 0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  r.shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a(5);
+  Rng child = a.fork();
+  EXPECT_NE(a(), child());
+}
+
+TEST(Base64, RoundTrip) {
+  for (const std::string s :
+       {"", "a", "ab", "abc", "abcd", "hello world", "\x00\xff\x10"}) {
+    EXPECT_EQ(base64_decode(base64_encode(s)), s) << s;
+  }
+}
+
+TEST(Base64, KnownVector) {
+  EXPECT_EQ(base64_encode("Man"), "TWFu");
+  EXPECT_EQ(base64_encode("Ma"), "TWE=");
+  EXPECT_EQ(base64_encode("M"), "TQ==");
+  EXPECT_EQ(base64_decode("TWFu"), "Man");
+}
+
+TEST(StringUtil, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, "->"), "a->b->c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtil, ReplaceAll) {
+  EXPECT_EQ(replace_all("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(replace_all("xyz", "q", "r"), "xyz");
+}
+
+TEST(StringUtil, JsEscape) {
+  EXPECT_EQ(js_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(js_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(js_escape("a\\b"), "a\\\\b");
+}
+
+TEST(StringUtil, Fmt) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(99.95, 1), "100.0");
+}
+
+TEST(Table, RendersAllCells) {
+  Table t({"col1", "c2"});
+  t.add_row({"a", "b"});
+  t.add_row({"longer", "x"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("col1"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("b"), std::string::npos);
+}
+
+TEST(Table, Csv) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, WaitIdleAfterSubmit) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&counter] { counter++; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(TimingStats, MeanAndStddev) {
+  TimingStats s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_NEAR(s.stddev(), 1.4142, 1e-3);
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + i;
+  EXPECT_GE(t.elapsed_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace jsrev
