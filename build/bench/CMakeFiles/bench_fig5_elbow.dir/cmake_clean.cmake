@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_elbow.dir/bench_fig5_elbow.cpp.o"
+  "CMakeFiles/bench_fig5_elbow.dir/bench_fig5_elbow.cpp.o.d"
+  "bench_fig5_elbow"
+  "bench_fig5_elbow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_elbow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

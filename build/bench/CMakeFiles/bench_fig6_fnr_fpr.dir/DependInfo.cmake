@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_fnr_fpr.cpp" "bench/CMakeFiles/bench_fig6_fnr_fpr.dir/bench_fig6_fnr_fpr.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_fnr_fpr.dir/bench_fig6_fnr_fpr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/jsrev_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jsrev_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/jsrev_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/jsrev_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/obfuscators/CMakeFiles/jsrev_obf.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/jsrev_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/jsrev_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/js/CMakeFiles/jsrev_js.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/jsrev_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jsrev_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

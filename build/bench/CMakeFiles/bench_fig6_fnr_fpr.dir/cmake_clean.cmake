@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_fnr_fpr.dir/bench_fig6_fnr_fpr.cpp.o"
+  "CMakeFiles/bench_fig6_fnr_fpr.dir/bench_fig6_fnr_fpr.cpp.o.d"
+  "bench_fig6_fnr_fpr"
+  "bench_fig6_fnr_fpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_fnr_fpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

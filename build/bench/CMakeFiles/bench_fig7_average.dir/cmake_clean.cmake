@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_average.dir/bench_fig7_average.cpp.o"
+  "CMakeFiles/bench_fig7_average.dir/bench_fig7_average.cpp.o.d"
+  "bench_fig7_average"
+  "bench_fig7_average.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_average.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

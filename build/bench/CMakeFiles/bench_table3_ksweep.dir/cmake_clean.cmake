@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_ksweep.dir/bench_table3_ksweep.cpp.o"
+  "CMakeFiles/bench_table3_ksweep.dir/bench_table3_ksweep.cpp.o.d"
+  "bench_table3_ksweep"
+  "bench_table3_ksweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_ksweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

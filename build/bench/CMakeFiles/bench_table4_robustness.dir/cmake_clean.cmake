@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_robustness.dir/bench_table4_robustness.cpp.o"
+  "CMakeFiles/bench_table4_robustness.dir/bench_table4_robustness.cpp.o.d"
+  "bench_table4_robustness"
+  "bench_table4_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsrev_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/jsrev_bench_harness.dir/harness.cpp.o.d"
+  "libjsrev_bench_harness.a"
+  "libjsrev_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsrev_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

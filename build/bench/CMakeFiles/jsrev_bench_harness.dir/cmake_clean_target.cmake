@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjsrev_bench_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpret_features.dir/interpret_features.cpp.o"
+  "CMakeFiles/interpret_features.dir/interpret_features.cpp.o.d"
+  "interpret_features"
+  "interpret_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpret_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obfuscation_robustness.dir/obfuscation_robustness.cpp.o"
+  "CMakeFiles/obfuscation_robustness.dir/obfuscation_robustness.cpp.o.d"
+  "obfuscation_robustness"
+  "obfuscation_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obfuscation_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

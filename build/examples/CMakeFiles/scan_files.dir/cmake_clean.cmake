@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_files.dir/scan_files.cpp.o"
+  "CMakeFiles/scan_files.dir/scan_files.cpp.o.d"
+  "scan_files"
+  "scan_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cfg.cpp" "src/analysis/CMakeFiles/jsrev_analysis.dir/cfg.cpp.o" "gcc" "src/analysis/CMakeFiles/jsrev_analysis.dir/cfg.cpp.o.d"
+  "/root/repo/src/analysis/dataflow.cpp" "src/analysis/CMakeFiles/jsrev_analysis.dir/dataflow.cpp.o" "gcc" "src/analysis/CMakeFiles/jsrev_analysis.dir/dataflow.cpp.o.d"
+  "/root/repo/src/analysis/pdg.cpp" "src/analysis/CMakeFiles/jsrev_analysis.dir/pdg.cpp.o" "gcc" "src/analysis/CMakeFiles/jsrev_analysis.dir/pdg.cpp.o.d"
+  "/root/repo/src/analysis/scope.cpp" "src/analysis/CMakeFiles/jsrev_analysis.dir/scope.cpp.o" "gcc" "src/analysis/CMakeFiles/jsrev_analysis.dir/scope.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/js/CMakeFiles/jsrev_js.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jsrev_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsrev_analysis.dir/cfg.cpp.o"
+  "CMakeFiles/jsrev_analysis.dir/cfg.cpp.o.d"
+  "CMakeFiles/jsrev_analysis.dir/dataflow.cpp.o"
+  "CMakeFiles/jsrev_analysis.dir/dataflow.cpp.o.d"
+  "CMakeFiles/jsrev_analysis.dir/pdg.cpp.o"
+  "CMakeFiles/jsrev_analysis.dir/pdg.cpp.o.d"
+  "CMakeFiles/jsrev_analysis.dir/scope.cpp.o"
+  "CMakeFiles/jsrev_analysis.dir/scope.cpp.o.d"
+  "libjsrev_analysis.a"
+  "libjsrev_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsrev_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cujo.cpp" "src/baselines/CMakeFiles/jsrev_baselines.dir/cujo.cpp.o" "gcc" "src/baselines/CMakeFiles/jsrev_baselines.dir/cujo.cpp.o.d"
+  "/root/repo/src/baselines/detector.cpp" "src/baselines/CMakeFiles/jsrev_baselines.dir/detector.cpp.o" "gcc" "src/baselines/CMakeFiles/jsrev_baselines.dir/detector.cpp.o.d"
+  "/root/repo/src/baselines/jast.cpp" "src/baselines/CMakeFiles/jsrev_baselines.dir/jast.cpp.o" "gcc" "src/baselines/CMakeFiles/jsrev_baselines.dir/jast.cpp.o.d"
+  "/root/repo/src/baselines/jstap.cpp" "src/baselines/CMakeFiles/jsrev_baselines.dir/jstap.cpp.o" "gcc" "src/baselines/CMakeFiles/jsrev_baselines.dir/jstap.cpp.o.d"
+  "/root/repo/src/baselines/ngram.cpp" "src/baselines/CMakeFiles/jsrev_baselines.dir/ngram.cpp.o" "gcc" "src/baselines/CMakeFiles/jsrev_baselines.dir/ngram.cpp.o.d"
+  "/root/repo/src/baselines/zozzle.cpp" "src/baselines/CMakeFiles/jsrev_baselines.dir/zozzle.cpp.o" "gcc" "src/baselines/CMakeFiles/jsrev_baselines.dir/zozzle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/jsrev_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/jsrev_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/jsrev_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/obfuscators/CMakeFiles/jsrev_obf.dir/DependInfo.cmake"
+  "/root/repo/build/src/js/CMakeFiles/jsrev_js.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jsrev_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

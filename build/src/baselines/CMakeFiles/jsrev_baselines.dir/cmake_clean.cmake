@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsrev_baselines.dir/cujo.cpp.o"
+  "CMakeFiles/jsrev_baselines.dir/cujo.cpp.o.d"
+  "CMakeFiles/jsrev_baselines.dir/detector.cpp.o"
+  "CMakeFiles/jsrev_baselines.dir/detector.cpp.o.d"
+  "CMakeFiles/jsrev_baselines.dir/jast.cpp.o"
+  "CMakeFiles/jsrev_baselines.dir/jast.cpp.o.d"
+  "CMakeFiles/jsrev_baselines.dir/jstap.cpp.o"
+  "CMakeFiles/jsrev_baselines.dir/jstap.cpp.o.d"
+  "CMakeFiles/jsrev_baselines.dir/ngram.cpp.o"
+  "CMakeFiles/jsrev_baselines.dir/ngram.cpp.o.d"
+  "CMakeFiles/jsrev_baselines.dir/zozzle.cpp.o"
+  "CMakeFiles/jsrev_baselines.dir/zozzle.cpp.o.d"
+  "libjsrev_baselines.a"
+  "libjsrev_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsrev_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsrev_core.dir/family_classifier.cpp.o"
+  "CMakeFiles/jsrev_core.dir/family_classifier.cpp.o.d"
+  "CMakeFiles/jsrev_core.dir/jsrevealer.cpp.o"
+  "CMakeFiles/jsrev_core.dir/jsrevealer.cpp.o.d"
+  "CMakeFiles/jsrev_core.dir/model_io.cpp.o"
+  "CMakeFiles/jsrev_core.dir/model_io.cpp.o.d"
+  "libjsrev_core.a"
+  "libjsrev_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsrev_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

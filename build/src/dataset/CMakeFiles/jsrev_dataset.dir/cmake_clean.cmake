@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsrev_dataset.dir/corpus.cpp.o"
+  "CMakeFiles/jsrev_dataset.dir/corpus.cpp.o.d"
+  "CMakeFiles/jsrev_dataset.dir/generator.cpp.o"
+  "CMakeFiles/jsrev_dataset.dir/generator.cpp.o.d"
+  "libjsrev_dataset.a"
+  "libjsrev_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsrev_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/js/ast.cpp" "src/js/CMakeFiles/jsrev_js.dir/ast.cpp.o" "gcc" "src/js/CMakeFiles/jsrev_js.dir/ast.cpp.o.d"
+  "/root/repo/src/js/lexer.cpp" "src/js/CMakeFiles/jsrev_js.dir/lexer.cpp.o" "gcc" "src/js/CMakeFiles/jsrev_js.dir/lexer.cpp.o.d"
+  "/root/repo/src/js/parser.cpp" "src/js/CMakeFiles/jsrev_js.dir/parser.cpp.o" "gcc" "src/js/CMakeFiles/jsrev_js.dir/parser.cpp.o.d"
+  "/root/repo/src/js/printer.cpp" "src/js/CMakeFiles/jsrev_js.dir/printer.cpp.o" "gcc" "src/js/CMakeFiles/jsrev_js.dir/printer.cpp.o.d"
+  "/root/repo/src/js/visitor.cpp" "src/js/CMakeFiles/jsrev_js.dir/visitor.cpp.o" "gcc" "src/js/CMakeFiles/jsrev_js.dir/visitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/jsrev_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsrev_js.dir/ast.cpp.o"
+  "CMakeFiles/jsrev_js.dir/ast.cpp.o.d"
+  "CMakeFiles/jsrev_js.dir/lexer.cpp.o"
+  "CMakeFiles/jsrev_js.dir/lexer.cpp.o.d"
+  "CMakeFiles/jsrev_js.dir/parser.cpp.o"
+  "CMakeFiles/jsrev_js.dir/parser.cpp.o.d"
+  "CMakeFiles/jsrev_js.dir/printer.cpp.o"
+  "CMakeFiles/jsrev_js.dir/printer.cpp.o.d"
+  "CMakeFiles/jsrev_js.dir/visitor.cpp.o"
+  "CMakeFiles/jsrev_js.dir/visitor.cpp.o.d"
+  "libjsrev_js.a"
+  "libjsrev_js.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsrev_js.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/attention_model.cpp" "src/ml/CMakeFiles/jsrev_ml.dir/attention_model.cpp.o" "gcc" "src/ml/CMakeFiles/jsrev_ml.dir/attention_model.cpp.o.d"
+  "/root/repo/src/ml/classifier.cpp" "src/ml/CMakeFiles/jsrev_ml.dir/classifier.cpp.o" "gcc" "src/ml/CMakeFiles/jsrev_ml.dir/classifier.cpp.o.d"
+  "/root/repo/src/ml/cluster_quality.cpp" "src/ml/CMakeFiles/jsrev_ml.dir/cluster_quality.cpp.o" "gcc" "src/ml/CMakeFiles/jsrev_ml.dir/cluster_quality.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/jsrev_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/jsrev_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/ml/CMakeFiles/jsrev_ml.dir/kmeans.cpp.o" "gcc" "src/ml/CMakeFiles/jsrev_ml.dir/kmeans.cpp.o.d"
+  "/root/repo/src/ml/linear_models.cpp" "src/ml/CMakeFiles/jsrev_ml.dir/linear_models.cpp.o" "gcc" "src/ml/CMakeFiles/jsrev_ml.dir/linear_models.cpp.o.d"
+  "/root/repo/src/ml/model_io.cpp" "src/ml/CMakeFiles/jsrev_ml.dir/model_io.cpp.o" "gcc" "src/ml/CMakeFiles/jsrev_ml.dir/model_io.cpp.o.d"
+  "/root/repo/src/ml/multiclass_forest.cpp" "src/ml/CMakeFiles/jsrev_ml.dir/multiclass_forest.cpp.o" "gcc" "src/ml/CMakeFiles/jsrev_ml.dir/multiclass_forest.cpp.o.d"
+  "/root/repo/src/ml/naive_bayes.cpp" "src/ml/CMakeFiles/jsrev_ml.dir/naive_bayes.cpp.o" "gcc" "src/ml/CMakeFiles/jsrev_ml.dir/naive_bayes.cpp.o.d"
+  "/root/repo/src/ml/outlier.cpp" "src/ml/CMakeFiles/jsrev_ml.dir/outlier.cpp.o" "gcc" "src/ml/CMakeFiles/jsrev_ml.dir/outlier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/jsrev_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

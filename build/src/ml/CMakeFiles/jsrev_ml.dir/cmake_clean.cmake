@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsrev_ml.dir/attention_model.cpp.o"
+  "CMakeFiles/jsrev_ml.dir/attention_model.cpp.o.d"
+  "CMakeFiles/jsrev_ml.dir/classifier.cpp.o"
+  "CMakeFiles/jsrev_ml.dir/classifier.cpp.o.d"
+  "CMakeFiles/jsrev_ml.dir/cluster_quality.cpp.o"
+  "CMakeFiles/jsrev_ml.dir/cluster_quality.cpp.o.d"
+  "CMakeFiles/jsrev_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/jsrev_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/jsrev_ml.dir/kmeans.cpp.o"
+  "CMakeFiles/jsrev_ml.dir/kmeans.cpp.o.d"
+  "CMakeFiles/jsrev_ml.dir/linear_models.cpp.o"
+  "CMakeFiles/jsrev_ml.dir/linear_models.cpp.o.d"
+  "CMakeFiles/jsrev_ml.dir/model_io.cpp.o"
+  "CMakeFiles/jsrev_ml.dir/model_io.cpp.o.d"
+  "CMakeFiles/jsrev_ml.dir/multiclass_forest.cpp.o"
+  "CMakeFiles/jsrev_ml.dir/multiclass_forest.cpp.o.d"
+  "CMakeFiles/jsrev_ml.dir/naive_bayes.cpp.o"
+  "CMakeFiles/jsrev_ml.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/jsrev_ml.dir/outlier.cpp.o"
+  "CMakeFiles/jsrev_ml.dir/outlier.cpp.o.d"
+  "libjsrev_ml.a"
+  "libjsrev_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsrev_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsrev_obf.dir/obfuscators.cpp.o"
+  "CMakeFiles/jsrev_obf.dir/obfuscators.cpp.o.d"
+  "CMakeFiles/jsrev_obf.dir/transforms.cpp.o"
+  "CMakeFiles/jsrev_obf.dir/transforms.cpp.o.d"
+  "libjsrev_obf.a"
+  "libjsrev_obf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsrev_obf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

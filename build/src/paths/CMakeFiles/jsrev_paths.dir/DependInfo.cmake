@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paths/path_extraction.cpp" "src/paths/CMakeFiles/jsrev_paths.dir/path_extraction.cpp.o" "gcc" "src/paths/CMakeFiles/jsrev_paths.dir/path_extraction.cpp.o.d"
+  "/root/repo/src/paths/vocab.cpp" "src/paths/CMakeFiles/jsrev_paths.dir/vocab.cpp.o" "gcc" "src/paths/CMakeFiles/jsrev_paths.dir/vocab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/jsrev_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/js/CMakeFiles/jsrev_js.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jsrev_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsrev_paths.dir/path_extraction.cpp.o"
+  "CMakeFiles/jsrev_paths.dir/path_extraction.cpp.o.d"
+  "CMakeFiles/jsrev_paths.dir/vocab.cpp.o"
+  "CMakeFiles/jsrev_paths.dir/vocab.cpp.o.d"
+  "libjsrev_paths.a"
+  "libjsrev_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsrev_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsrev_util.dir/base64.cpp.o"
+  "CMakeFiles/jsrev_util.dir/base64.cpp.o.d"
+  "CMakeFiles/jsrev_util.dir/string_util.cpp.o"
+  "CMakeFiles/jsrev_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/jsrev_util.dir/table.cpp.o"
+  "CMakeFiles/jsrev_util.dir/table.cpp.o.d"
+  "CMakeFiles/jsrev_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/jsrev_util.dir/thread_pool.cpp.o.d"
+  "libjsrev_util.a"
+  "libjsrev_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsrev_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_property_test.dir/frontend_property_test.cpp.o"
+  "CMakeFiles/frontend_property_test.dir/frontend_property_test.cpp.o.d"
+  "frontend_property_test"
+  "frontend_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obfuscator_test.dir/obfuscator_test.cpp.o"
+  "CMakeFiles/obfuscator_test.dir/obfuscator_test.cpp.o.d"
+  "obfuscator_test"
+  "obfuscator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obfuscator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
