@@ -1,0 +1,119 @@
+// Parallel-scaling benchmark: end-to-end train and batch-predict wall time
+// at 1/2/4/8 threads on a synthetic corpus, reporting the speedup over the
+// serial (threads=1) baseline and asserting that every width produces
+// identical predictions. Emits BENCH_parallel.json so subsequent PRs can
+// track the perf trajectory.
+//
+// Scale knobs (see bench_config.h): JSREV_BENCH_CORPUS scales the corpus;
+// JSREV_BENCH_CLUSTER scales the per-class outlier/clustering sample (the
+// FastABOD stage is O(n^2) in it, so it dominates at larger values).
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_config.h"
+#include "core/jsrevealer.h"
+#include "dataset/generator.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace jsrev;
+
+struct ScalingPoint {
+  std::size_t threads = 1;
+  double train_ms = 0.0;
+  double predict_ms = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  const std::size_t per_class = bench::env_or("JSREV_BENCH_CORPUS", 160);
+  const std::size_t train_per_class = per_class * 2 / 3;
+  const std::size_t cluster_sample = bench::env_or("JSREV_BENCH_CLUSTER", 1500);
+
+  dataset::GeneratorConfig gc;
+  gc.seed = 2023;
+  gc.benign_count = per_class;
+  gc.malicious_count = per_class;
+  const dataset::Corpus corpus = dataset::generate_corpus(gc);
+  Rng rng(77);
+  const dataset::Split split =
+      dataset::split_corpus(corpus, train_per_class, train_per_class, rng);
+
+  std::vector<std::string> test_sources;
+  for (const auto& s : split.test.samples) {
+    test_sources.push_back(s.source);
+  }
+
+  std::printf("parallel scaling: %zu train scripts, %zu test scripts, "
+              "cluster sample %zu/class, %zu hardware threads\n",
+              split.train.samples.size(), test_sources.size(), cluster_sample,
+              resolve_threads(0));
+
+  std::vector<ScalingPoint> points;
+  std::vector<int> baseline_verdicts;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    core::Config cfg;
+    cfg.threads = threads;
+    cfg.embed_epochs = 6;
+    cfg.cluster_sample_per_class = cluster_sample;
+    core::JsRevealer det(cfg);
+
+    ScalingPoint p;
+    p.threads = threads;
+    Timer t_train;
+    det.train(split.train);
+    p.train_ms = t_train.elapsed_ms();
+
+    Timer t_predict;
+    const std::vector<int> verdicts = det.classify_all(test_sources);
+    p.predict_ms = t_predict.elapsed_ms();
+
+    if (baseline_verdicts.empty()) {
+      baseline_verdicts = verdicts;
+    } else if (verdicts != baseline_verdicts) {
+      std::fprintf(stderr,
+                   "FATAL: threads=%zu predictions differ from threads=1\n",
+                   threads);
+      return 1;
+    }
+    points.push_back(p);
+    std::printf("  threads=%zu  train %.0f ms  predict %.0f ms\n", threads,
+                p.train_ms, p.predict_ms);
+  }
+
+  Table table({"threads", "train ms", "train speedup", "predict ms",
+               "predict speedup"});
+  for (const ScalingPoint& p : points) {
+    table.add_row({std::to_string(p.threads), fmt(p.train_ms, 0),
+                   fmt(points[0].train_ms / p.train_ms, 2) + "x",
+                   fmt(p.predict_ms, 0),
+                   fmt(points[0].predict_ms / p.predict_ms, 2) + "x"});
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+  std::printf("predictions identical across all widths: yes\n");
+
+  std::ofstream json("BENCH_parallel.json");
+  json << "{\n  \"hardware_threads\": " << resolve_threads(0)
+       << ",\n  \"train_scripts\": " << split.train.samples.size()
+       << ",\n  \"cluster_sample_per_class\": " << cluster_sample
+       << ",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ScalingPoint& p = points[i];
+    json << "    {\"threads\": " << p.threads << ", \"train_ms\": "
+         << fmt(p.train_ms, 1) << ", \"predict_ms\": " << fmt(p.predict_ms, 1)
+         << ", \"train_speedup\": " << fmt(points[0].train_ms / p.train_ms, 3)
+         << ", \"predict_speedup\": "
+         << fmt(points[0].predict_ms / p.predict_ms, 3) << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote BENCH_parallel.json\n");
+  return 0;
+}

@@ -25,8 +25,9 @@ class Detector {
 
   virtual std::string name() const = 0;
 
-  /// Metrics over a labeled corpus.
-  ml::Metrics evaluate(const dataset::Corpus& corpus) const {
+  /// Metrics over a labeled corpus. Virtual so detectors with a batch
+  /// prediction path (JSRevealer fans out per row) can use it here.
+  virtual ml::Metrics evaluate(const dataset::Corpus& corpus) const {
     std::vector<int> truth, pred;
     truth.reserve(corpus.samples.size());
     pred.reserve(corpus.samples.size());

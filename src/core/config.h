@@ -48,6 +48,13 @@ struct Config {
   // Maximum vocabulary size; further paths are treated as unknown.
   std::size_t max_vocab = 200000;
 
+  // Parallel width for every per-item pipeline stage (path extraction,
+  // FastABOD, k-means assignment, forest training, batch prediction).
+  // 0 = hardware concurrency; 1 = the exact legacy serial path. Results are
+  // bit-identical at any width: per-item randomness is index-derived and all
+  // floating-point accumulation stays in index order.
+  std::size_t threads = 0;
+
   // --- ablation switches (bench_ablation) ---------------------------------
   // Paper design: feature values accumulate path ATTENTION WEIGHTS. The
   // ablation uses binary cluster occurrence instead (the alternative the

@@ -2,7 +2,15 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.h"
+
 namespace jsrev::core {
+
+FamilyClassifier::FamilyClassifier(std::size_t threads) : threads_(threads) {
+  ml::MulticlassForestConfig fc;
+  fc.threads = threads;
+  forest_ = ml::MulticlassRandomForest(fc);
+}
 
 std::size_t FamilyClassifier::train(const JsRevealer& detector,
                                     const dataset::Corpus& corpus) {
@@ -21,18 +29,24 @@ std::size_t FamilyClassifier::train(const JsRevealer& detector,
     }
   }
 
+  // Featurization fans out per sample; the failed-sample compaction below
+  // stays serial in sample order so row order matches the serial path.
+  std::vector<std::vector<double>> feats(malicious.size());
+  parallel_for_threads(threads_, malicious.size(), [&](std::size_t i) {
+    try {
+      feats[i] = detector.featurize(malicious[i]->source);
+    } catch (const std::exception&) {
+      // left empty: skipped during compaction
+    }
+  });
+
   ml::Matrix x(malicious.size(), detector.feature_count());
   std::vector<int> y(malicious.size());
   std::size_t used = 0;
-  for (const auto* s : malicious) {
-    std::vector<double> f;
-    try {
-      f = detector.featurize(s->source);
-    } catch (const std::exception&) {
-      continue;
-    }
-    std::copy(f.begin(), f.end(), x.row(used));
-    y[used] = label_.at(s->family);
+  for (std::size_t i = 0; i < malicious.size(); ++i) {
+    if (feats[i].empty()) continue;
+    std::copy(feats[i].begin(), feats[i].end(), x.row(used));
+    y[used] = label_.at(malicious[i]->family);
     ++used;
   }
   // Shrink to the rows actually filled.

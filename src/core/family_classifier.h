@@ -18,6 +18,11 @@ namespace jsrev::core {
 
 class FamilyClassifier {
  public:
+  /// `threads` sets the parallel width for featurization and per-tree
+  /// forest training (0 = hardware concurrency, 1 = serial); the trained
+  /// model is bit-identical at any width.
+  explicit FamilyClassifier(std::size_t threads = 1);
+
   /// Trains on the malicious subset of `corpus` using the feature space of
   /// an already-trained detector. Samples with empty family tags are
   /// skipped. Returns the number of training samples used.
@@ -48,6 +53,7 @@ class FamilyClassifier {
 
   std::map<std::string, int> label_;
   std::vector<std::string> families_;
+  std::size_t threads_ = 1;
   ml::MulticlassRandomForest forest_;
   bool trained_ = false;
 };

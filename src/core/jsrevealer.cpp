@@ -9,6 +9,7 @@
 #include "js/parser.h"
 #include "ml/decision_tree.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace jsrev::core {
 
@@ -19,7 +20,7 @@ JsRevealer::JsRevealer(Config cfg) : cfg_(cfg) {
   mc.learning_rate = cfg_.learning_rate;
   mc.seed = cfg_.seed;
   model_ = ml::AttentionModel(mc);
-  classifier_ = ml::make_classifier(cfg_.classifier, cfg_.seed);
+  classifier_ = ml::make_classifier(cfg_.classifier, cfg_.seed, cfg_.threads);
 }
 
 std::vector<paths::PathContext> JsRevealer::extract(const std::string& source,
@@ -56,21 +57,34 @@ std::vector<std::int32_t> JsRevealer::to_ids(
 
 void JsRevealer::train(const dataset::Corpus& corpus) {
   Rng rng(cfg_.seed);
+  timings_.threads = resolve_threads(cfg_.threads);
 
   // ---- Stage 1: path extraction over the training corpus (grows vocab) ---
-  std::vector<std::vector<std::int32_t>> script_ids(corpus.samples.size());
-  std::vector<int> labels(corpus.samples.size());
-  for (std::size_t i = 0; i < corpus.samples.size(); ++i) {
+  // Parse + enhanced-AST analysis + path enumeration fan out per file (the
+  // per-module cost leaders of the paper's Table VIII); vocabulary interning
+  // is order-dependent (ids assigned on first sight), so it stays serial in
+  // sample order — ids are therefore identical at any thread count.
+  const std::size_t n_samples = corpus.samples.size();
+  std::vector<std::vector<paths::PathContext>> extracted(n_samples);
+  {
+    Timer t_wall;
+    parallel_for_threads(cfg_.threads, n_samples, [&](std::size_t i) {
+      try {
+        extracted[i] = extract(corpus.samples[i].source, /*timed=*/true);
+      } catch (const std::exception&) {
+        // unparseable training sample contributes nothing
+      }
+    });
+    timings_.enhanced_ast.add_wall(t_wall.elapsed_ms());
+  }
+
+  std::vector<std::vector<std::int32_t>> script_ids(n_samples);
+  std::vector<int> labels(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) {
     labels[i] = corpus.samples[i].label;
-    std::vector<paths::PathContext> pcs;
-    try {
-      pcs = extract(corpus.samples[i].source, /*timed=*/true);
-    } catch (const std::exception&) {
-      continue;  // unparseable training sample contributes nothing
-    }
     auto& ids = script_ids[i];
-    ids.reserve(pcs.size());
-    for (const auto& pc : pcs) {
+    ids.reserve(extracted[i].size());
+    for (const auto& pc : extracted[i]) {
       if (vocab_.size() < cfg_.max_vocab) {
         ids.push_back(vocab_.add(pc));
       } else {
@@ -78,6 +92,8 @@ void JsRevealer::train(const dataset::Corpus& corpus) {
       }
     }
   }
+  extracted.clear();
+  extracted.shrink_to_fit();
 
   // ---- Stage 2: pre-train the embedding model -----------------------------
   // The paper pre-trains on 5,000 held-aside scripts; by default we use the
@@ -128,16 +144,17 @@ void JsRevealer::train(const dataset::Corpus& corpus) {
 
     const auto d = static_cast<std::size_t>(cfg_.embedding_dim);
     ml::Matrix vecs(sampled_ids.size(), d);
-    for (std::size_t r = 0; r < sampled_ids.size(); ++r) {
+    parallel_for_threads(cfg_.threads, sampled_ids.size(), [&](std::size_t r) {
       const std::vector<double> e = model_.path_embedding(sampled_ids[r]);
       std::copy(e.begin(), e.end(), vecs.row(r));
-    }
+    });
 
     // Outlier removal (FastABOD by default; optionally MetaOD-style pick;
     // skippable entirely for the ablation bench).
     Timer t_out;
     ml::OutlierConfig ocfg;
     ocfg.k_neighbors = cfg_.outlier_k_neighbors;
+    ocfg.threads = cfg_.threads;
     ocfg.contamination = cfg_.skip_outlier_removal
                              ? 0.0
                              : cfg_.outlier_contamination;
@@ -152,6 +169,7 @@ void JsRevealer::train(const dataset::Corpus& corpus) {
       out = ml::run_outlier(outlier_method_, vecs, ocfg);
     }
     timings_.outlier.add(t_out.elapsed_ms());
+    timings_.outlier.add_wall(t_out.elapsed_ms());
 
     std::size_t kept = 0;
     for (std::size_t r = 0; r < vecs.rows(); ++r) kept += !out.is_outlier[r];
@@ -178,12 +196,15 @@ void JsRevealer::train(const dataset::Corpus& corpus) {
   ml::KMeansConfig kb;
   kb.k = cfg_.k_benign;
   kb.seed = rng();
+  kb.threads = cfg_.threads;
   const ml::Clustering cb = ml::bisecting_kmeans(benign_vecs, kb);
   ml::KMeansConfig km;
   km.k = cfg_.k_malicious;
   km.seed = rng();
+  km.threads = cfg_.threads;
   const ml::Clustering cm = ml::bisecting_kmeans(malicious_vecs, km);
   timings_.clustering.add(t_cluster.elapsed_ms());
+  timings_.clustering.add_wall(t_cluster.elapsed_ms());
 
   // ---- Stage 4: overlap removal between the two cluster sets --------------
   const auto d = static_cast<std::size_t>(cfg_.embedding_dim);
@@ -248,7 +269,8 @@ void JsRevealer::train(const dataset::Corpus& corpus) {
   central_path_.assign(feature_dim_, std::string());
   auto assign_central = [&](const ml::Matrix& vecs,
                             const std::vector<std::int32_t>& ids) {
-    for (std::size_t f = 0; f < feature_dim_; ++f) {
+    // O(feature_dim * n * d) scan; each feature owns its slots.
+    parallel_for_threads(cfg_.threads, feature_dim_, [&](std::size_t f) {
       double best = centroid_nearest_d_[f];
       for (std::size_t r = 0; r < vecs.rows(); ++r) {
         const double dist = ml::squared_distance(centroids_.row(f),
@@ -259,7 +281,7 @@ void JsRevealer::train(const dataset::Corpus& corpus) {
         }
       }
       centroid_nearest_d_[f] = best;
-    }
+    });
   };
   centroid_nearest_d_.assign(feature_dim_,
                              std::numeric_limits<double>::max());
@@ -268,13 +290,17 @@ void JsRevealer::train(const dataset::Corpus& corpus) {
 
   // ---- Stage 5: featurize the training corpus and fit the classifier ------
   trained_ = true;  // featurize() needs the centroids from here on
-  ml::Matrix x(corpus.samples.size(), feature_dim_);
-  std::vector<int> y(corpus.samples.size());
-  for (std::size_t i = 0; i < corpus.samples.size(); ++i) {
-    ml::EmbeddedScript emb = model_.embed(script_ids[i]);
-    const std::vector<double> f = features_from_embedding(emb);
-    std::copy(f.begin(), f.end(), x.row(i));
-    y[i] = labels[i];
+  ml::Matrix x(n_samples, feature_dim_);
+  std::vector<int> y(n_samples);
+  {
+    Timer t_wall;
+    parallel_for_threads(cfg_.threads, n_samples, [&](std::size_t i) {
+      ml::EmbeddedScript emb = model_.embed(script_ids[i]);
+      const std::vector<double> f = features_from_embedding(emb);
+      std::copy(f.begin(), f.end(), x.row(i));
+      y[i] = labels[i];
+    });
+    timings_.embedding.add_wall(t_wall.elapsed_ms());
   }
   scaler_.fit(x);
   scaler_.transform(x);
@@ -283,6 +309,7 @@ void JsRevealer::train(const dataset::Corpus& corpus) {
   classifier_->fit(x, y);
   timings_.classifier_train.add(t_fit.elapsed_ms() /
                                 std::max<std::size_t>(1, x.rows()));
+  timings_.classifier_train.add_wall(t_fit.elapsed_ms());
 }
 
 std::vector<double> JsRevealer::features_from_embedding(
@@ -338,6 +365,35 @@ int JsRevealer::classify(const std::string& source) const {
   }
 }
 
+std::vector<int> JsRevealer::classify_all(
+    const std::vector<std::string>& sources) const {
+  // Inference is read-only on the trained model (classify/featurize are
+  // const and internally synchronized on the timing sink), so scripts fan
+  // out independently with verdicts written to disjoint slots.
+  std::vector<int> verdicts(sources.size(), 1);
+  Timer t_wall;
+  parallel_for_threads(cfg_.threads, sources.size(), [&](std::size_t i) {
+    verdicts[i] = classify(sources[i]);
+  });
+  {
+    std::lock_guard<std::mutex> lock(timing_mu_);
+    timings_.classifying.add_wall(t_wall.elapsed_ms());
+  }
+  return verdicts;
+}
+
+ml::Metrics JsRevealer::evaluate(const dataset::Corpus& corpus) const {
+  std::vector<std::string> sources;
+  std::vector<int> truth;
+  sources.reserve(corpus.samples.size());
+  truth.reserve(corpus.samples.size());
+  for (const auto& s : corpus.samples) {
+    sources.push_back(s.source);
+    truth.push_back(s.label);
+  }
+  return ml::compute_metrics(truth, classify_all(sources));
+}
+
 std::vector<FeatureReportEntry> JsRevealer::feature_report(int n) const {
   std::vector<FeatureReportEntry> out;
   const auto* forest = dynamic_cast<const ml::RandomForest*>(classifier_.get());
@@ -368,19 +424,27 @@ std::vector<double> JsRevealer::sse_curve(const dataset::Corpus& corpus,
   if (!model_.trained()) train(corpus);
 
   Rng rng(cfg_.seed + 7);
+  // Extraction fans out per script; id collection stays serial in sample
+  // order so the shuffle below consumes an order-independent sequence.
+  std::vector<std::vector<std::int32_t>> per_script(corpus.samples.size());
+  parallel_for_threads(
+      cfg_.threads, corpus.samples.size(), [&](std::size_t i) {
+        const auto& s = corpus.samples[i];
+        if (s.label != label) return;
+        std::vector<paths::PathContext> pcs;
+        try {
+          pcs = extract(s.source, /*timed=*/false);
+        } catch (const std::exception&) {
+          return;
+        }
+        for (const auto& pc : pcs) {
+          const std::int32_t id = vocab_.lookup(pc);
+          if (id >= 0) per_script[i].push_back(id);
+        }
+      });
   std::vector<std::int32_t> sampled_ids;
-  for (const auto& s : corpus.samples) {
-    if (s.label != label) continue;
-    std::vector<paths::PathContext> pcs;
-    try {
-      pcs = extract(s.source, /*timed=*/false);
-    } catch (const std::exception&) {
-      continue;
-    }
-    for (const auto& pc : pcs) {
-      const std::int32_t id = vocab_.lookup(pc);
-      if (id >= 0) sampled_ids.push_back(id);
-    }
+  for (const auto& ids : per_script) {
+    sampled_ids.insert(sampled_ids.end(), ids.begin(), ids.end());
   }
   rng.shuffle(sampled_ids);
   if (sampled_ids.size() > cfg_.cluster_sample_per_class) {
@@ -388,16 +452,17 @@ std::vector<double> JsRevealer::sse_curve(const dataset::Corpus& corpus,
   }
   const auto d = static_cast<std::size_t>(cfg_.embedding_dim);
   ml::Matrix vecs(sampled_ids.size(), d);
-  for (std::size_t r = 0; r < sampled_ids.size(); ++r) {
+  parallel_for_threads(cfg_.threads, sampled_ids.size(), [&](std::size_t r) {
     const std::vector<double> e = model_.path_embedding(sampled_ids[r]);
     std::copy(e.begin(), e.end(), vecs.row(r));
-  }
+  });
 
   std::vector<double> sse;
   for (int k = k_lo; k <= k_hi; ++k) {
     ml::KMeansConfig kc;
     kc.k = k;
     kc.seed = cfg_.seed + static_cast<std::uint64_t>(k);
+    kc.threads = cfg_.threads;
     sse.push_back(ml::bisecting_kmeans(vecs, kc).sse);
   }
   return sse;

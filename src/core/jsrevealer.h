@@ -29,6 +29,12 @@ struct FeatureReportEntry {
 };
 
 /// Per-module timing aggregates for the Table VIII reproduction.
+///
+/// Per-item samples (TimingStats::add) are recorded as before; in addition
+/// each parallel region records its wall-clock on the stage that dominates
+/// it (TimingStats::add_wall), so total()/wall_ms() shows the effective
+/// speedup at the `threads` width the pipeline ran with. The fused
+/// parse+analysis+path-enumeration region books its wall on enhanced_ast.
 struct StageTimings {
   TimingStats enhanced_ast;     // parse + scope + dataflow
   TimingStats path_traversal;   // path-context enumeration
@@ -38,6 +44,7 @@ struct StageTimings {
   TimingStats clustering;       // bisecting k-means (train once)
   TimingStats classifier_train;
   TimingStats classifying;      // classifier predict per file
+  std::size_t threads = 1;      // resolved parallel width used by train()
 };
 
 class JsRevealer final : public detect::Detector {
@@ -47,6 +54,15 @@ class JsRevealer final : public detect::Detector {
   void train(const dataset::Corpus& corpus) override;
   int classify(const std::string& source) const override;
   std::string name() const override { return "JSRevealer"; }
+
+  /// Batch prediction: classifies every source, fanning out per script at
+  /// the configured thread width. Verdicts are identical to calling
+  /// classify() per source (featurization and the trained model are
+  /// read-only at inference).
+  std::vector<int> classify_all(const std::vector<std::string>& sources) const;
+
+  /// Batched evaluate (same metrics as the base implementation).
+  ml::Metrics evaluate(const dataset::Corpus& corpus) const override;
 
   /// Number of features = surviving benign + malicious clusters.
   std::size_t feature_count() const { return feature_dim_; }

@@ -3,8 +3,17 @@
 #include "ml/decision_tree.h"
 #include "ml/linear_models.h"
 #include "ml/naive_bayes.h"
+#include "util/thread_pool.h"
 
 namespace jsrev::ml {
+
+std::vector<int> Classifier::predict_all(const Matrix& x,
+                                         std::size_t threads) const {
+  std::vector<int> out(x.rows());
+  parallel_for_threads(threads, x.rows(),
+                       [&](std::size_t i) { out[i] = predict(x.row(i)); });
+  return out;
+}
 
 std::string classifier_kind_name(ClassifierKind k) {
   switch (k) {
@@ -19,7 +28,8 @@ std::string classifier_kind_name(ClassifierKind k) {
 }
 
 std::unique_ptr<Classifier> make_classifier(ClassifierKind kind,
-                                            std::uint64_t seed) {
+                                            std::uint64_t seed,
+                                            std::size_t threads) {
   switch (kind) {
     case ClassifierKind::kSvm: {
       LinearConfig cfg;
@@ -43,6 +53,7 @@ std::unique_ptr<Classifier> make_classifier(ClassifierKind kind,
     case ClassifierKind::kRandomForest: {
       ForestConfig cfg;
       cfg.seed = seed;
+      cfg.threads = threads;
       return std::make_unique<RandomForest>(cfg);
     }
   }

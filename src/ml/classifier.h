@@ -22,16 +22,15 @@ class Classifier {
 
   virtual std::string name() const = 0;
 
-  /// Convenience: predictions for every row of X.
-  std::vector<int> predict_all(const Matrix& x) const {
-    std::vector<int> out(x.rows());
-    for (std::size_t i = 0; i < x.rows(); ++i) out[i] = predict(x.row(i));
-    return out;
-  }
+  /// Batch prediction fanning out per row (predict() is const and
+  /// thread-safe for every classifier here). threads: 0 = hardware
+  /// concurrency, 1 = serial; the output is identical at any width.
+  std::vector<int> predict_all(const Matrix& x, std::size_t threads = 1) const;
 
   /// Convenience: metrics of this classifier on a labeled set.
-  Metrics evaluate(const Matrix& x, const std::vector<int>& y) const {
-    return compute_metrics(y, predict_all(x));
+  Metrics evaluate(const Matrix& x, const std::vector<int>& y,
+                   std::size_t threads = 1) const {
+    return compute_metrics(y, predict_all(x, threads));
   }
 };
 
@@ -47,8 +46,11 @@ enum class ClassifierKind {
 std::string classifier_kind_name(ClassifierKind k);
 
 /// Factory with per-kind default hyperparameters. `seed` controls any
-/// stochastic component (bootstrap sampling, feature subsets, SGD order).
+/// stochastic component (bootstrap sampling, feature subsets, SGD order);
+/// `threads` the training parallel width where the kind supports it
+/// (currently the random forest; 0 = hardware concurrency, 1 = serial).
 std::unique_ptr<Classifier> make_classifier(ClassifierKind kind,
-                                            std::uint64_t seed = 1);
+                                            std::uint64_t seed = 1,
+                                            std::size_t threads = 1);
 
 }  // namespace jsrev::ml

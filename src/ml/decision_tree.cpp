@@ -4,6 +4,9 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/hash.h"
+#include "util/thread_pool.h"
+
 namespace jsrev::ml {
 namespace {
 
@@ -153,26 +156,31 @@ int DecisionTree::predict(const double* row) const {
 RandomForest::RandomForest(ForestConfig cfg) : cfg_(cfg) {}
 
 void RandomForest::fit(const Matrix& x, const std::vector<int>& y) {
-  trees_.clear();
   n_features_ = x.cols();
-  Rng rng(cfg_.seed);
   const std::size_t n = x.rows();
   const int mtry = std::max(
       1, static_cast<int>(std::sqrt(static_cast<double>(n_features_))));
 
-  for (int t = 0; t < cfg_.n_trees; ++t) {
-    TreeConfig tc;
-    tc.max_depth = cfg_.max_depth;
-    tc.min_samples_split = cfg_.min_samples_split;
-    tc.max_features = mtry;
-    tc.seed = rng();
-    DecisionTree tree(tc);
-    // Bootstrap sample.
-    std::vector<std::size_t> rows(n);
-    for (std::size_t i = 0; i < n; ++i) rows[i] = rng.below(n);
-    tree.fit_subset(x, y, rows);
-    trees_.push_back(std::move(tree));
-  }
+  // Trees train independently: tree t's RNG is derived from (seed, t) rather
+  // than a shared sequential stream, so tree t is identical no matter how
+  // many threads fit the forest (or in what order trees complete).
+  trees_.assign(static_cast<std::size_t>(cfg_.n_trees), DecisionTree());
+  parallel_for_threads(
+      cfg_.threads, static_cast<std::size_t>(cfg_.n_trees),
+      [&](std::size_t t) {
+        Rng tree_rng(hash_combine(cfg_.seed, 0x7265656eULL + t));
+        TreeConfig tc;
+        tc.max_depth = cfg_.max_depth;
+        tc.min_samples_split = cfg_.min_samples_split;
+        tc.max_features = mtry;
+        tc.seed = tree_rng();
+        DecisionTree tree(tc);
+        // Bootstrap sample.
+        std::vector<std::size_t> rows(n);
+        for (std::size_t i = 0; i < n; ++i) rows[i] = tree_rng.below(n);
+        tree.fit_subset(x, y, rows);
+        trees_[t] = std::move(tree);
+      });
 }
 
 double RandomForest::predict_proba(const double* row) const {

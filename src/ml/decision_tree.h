@@ -64,6 +64,10 @@ struct ForestConfig {
   int max_depth = 16;
   int min_samples_split = 2;
   std::uint64_t seed = 5;
+  // Parallel width for per-tree training (0 = hardware concurrency,
+  // 1 = serial). Tree t's RNG is derived from (seed, t), never from a shared
+  // sequential stream, so the fitted forest is bit-identical at any width.
+  std::size_t threads = 1;
 };
 
 class RandomForest : public Classifier {

@@ -1,8 +1,11 @@
 #include "ml/kmeans.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+
+#include "util/thread_pool.h"
 
 namespace jsrev::ml {
 namespace {
@@ -16,7 +19,7 @@ struct SubResult {
 };
 
 SubResult lloyd(const Matrix& points, const std::vector<std::size_t>& rows,
-                int k, int max_iters, Rng& rng) {
+                int k, int max_iters, Rng& rng, std::size_t threads) {
   const std::size_t d = points.cols();
   const std::size_t n = rows.size();
   SubResult res;
@@ -59,15 +62,18 @@ SubResult lloyd(const Matrix& points, const std::vector<std::size_t>& rows,
   std::vector<double> sums(static_cast<std::size_t>(k) * d);
   std::vector<std::size_t> counts(static_cast<std::size_t>(k));
   for (int iter = 0; iter < max_iters; ++iter) {
-    bool changed = false;
-    for (std::size_t i = 0; i < n; ++i) {
+    // Assignment: O(n k d), the hot step. Each point writes only its own
+    // slot; the centroid update below stays serial in row order so the
+    // floating-point sums are identical at any thread count.
+    std::atomic<bool> changed{false};
+    parallel_for_threads(threads, n, [&](std::size_t i) {
       const int c = nearest_centroid(res.centroids, points.row(rows[i]));
       if (c != res.assignment[i]) {
         res.assignment[i] = c;
-        changed = true;
+        changed.store(true, std::memory_order_relaxed);
       }
-    }
-    if (!changed && iter > 0) break;
+    });
+    if (!changed.load() && iter > 0) break;
 
     std::fill(sums.begin(), sums.end(), 0.0);
     std::fill(counts.begin(), counts.end(), 0);
@@ -91,32 +97,40 @@ SubResult lloyd(const Matrix& points, const std::vector<std::size_t>& rows,
     }
   }
 
-  res.sse = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    res.sse += squared_distance(
+  // Per-point distances computed in parallel; summed serially in row order.
+  std::vector<double> d2(n, 0.0);
+  parallel_for_threads(threads, n, [&](std::size_t i) {
+    d2[i] = squared_distance(
         points.row(rows[i]),
         res.centroids.row(static_cast<std::size_t>(res.assignment[i])), d);
-  }
+  });
+  res.sse = 0.0;
+  for (std::size_t i = 0; i < n; ++i) res.sse += d2[i];
   return res;
 }
 
-Clustering finalize(const Matrix& points, const Matrix& centroids) {
+Clustering finalize(const Matrix& points, const Matrix& centroids,
+                    std::size_t threads) {
   const std::size_t k = centroids.rows();
   const std::size_t d = points.cols();
+  const std::size_t n = points.rows();
   Clustering out;
   out.centroids = centroids;
-  out.assignment.resize(points.rows());
+  out.assignment.resize(n);
   out.cluster_sse.assign(k, 0.0);
   out.sizes.assign(k, 0);
-  for (std::size_t i = 0; i < points.rows(); ++i) {
+  std::vector<double> d2(n, 0.0);
+  parallel_for_threads(threads, n, [&](std::size_t i) {
     const int c = nearest_centroid(centroids, points.row(i));
     out.assignment[i] = c;
-    const double d2 =
-        squared_distance(points.row(i),
-                         centroids.row(static_cast<std::size_t>(c)), d);
-    out.cluster_sse[static_cast<std::size_t>(c)] += d2;
-    out.sse += d2;
-    ++out.sizes[static_cast<std::size_t>(c)];
+    d2[i] = squared_distance(points.row(i),
+                             centroids.row(static_cast<std::size_t>(c)), d);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = static_cast<std::size_t>(out.assignment[i]);
+    out.cluster_sse[c] += d2[i];
+    out.sse += d2[i];
+    ++out.sizes[c];
   }
   return out;
 }
@@ -153,8 +167,8 @@ Clustering kmeans(const Matrix& points, const KMeansConfig& cfg) {
   const int k = std::max(1, std::min<int>(cfg.k, static_cast<int>(n)));
   std::vector<std::size_t> all(n);
   for (std::size_t i = 0; i < n; ++i) all[i] = i;
-  const SubResult res = lloyd(points, all, k, cfg.max_iters, rng);
-  return finalize(points, res.centroids);
+  const SubResult res = lloyd(points, all, k, cfg.max_iters, rng, cfg.threads);
+  return finalize(points, res.centroids, cfg.threads);
 }
 
 Clustering bisecting_kmeans(const Matrix& points, const KMeansConfig& cfg) {
@@ -176,10 +190,13 @@ Clustering bisecting_kmeans(const Matrix& points, const KMeansConfig& cfg) {
       for (std::size_t j = 0; j < d; ++j) c.centroid[j] += p[j];
     }
     for (double& x : c.centroid) x /= static_cast<double>(c.rows.size());
+    // Distances in parallel, summed serially in row order.
+    std::vector<double> d2(c.rows.size(), 0.0);
+    parallel_for_threads(cfg.threads, c.rows.size(), [&](std::size_t i) {
+      d2[i] = squared_distance(points.row(c.rows[i]), c.centroid.data(), d);
+    });
     c.sse = 0.0;
-    for (const std::size_t r : c.rows) {
-      c.sse += squared_distance(points.row(r), c.centroid.data(), d);
-    }
+    for (const double v : d2) c.sse += v;
   };
 
   std::vector<Cluster> clusters(1);
@@ -202,7 +219,8 @@ Clustering bisecting_kmeans(const Matrix& points, const KMeansConfig& cfg) {
     SubResult best;
     best.sse = std::numeric_limits<double>::max();
     for (int trial = 0; trial < std::max(1, cfg.bisect_trials); ++trial) {
-      SubResult r = lloyd(points, clusters[worst].rows, 2, cfg.max_iters, rng);
+      SubResult r = lloyd(points, clusters[worst].rows, 2, cfg.max_iters, rng,
+                          cfg.threads);
       if (r.sse < best.sse) best = std::move(r);
     }
 
@@ -223,7 +241,7 @@ Clustering bisecting_kmeans(const Matrix& points, const KMeansConfig& cfg) {
     std::copy(clusters[c].centroid.begin(), clusters[c].centroid.end(),
               centroids.row(c));
   }
-  return finalize(points, centroids);
+  return finalize(points, centroids, cfg.threads);
 }
 
 }  // namespace jsrev::ml

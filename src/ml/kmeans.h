@@ -18,6 +18,11 @@ struct KMeansConfig {
   int max_iters = 50;
   int bisect_trials = 4;  // 2-means restarts per split (keep the best)
   std::uint64_t seed = 23;
+  // Parallel width for the per-point assignment/distance passes
+  // (0 = hardware concurrency, 1 = serial). Bit-identical at any width:
+  // assignments write disjoint slots and every floating-point accumulation
+  // (centroid sums, SSE) stays serial in row order.
+  std::size_t threads = 1;
 };
 
 struct Clustering {

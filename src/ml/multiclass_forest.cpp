@@ -4,6 +4,9 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/hash.h"
+#include "util/thread_pool.h"
+
 namespace jsrev::ml {
 namespace {
 
@@ -175,21 +178,27 @@ void MulticlassRandomForest::fit(const Matrix& x, const std::vector<int>& y) {
   for (const int label : y) n_classes_ = std::max(n_classes_, label + 1);
   n_classes_ = std::max(1, n_classes_);
 
-  Rng rng(cfg_.seed);
   const std::size_t n = x.rows();
   const int mtry = std::max(
       1, static_cast<int>(std::sqrt(static_cast<double>(x.cols()))));
-  for (int t = 0; t < cfg_.n_trees; ++t) {
-    MulticlassTreeConfig tc;
-    tc.max_depth = cfg_.max_depth;
-    tc.max_features = mtry;
-    tc.seed = rng();
-    MulticlassDecisionTree tree(tc);
-    std::vector<std::size_t> rows(n);
-    for (std::size_t i = 0; i < n; ++i) rows[i] = rng.below(n);
-    tree.fit_subset(x, y, rows, n_classes_);
-    trees_.push_back(std::move(tree));
-  }
+  // Per-tree (seed, t)-derived RNG — see RandomForest::fit for the
+  // determinism rationale.
+  trees_.assign(static_cast<std::size_t>(cfg_.n_trees),
+                MulticlassDecisionTree());
+  parallel_for_threads(
+      cfg_.threads, static_cast<std::size_t>(cfg_.n_trees),
+      [&](std::size_t t) {
+        Rng tree_rng(hash_combine(cfg_.seed, 0x6d756c7469ULL + t));
+        MulticlassTreeConfig tc;
+        tc.max_depth = cfg_.max_depth;
+        tc.max_features = mtry;
+        tc.seed = tree_rng();
+        MulticlassDecisionTree tree(tc);
+        std::vector<std::size_t> rows(n);
+        for (std::size_t i = 0; i < n; ++i) rows[i] = tree_rng.below(n);
+        tree.fit_subset(x, y, rows, n_classes_);
+        trees_[t] = std::move(tree);
+      });
 }
 
 std::vector<double> MulticlassRandomForest::predict_distribution(

@@ -57,6 +57,10 @@ struct MulticlassForestConfig {
   int n_trees = 60;
   int max_depth = 16;
   std::uint64_t seed = 5;
+  // Parallel width for per-tree training (0 = hardware concurrency,
+  // 1 = serial); per-tree RNG is (seed, t)-derived, so the fitted forest is
+  // bit-identical at any width.
+  std::size_t threads = 1;
 };
 
 class MulticlassRandomForest {

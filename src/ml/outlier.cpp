@@ -5,22 +5,24 @@
 #include <limits>
 #include <numeric>
 
+#include "util/thread_pool.h"
+
 namespace jsrev::ml {
 namespace {
 
 /// Indices of the k nearest neighbors of each point (excluding itself),
-/// by Euclidean distance. O(n^2 d) — fine at per-script path counts.
+/// by Euclidean distance. O(n^2 d) — the dominant cost of every method here,
+/// parallelized over query points (each writes only its own row of `out`).
 std::vector<std::vector<std::size_t>> knn_indices(const Matrix& points,
-                                                  int k) {
+                                                  int k, std::size_t threads) {
   const std::size_t n = points.rows();
   const std::size_t d = points.cols();
   const auto kk = static_cast<std::size_t>(
       std::max(1, std::min<int>(k, static_cast<int>(n) - 1)));
 
   std::vector<std::vector<std::size_t>> out(n);
-  std::vector<std::pair<double, std::size_t>> dist;
-  for (std::size_t i = 0; i < n; ++i) {
-    dist.clear();
+  parallel_for_threads(threads, n, [&](std::size_t i) {
+    std::vector<std::pair<double, std::size_t>> dist;
     dist.reserve(n - 1);
     for (std::size_t j = 0; j < n; ++j) {
       if (j == i) continue;
@@ -31,7 +33,7 @@ std::vector<std::vector<std::size_t>> knn_indices(const Matrix& points,
                       dist.end());
     out[i].reserve(take);
     for (std::size_t t = 0; t < take; ++t) out[i].push_back(dist[t].second);
-  }
+  });
   return out;
 }
 
@@ -69,11 +71,13 @@ OutlierResult fastabod(const Matrix& points, const OutlierConfig& cfg) {
     res.is_outlier.assign(n, false);
     return res;
   }
-  const auto nn = knn_indices(points, cfg.k_neighbors);
+  const auto nn = knn_indices(points, cfg.k_neighbors, cfg.threads);
 
+  // O(n k^2 d) angle-variance pass: each point's score depends only on its
+  // own neighborhood, so points fan out with no shared writes.
   std::vector<double> scores(n, 0.0);
-  std::vector<double> diff_b(d), diff_c(d);
-  for (std::size_t p = 0; p < n; ++p) {
+  parallel_for_threads(cfg.threads, n, [&](std::size_t p) {
+    std::vector<double> diff_b(d), diff_c(d);
     const auto& neigh = nn[p];
     double sum = 0.0, sum_sq = 0.0;
     std::size_t pairs = 0;
@@ -107,7 +111,7 @@ OutlierResult fastabod(const Matrix& points, const OutlierConfig& cfg) {
     }
     // Small ABOF = outlier; negate so "higher = more outlying".
     scores[p] = -abof;
-  }
+  });
   return threshold(std::move(scores), cfg.contamination);
 }
 
@@ -120,15 +124,15 @@ OutlierResult knn_outlier(const Matrix& points, const OutlierConfig& cfg) {
     res.is_outlier.assign(n, false);
     return res;
   }
-  const auto nn = knn_indices(points, cfg.k_neighbors);
+  const auto nn = knn_indices(points, cfg.k_neighbors, cfg.threads);
   std::vector<double> scores(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
+  parallel_for_threads(cfg.threads, n, [&](std::size_t i) {
     double s = 0.0;
     for (const std::size_t j : nn[i]) {
       s += std::sqrt(squared_distance(points.row(i), points.row(j), d));
     }
     scores[i] = nn[i].empty() ? 0.0 : s / static_cast<double>(nn[i].size());
-  }
+  });
   return threshold(std::move(scores), cfg.contamination);
 }
 
@@ -141,20 +145,23 @@ OutlierResult lof(const Matrix& points, const OutlierConfig& cfg) {
     res.is_outlier.assign(n, false);
     return res;
   }
-  const auto nn = knn_indices(points, cfg.k_neighbors);
+  const auto nn = knn_indices(points, cfg.k_neighbors, cfg.threads);
+
+  // Three per-point passes; each reads only results of the previous pass and
+  // writes its own slot, so each parallelizes independently.
 
   // k-distance of each point = distance to its k-th nearest neighbor.
   std::vector<double> kdist(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
+  parallel_for_threads(cfg.threads, n, [&](std::size_t i) {
     if (!nn[i].empty()) {
       kdist[i] = std::sqrt(
           squared_distance(points.row(i), points.row(nn[i].back()), d));
     }
-  }
+  });
 
   // Local reachability density.
   std::vector<double> lrd(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
+  parallel_for_threads(cfg.threads, n, [&](std::size_t i) {
     double reach_sum = 0.0;
     for (const std::size_t j : nn[i]) {
       const double dist =
@@ -164,20 +171,20 @@ OutlierResult lof(const Matrix& points, const OutlierConfig& cfg) {
     lrd[i] = reach_sum > 0
                  ? static_cast<double>(nn[i].size()) / reach_sum
                  : std::numeric_limits<double>::infinity();
-  }
+  });
 
   std::vector<double> scores(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
+  parallel_for_threads(cfg.threads, n, [&](std::size_t i) {
     if (nn[i].empty() || !std::isfinite(lrd[i]) || lrd[i] <= 0) {
       scores[i] = 0.0;
-      continue;
+      return;
     }
     double ratio_sum = 0.0;
     for (const std::size_t j : nn[i]) {
       ratio_sum += std::isfinite(lrd[j]) ? lrd[j] / lrd[i] : 1.0;
     }
     scores[i] = ratio_sum / static_cast<double>(nn[i].size());
-  }
+  });
   return threshold(std::move(scores), cfg.contamination);
 }
 

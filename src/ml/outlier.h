@@ -19,6 +19,10 @@ namespace jsrev::ml {
 struct OutlierConfig {
   int k_neighbors = 10;        // neighborhood size for all three methods
   double contamination = 0.1;  // fraction of points flagged as outliers
+  // Parallel width for the O(n^2) k-NN pass and the per-point score passes
+  // (0 = hardware concurrency, 1 = serial). Scores and masks are
+  // bit-identical at any width: every pass writes disjoint per-point slots.
+  std::size_t threads = 1;
 };
 
 /// Per-point outlier scores; HIGHER means MORE outlying for every method

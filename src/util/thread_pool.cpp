@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <utility>
 
 namespace jsrev {
 
@@ -35,27 +36,65 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    error = std::exchange(pending_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t max_workers) {
   if (n == 0) return;
-  // Dynamic scheduling over a shared counter: items can have very uneven
-  // cost (file sizes vary by orders of magnitude).
-  auto next = std::make_shared<std::atomic<std::size_t>>(0);
-  const std::size_t shards = std::min(n, workers_.size());
-  for (std::size_t s = 0; s < shards; ++s) {
-    submit([next, n, &fn] {
+  std::size_t width = workers_.size();
+  if (max_workers > 0) width = std::min(width, max_workers);
+  if (width <= 1 || n < 2) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Block-partition into ~4 chunks per worker: coarse enough that submit
+  // overhead is negligible even for tiny work items, fine enough that uneven
+  // item costs (file sizes vary by orders of magnitude) still balance via
+  // dynamic chunk claiming.
+  const std::size_t target_chunks = std::min(n, width * 4);
+  const std::size_t chunk = (n + target_chunks - 1) / target_chunks;
+  const std::size_t n_chunks = (n + chunk - 1) / chunk;
+
+  struct SharedState {
+    std::atomic<std::size_t> next_chunk{0};
+    std::mutex error_mu;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<SharedState>();
+
+  const std::size_t runners = std::min(width, n_chunks);
+  for (std::size_t s = 0; s < runners; ++s) {
+    submit([state, n, chunk, n_chunks, &fn] {
       while (true) {
-        const std::size_t i = next->fetch_add(1);
-        if (i >= n) return;
-        fn(i);
+        const std::size_t c = state->next_chunk.fetch_add(1);
+        if (c >= n_chunks) return;
+        const std::size_t lo = c * chunk;
+        const std::size_t hi = std::min(n, lo + chunk);
+        try {
+          for (std::size_t i = lo; i < hi; ++i) fn(i);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(state->error_mu);
+            if (!state->error) state->error = std::current_exception();
+          }
+          // Abandon unstarted chunks; peers drain on their next claim.
+          state->next_chunk.store(n_chunks);
+          return;
+        }
       }
     });
   }
   wait_idle();
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 void ThreadPool::worker_loop() {
@@ -68,13 +107,39 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!pending_error_) pending_error_ = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;
       if (in_flight_ == 0) idle_cv_.notify_all();
     }
   }
+}
+
+std::size_t resolve_threads(std::size_t threads) {
+  if (threads != 0) return threads;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool& shared_pool() {
+  static ThreadPool pool(
+      std::max<std::size_t>(8, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+void parallel_for_threads(std::size_t threads, std::size_t n,
+                          const std::function<void(std::size_t)>& fn) {
+  const std::size_t width = resolve_threads(threads);
+  if (width <= 1 || n < 2) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  shared_pool().parallel_for(n, fn, width);
 }
 
 }  // namespace jsrev

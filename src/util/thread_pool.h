@@ -1,12 +1,16 @@
 // Fixed-size thread pool with a parallel-for helper.
 //
-// Used to parallelize per-file feature extraction across a corpus while
-// keeping each file's processing deterministic (work items are indexed, and
-// any per-item randomness is derived from the item index).
+// Used to parallelize the per-item hot loops of the pipeline (per-file
+// feature extraction, FastABOD scoring, k-means assignment, per-tree forest
+// training) while keeping every result bit-identical to the serial path:
+// work items are indexed, writes are disjoint per index, and any per-item
+// randomness is derived from the item index — so the schedule cannot change
+// the outcome.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -26,15 +30,25 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueues a task for asynchronous execution.
+  /// Enqueues a task for asynchronous execution. A task that throws does not
+  /// kill its worker or deadlock the pool: the first exception is captured
+  /// and rethrown by the next wait_idle().
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished, then rethrows the first
+  /// exception (if any) thrown by a task submitted via submit().
   void wait_idle();
 
   /// Runs fn(i) for i in [0, n), distributing across the pool and blocking
   /// until all iterations complete. fn must be safe to call concurrently.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// Indices are block-partitioned into ~4 chunks per worker and the chunks
+  /// are claimed dynamically, so uneven item costs balance without paying
+  /// per-index scheduling overhead. `max_workers` caps the parallel width
+  /// (0 = all workers); width 1 runs inline on the calling thread.
+  /// If fn throws, the first exception is rethrown here and remaining
+  /// unstarted chunks are abandoned.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t max_workers = 0);
 
  private:
   void worker_loop();
@@ -46,6 +60,22 @@ class ThreadPool {
   std::condition_variable idle_cv_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::exception_ptr pending_error_;
 };
+
+/// Resolves a `threads` config knob: 0 = hardware_concurrency (min 1).
+std::size_t resolve_threads(std::size_t threads);
+
+/// Process-wide pool shared by all pipeline stages, created on first use.
+/// Sized at max(hardware_concurrency, 8) so explicit thread counts above the
+/// core count still exercise real concurrency; callers bound their width per
+/// call via parallel_for's max_workers instead of resizing the pool.
+ThreadPool& shared_pool();
+
+/// Convenience used by the pipeline: runs fn(i) for i in [0, n) with the
+/// given configured width (0 = hardware concurrency). Width 1 — the exact
+/// legacy serial path — loops inline without touching the pool.
+void parallel_for_threads(std::size_t threads, std::size_t n,
+                          const std::function<void(std::size_t)>& fn);
 
 }  // namespace jsrev

@@ -28,9 +28,26 @@ class Timer {
 };
 
 /// Accumulates timing samples and reports mean/stddev, as Table VIII does.
+/// Per-item samples (add) measure the work done; wall-clock samples
+/// (add_wall) measure how long the enclosing — possibly parallel — region
+/// took, so sum(samples) / wall is the effective parallel speedup of a stage
+/// at the configured thread count.
 class TimingStats {
  public:
   void add(double ms) { samples_.push_back(ms); }
+
+  /// Records the wall-clock duration of one parallel region of this stage.
+  void add_wall(double ms) { wall_ms_ += ms; }
+
+  /// Total wall-clock time of the stage's parallel regions.
+  double wall_ms() const { return wall_ms_; }
+
+  /// Sum of the per-item samples (CPU-work view of the stage).
+  double total() const {
+    double s = 0.0;
+    for (const double v : samples_) s += v;
+    return s;
+  }
 
   std::size_t count() const { return samples_.size(); }
 
@@ -51,6 +68,7 @@ class TimingStats {
 
  private:
   std::vector<double> samples_;
+  double wall_ms_ = 0.0;
 };
 
 }  // namespace jsrev

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "util/base64.h"
 #include "util/hash.h"
@@ -167,12 +170,93 @@ TEST(ThreadPool, WaitIdleAfterSubmit) {
   EXPECT_EQ(counter.load(), 50);
 }
 
+TEST(ThreadPool, ParallelForZeroAndTinyN) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+
+  // n < threads: every index still runs exactly once.
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ThrowingSubmittedTaskDoesNotDeadlockWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&counter] { counter++; });
+  }
+  // wait_idle must return (not deadlock) and surface the task's exception.
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(counter.load(), 10);
+  // The pool stays usable and the error does not resurface.
+  pool.submit([&counter] { counter++; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 11);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 57) {
+                                     throw std::runtime_error("item boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // Still usable afterwards.
+  std::atomic<int> counter{0};
+  pool.parallel_for(20, [&](std::size_t) { counter++; });
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, ParallelForMaxWorkersCoversAllIndices) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(500);
+  pool.parallel_for(500, [&](std::size_t i) { hits[i]++; }, /*max_workers=*/3);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForThreads, SerialWidthRunsInOrder) {
+  std::vector<std::size_t> order;
+  parallel_for_threads(1, 5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForThreads, ParallelWidthCoversAllIndices) {
+  std::vector<std::atomic<int>> hits(777);
+  parallel_for_threads(4, 777, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ResolveThreads, ZeroMeansHardwareConcurrency) {
+  EXPECT_GE(resolve_threads(0), 1u);
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(6), 6u);
+}
+
 TEST(TimingStats, MeanAndStddev) {
   TimingStats s;
   s.add(1.0);
   s.add(3.0);
   EXPECT_DOUBLE_EQ(s.mean(), 2.0);
   EXPECT_NEAR(s.stddev(), 1.4142, 1e-3);
+}
+
+TEST(TimingStats, TotalAndWallAccumulate) {
+  TimingStats s;
+  EXPECT_DOUBLE_EQ(s.total(), 0.0);
+  EXPECT_DOUBLE_EQ(s.wall_ms(), 0.0);
+  s.add(1.5);
+  s.add(2.5);
+  s.add_wall(3.0);
+  s.add_wall(1.0);
+  EXPECT_DOUBLE_EQ(s.total(), 4.0);
+  EXPECT_DOUBLE_EQ(s.wall_ms(), 4.0);
+  EXPECT_EQ(s.count(), 2u);  // wall samples are not per-item samples
 }
 
 TEST(Timer, MeasuresElapsed) {
