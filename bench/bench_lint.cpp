@@ -1,0 +1,118 @@
+// Lint-engine benchmark: per-script lint throughput (parse + analyses +
+// all rules) over a synthetic corpus at 1/2/4/8 threads, asserting that
+// every width produces identical diagnostics. Emits BENCH_lint.json.
+//
+// Scale knob: JSREV_BENCH_LINT_SCRIPTS sets the corpus size per class.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_config.h"
+#include "dataset/generator.h"
+#include "lint/linter.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace jsrev;
+
+// Order-sensitive fingerprint of one width's full diagnostic stream.
+std::string fingerprint(const std::vector<lint::LintResult>& results) {
+  std::string fp;
+  for (const lint::LintResult& r : results) {
+    if (r.parse_failed) {
+      fp += "!parse;";
+      continue;
+    }
+    for (const lint::Diagnostic& d : r.diagnostics) {
+      fp += d.rule_id + ":" + std::to_string(d.line) + ";";
+    }
+    fp += "|";
+  }
+  return fp;
+}
+
+struct LintPoint {
+  std::size_t threads = 1;
+  double lint_ms = 0.0;
+  std::size_t diagnostics = 0;
+};
+
+}  // namespace
+
+int main() {
+  const std::size_t per_class =
+      bench::env_or("JSREV_BENCH_LINT_SCRIPTS", 300);
+
+  dataset::GeneratorConfig gc;
+  gc.seed = 2024;
+  gc.benign_count = per_class;
+  gc.malicious_count = per_class;
+  const dataset::Corpus corpus = dataset::generate_corpus(gc);
+  std::vector<std::string> sources;
+  sources.reserve(corpus.samples.size());
+  for (const auto& s : corpus.samples) sources.push_back(s.source);
+
+  const lint::Linter linter;
+  std::printf("lint scaling: %zu scripts, %zu rules, %zu hardware threads\n",
+              sources.size(), linter.rules().size(), resolve_threads(0));
+
+  std::vector<LintPoint> points;
+  std::string baseline_fp;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    LintPoint p;
+    p.threads = threads;
+    Timer t;
+    const std::vector<lint::LintResult> results =
+        linter.lint_all(sources, threads);
+    p.lint_ms = t.elapsed_ms();
+    for (const lint::LintResult& r : results) {
+      p.diagnostics += r.diagnostics.size();
+    }
+
+    const std::string fp = fingerprint(results);
+    if (baseline_fp.empty()) {
+      baseline_fp = fp;
+    } else if (fp != baseline_fp) {
+      std::fprintf(stderr,
+                   "FATAL: threads=%zu diagnostics differ from threads=1\n",
+                   threads);
+      return 1;
+    }
+    points.push_back(p);
+    std::printf("  threads=%zu  lint %.0f ms  (%zu diagnostics)\n", threads,
+                p.lint_ms, p.diagnostics);
+  }
+
+  Table table({"threads", "lint ms", "scripts/s", "speedup"});
+  for (const LintPoint& p : points) {
+    table.add_row(
+        {std::to_string(p.threads), fmt(p.lint_ms, 0),
+         fmt(static_cast<double>(sources.size()) * 1000.0 / p.lint_ms, 0),
+         fmt(points[0].lint_ms / p.lint_ms, 2) + "x"});
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+  std::printf("diagnostics identical across all widths: yes\n");
+
+  std::ofstream json("BENCH_lint.json");
+  json << "{\n  \"hardware_threads\": " << resolve_threads(0)
+       << ",\n  \"scripts\": " << sources.size()
+       << ",\n  \"rules\": " << linter.rules().size()
+       << ",\n  \"total_diagnostics\": " << points[0].diagnostics
+       << ",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const LintPoint& p = points[i];
+    json << "    {\"threads\": " << p.threads
+         << ", \"lint_ms\": " << fmt(p.lint_ms, 1) << ", \"scripts_per_s\": "
+         << fmt(static_cast<double>(sources.size()) * 1000.0 / p.lint_ms, 1)
+         << ", \"speedup\": " << fmt(points[0].lint_ms / p.lint_ms, 3) << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote BENCH_lint.json\n");
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Synthetic dropper-style sample exercising several lint rules at once:
+// decode-then-execute, timer string eval, long encoded literal, charcode
+// assembly, environment fingerprinting, and an implicit-global write.
+var payload = unescape("%64%6f%63%75%6d%65%6e%74%2e%77%72%69%74%65%28%27%68%69%27%29");
+var blob = "aHR0cDovL2V4YW1wbGUuY29tL2Ryb3BwZXIucGhwP2lkPTEyMzQ1Njc4OTA=";
+var parts = [104, 116, 116, 112, 58, 47, 47];
+var host = "";
+for (var i = 0; i < parts.length; i++) {
+  host += String.fromCharCode(parts[i]);
+}
+if (navigator.userAgent.indexOf("MSIE") > 0 && navigator.platform) {
+  tracker = host + blob;
+  setTimeout("eval(payload)" + "", 100);
+}
+eval(payload);
+function unreachableTail() {
+  return 1;
+  cleanup();
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Sanitizer CI check: build everything with ASan+UBSan (findings are fatal —
+# -fno-sanitize-recover=all), run the full test suite, then smoke-test the
+# jsr_lint CLI on the bundled dropper sample.
+#
+#   $ scripts/check.sh            # build dir: build-asan
+#   $ BUILD_DIR=... scripts/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build-asan}"
+
+echo "== configure (${BUILD_DIR}, JSR_SANITIZE=ON)"
+cmake -B "${BUILD_DIR}" -S . -DJSR_SANITIZE=ON > /dev/null
+
+echo "== build"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+echo "== ctest (ASan+UBSan)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+echo "== jsr_lint smoke"
+"${BUILD_DIR}/tools/jsr_lint" examples/samples/dropper.js
+json_out="$("${BUILD_DIR}/tools/jsr_lint" --json examples/samples/dropper.js)"
+if command -v python3 > /dev/null; then
+  echo "${json_out}" | python3 -m json.tool > /dev/null
+  echo "jsr_lint --json output is valid JSON"
+fi
+case "${json_out}" in
+  *'"rule_id":"M01"'*) echo "jsr_lint smoke: M01 fired as expected" ;;
+  *) echo "jsr_lint smoke FAILED: expected an M01 diagnostic" >&2; exit 1 ;;
+esac
+
+echo "== all checks passed"

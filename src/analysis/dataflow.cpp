@@ -5,9 +5,8 @@
 
 namespace jsrev::analysis {
 
-DataFlowInfo analyze_dataflow(const js::Node* program,
+DataFlowInfo analyze_dataflow([[maybe_unused]] const js::Node* program,
                               const ScopeInfo& scopes) {
-  (void)program;
   DataFlowInfo info;
 
   struct LinkedSymbol {
@@ -31,8 +30,7 @@ DataFlowInfo analyze_dataflow(const js::Node* program,
     for (std::size_t w = 0; w < refs.size(); ++w) {
       if (write_set.count(refs[w]) == 0) continue;
       for (std::size_t r = w + 1; r < refs.size(); ++r) {
-        const bool is_write = write_set.count(refs[r]) != 0;
-        if (is_write) break;  // killed by the next definition
+        if (write_set.count(refs[r]) != 0) break;  // killed by the next def
         info.edges_.push_back({refs[w], refs[r]});
         linked.insert(refs[w]);
         linked.insert(refs[r]);

@@ -1,5 +1,7 @@
 #include "analysis/pdg.h"
 
+#include <algorithm>
+
 #include "js/visitor.h"
 
 namespace jsrev::analysis {
@@ -70,9 +72,8 @@ std::size_t Pdg::data_edge_count() const {
   return n;
 }
 
-Pdg build_pdg(const js::Node* program, const ScopeInfo& scopes,
+Pdg build_pdg(const js::Node* program, [[maybe_unused]] const ScopeInfo& scopes,
               const DataFlowInfo& dataflow) {
-  (void)scopes;
   Pdg pdg;
 
   // Collect statement nodes in preorder.
@@ -111,9 +112,9 @@ Pdg build_pdg(const js::Node* program, const ScopeInfo& scopes,
     if (a == Pdg::npos || b == Pdg::npos) continue;
     // Deduplicate repeated edges between the same statements.
     auto& succs = pdg.nodes_[a].data_succs;
-    bool dup = false;
-    for (const std::size_t s : succs) dup = dup || s == b;
-    if (!dup) succs.push_back(b);
+    if (std::find(succs.begin(), succs.end(), b) == succs.end()) {
+      succs.push_back(b);
+    }
   }
 
   return pdg;

@@ -19,7 +19,7 @@ class ScopeBuilder {
     info_ = &info;
 
     Scope* global = new_scope(program, nullptr);
-    hoist(program, global, /*function_body=*/true);
+    hoist(program, global);
     resolve(program, global);
 
     // Resolution happens in preorder, which matches source order for the
@@ -50,7 +50,9 @@ class ScopeBuilder {
 
   // Pass 1: collect declarations visible in `scope`. Does not descend into
   // nested functions (their bodies get their own pass when resolved).
-  void hoist(const Node* n, Scope* scope, bool function_body) {
+  // Function declarations inside blocks (including catch bodies) hoist to
+  // the enclosing function scope, matching the ES5 Annex B web reality.
+  void hoist(const Node* n, Scope* scope) {
     if (n == nullptr) return;
     switch (n->kind) {
       case NodeKind::kFunctionDeclaration:
@@ -65,14 +67,14 @@ class ScopeBuilder {
           // Initializers may contain nested declarations? No — only
           // expressions; but they can contain function expressions which we
           // skip anyway. Recurse for completeness of var-in-init edge cases.
-          if (d->children.size() > 1) hoist(d->children[1], scope, false);
+          if (d->children.size() > 1) hoist(d->children[1], scope);
         }
         return;
       default:
         break;
     }
     for (const Node* child : n->children) {
-      hoist(child, scope, function_body);
+      hoist(child, scope);
     }
   }
 
@@ -108,7 +110,7 @@ class ScopeBuilder {
       declare(scope, fn->str)->is_function = true;
     }
     const Node* body = fn->children.back();
-    hoist(body, scope, true);
+    hoist(body, scope);
     resolve(body, scope);
   }
 
@@ -121,16 +123,12 @@ class ScopeBuilder {
         add_reference(lookup(scope, n->str), n, is_write);
         return;
       }
-      case NodeKind::kFunctionDeclaration: {
-        // The name was hoisted; record the declaring occurrence as a write.
-        const auto it = scope->bindings.find(n->str);
-        if (it != scope->bindings.end()) {
-          // Function declarations have no Identifier node for the name (it
-          // lives in `str`), so nothing to record as a reference node.
-        }
+      case NodeKind::kFunctionDeclaration:
+        // The name was hoisted in pass 1; function declarations keep the
+        // name in `str` (no Identifier node), so there is no declaring
+        // reference node to record.
         enter_function(n, scope);
         return;
-      }
       case NodeKind::kFunctionExpression:
       case NodeKind::kArrowFunctionExpression:
         enter_function(n, scope);
@@ -175,8 +173,12 @@ class ScopeBuilder {
         resolve(n->children[1], scope);
         return;
       case NodeKind::kCatchClause: {
+        // ES5 12.14: the catch param is a fresh binding in its own scope.
+        // It is a parameter like any function param — written by the throw
+        // machinery, not by user code.
         Scope* catch_scope = new_scope(n, scope);
         Symbol* param = declare(catch_scope, n->children[0]->str);
+        param->is_parameter = true;
         add_reference(param, n->children[0], /*is_write=*/true);
         resolve(n->children[1], catch_scope);
         return;

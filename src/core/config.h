@@ -45,6 +45,12 @@ struct Config {
   // Classification (paper: random forest chosen in Table II).
   ml::ClassifierKind classifier = ml::ClassifierKind::kRandomForest;
 
+  // Append the semantic lint summary vector (src/lint) to every feature
+  // vector: [malice diags, hygiene diags, severity-weighted score, distinct
+  // rules fired]. Off by default — the default pipeline (and its serialized
+  // models) is bit-identical with and without the lint subsystem compiled in.
+  bool lint_features = false;
+
   // Maximum vocabulary size; further paths are treated as unknown.
   std::size_t max_vocab = 200000;
 

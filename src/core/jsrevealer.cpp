@@ -14,6 +14,7 @@
 namespace jsrev::core {
 
 JsRevealer::JsRevealer(Config cfg) : cfg_(cfg) {
+  lint_dim_ = cfg_.lint_features ? lint::kLintFeatureDim : 0;
   ml::AttentionModelConfig mc;
   mc.embedding_dim = cfg_.embedding_dim;
   mc.epochs = cfg_.embed_epochs;
@@ -289,8 +290,11 @@ void JsRevealer::train(const dataset::Corpus& corpus) {
   assign_central(malicious_vecs, malicious_ids);
 
   // ---- Stage 5: featurize the training corpus and fit the classifier ------
+  // Cluster-membership features, then (when enabled) the per-script lint
+  // summary tail. Both land in disjoint row slots, so the fan-out keeps the
+  // bit-identical-at-any-width guarantee.
   trained_ = true;  // featurize() needs the centroids from here on
-  ml::Matrix x(n_samples, feature_dim_);
+  ml::Matrix x(n_samples, feature_dim_ + lint_dim_);
   std::vector<int> y(n_samples);
   {
     Timer t_wall;
@@ -298,6 +302,11 @@ void JsRevealer::train(const dataset::Corpus& corpus) {
       ml::EmbeddedScript emb = model_.embed(script_ids[i]);
       const std::vector<double> f = features_from_embedding(emb);
       std::copy(f.begin(), f.end(), x.row(i));
+      if (lint_dim_ != 0) {
+        const std::vector<double> lf =
+            lint::lint_feature_vector(linter_.lint(corpus.samples[i].source));
+        std::copy(lf.begin(), lf.end(), x.row(i) + feature_dim_);
+      }
       y[i] = labels[i];
     });
     timings_.embedding.add_wall(t_wall.elapsed_ms());
@@ -345,6 +354,11 @@ std::vector<double> JsRevealer::featurize(const std::string& source) const {
   }
 
   std::vector<double> f = features_from_embedding(emb);
+  if (lint_dim_ != 0) {
+    const std::vector<double> lf =
+        lint::lint_feature_vector(linter_.lint(source));
+    f.insert(f.end(), lf.begin(), lf.end());
+  }
   scaler_.transform_row(f.data());
   return f;
 }
@@ -410,8 +424,15 @@ std::vector<FeatureReportEntry> JsRevealer::feature_report(int n) const {
     FeatureReportEntry e;
     e.feature_index = static_cast<int>(order[i]);
     e.importance = imp[order[i]];
-    e.from_benign = centroid_benign_[order[i]];
-    e.central_path = central_path_[order[i]];
+    if (order[i] < feature_dim_) {
+      e.from_benign = centroid_benign_[order[i]];
+      e.central_path = central_path_[order[i]];
+    } else {
+      // Lint-tail feature: no centroid behind it, label it by name.
+      e.from_benign = false;
+      e.central_path =
+          "lint:" + lint::lint_feature_names()[order[i] - feature_dim_];
+    }
     out.push_back(std::move(e));
   }
   return out;

@@ -11,6 +11,7 @@
 
 #include "baselines/detector.h"
 #include "core/config.h"
+#include "lint/linter.h"
 #include "ml/attention_model.h"
 #include "ml/kmeans.h"
 #include "ml/outlier.h"
@@ -64,8 +65,11 @@ class JsRevealer final : public detect::Detector {
   /// Batched evaluate (same metrics as the base implementation).
   ml::Metrics evaluate(const dataset::Corpus& corpus) const override;
 
-  /// Number of features = surviving benign + malicious clusters.
-  std::size_t feature_count() const { return feature_dim_; }
+  /// Width of featurize() output: surviving benign + malicious clusters,
+  /// plus the lint summary tail when cfg.lint_features is on.
+  std::size_t feature_count() const { return feature_dim_ + lint_dim_; }
+  /// The lint tail's width (0 when cfg.lint_features is off).
+  std::size_t lint_feature_count() const { return lint_dim_; }
   std::size_t clusters_removed() const { return clusters_removed_; }
 
   /// The outlier-detection method actually used (after selection, if
@@ -114,6 +118,8 @@ class JsRevealer final : public detect::Detector {
       const ml::EmbeddedScript& emb) const;
 
   Config cfg_;
+  lint::Linter linter_;
+  std::size_t lint_dim_ = 0;  // kLintFeatureDim when lint features are on
   paths::PathVocab vocab_;
   ml::AttentionModel model_;
   ml::Matrix centroids_;                // feature_dim_ x d (both classes)

@@ -13,7 +13,12 @@
 namespace jsrev::core {
 
 namespace {
-constexpr std::uint64_t kVersion = 1;
+// Version 1: the original layout (no lint features). Version 2 adds one
+// u64 — the lint summary-vector width — right after the version field.
+// Models trained with lint features off are written as version 1, so their
+// bytes are identical to pre-lint builds.
+constexpr std::uint64_t kVersionBase = 1;
+constexpr std::uint64_t kVersionLint = 2;
 }  // namespace
 
 void JsRevealer::save(std::ostream& out) const {
@@ -29,7 +34,8 @@ void JsRevealer::save(std::ostream& out) const {
   }
 
   ser::write_tag(out, "JSRV");
-  ser::write_u64(out, kVersion);
+  ser::write_u64(out, lint_dim_ == 0 ? kVersionBase : kVersionLint);
+  if (lint_dim_ != 0) ser::write_u64(out, lint_dim_);
 
   // Pipeline dimensions needed to interpret the sections.
   ser::write_u64(out, static_cast<std::uint64_t>(cfg_.embedding_dim));
@@ -60,10 +66,16 @@ void JsRevealer::save(std::ostream& out) const {
 void JsRevealer::load(std::istream& in) {
   ser::expect_tag(in, "JSRV");
   const std::uint64_t version = ser::read_u64(in);
-  if (version != kVersion) {
+  if (version != kVersionBase && version != kVersionLint) {
     throw ser::FormatError("unsupported model version " +
                            std::to_string(version));
   }
+  lint_dim_ = version == kVersionLint ? ser::read_u64(in) : 0;
+  if (lint_dim_ != 0 && lint_dim_ != lint::kLintFeatureDim) {
+    throw ser::FormatError("lint feature width mismatch: file has " +
+                           std::to_string(lint_dim_));
+  }
+  cfg_.lint_features = lint_dim_ != 0;
 
   cfg_.embedding_dim = static_cast<int>(ser::read_u64(in));
   feature_dim_ = ser::read_u64(in);

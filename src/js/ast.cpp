@@ -55,7 +55,11 @@ int finalize_rec(Node* n, Node* parent, int next_id) {
   n->parent = parent;
   n->id = next_id++;
   for (Node* child : n->children) {
-    if (child != nullptr) next_id = finalize_rec(child, n, next_id);
+    if (child == nullptr) continue;
+    next_id = finalize_rec(child, n, next_id);
+    if (child->line != 0 && (n->line == 0 || child->line < n->line)) {
+      n->line = child->line;
+    }
   }
   return next_id;
 }

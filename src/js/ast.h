@@ -140,6 +140,12 @@ struct Node {
 
   std::vector<Node*> children;
 
+  // 1-based source line of the construct's first token; 0 when unknown (nodes
+  // synthesized by transforms). Stamped by the parser and propagated upward by
+  // finalize_tree so every parsed ancestor carries its earliest descendant's
+  // line.
+  std::uint32_t line = 0;
+
   // Filled by AstArena::finalize: stable preorder id and parent link, used by
   // path extraction and data-flow analysis.
   std::int32_t id = -1;
@@ -216,8 +222,11 @@ struct Ast {
 };
 
 /// Assigns preorder ids and parent pointers below `root` (skips nullptr
-/// children). Returns the number of nodes visited. Must be re-run after any
-/// structural rewrite before analyses that rely on ids/parents.
+/// children), and pulls each node's `line` back to the minimum known line in
+/// its subtree (nodes the parser allocated after consuming part of their
+/// children would otherwise carry a later token's line). Returns the number
+/// of nodes visited. Must be re-run after any structural rewrite before
+/// analyses that rely on ids/parents.
 int finalize_tree(Node* root);
 
 }  // namespace jsrev::js

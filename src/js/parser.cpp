@@ -37,7 +37,7 @@ class Parser {
   Ast run() {
     Ast ast;
     arena_ = &ast.arena;
-    Node* program = arena_->make(NodeKind::kProgram);
+    Node* program = make(NodeKind::kProgram);
     while (!at_eof()) {
       program->children.push_back(parse_statement());
     }
@@ -92,6 +92,35 @@ class Parser {
     throw ParseError(message, cur().line);
   }
 
+  // --- node creation -------------------------------------------------------
+  // Every node is stamped with the line of the token current at allocation
+  // time. For nodes allocated after some of their tokens were consumed this
+  // is a later line; finalize_tree pulls each node back to the minimum line
+  // in its subtree, which recovers the construct's first line.
+
+  Node* make(NodeKind kind) {
+    Node* n = arena_->make(kind);
+    n->line = cur().line;
+    return n;
+  }
+
+  Node* stamp(Node* n) {
+    n->line = cur().line;
+    return n;
+  }
+
+  Node* make_identifier(std::string name) {
+    return stamp(arena_->identifier(std::move(name)));
+  }
+  Node* make_string(std::string value) {
+    return stamp(arena_->string_literal(std::move(value)));
+  }
+  Node* make_number(double value) {
+    return stamp(arena_->number_literal(value));
+  }
+  Node* make_bool(bool value) { return stamp(arena_->bool_literal(value)); }
+  Node* make_null() { return stamp(arena_->null_literal()); }
+
   // Automatic semicolon insertion: a statement may end with ';', '}', EOF, or
   // a preceding line terminator.
   void consume_semicolon() {
@@ -117,7 +146,7 @@ class Parser {
       if (cur().value == "{") return parse_block();
       if (cur().value == ";") {
         ++pos_;
-        return arena_->make(NodeKind::kEmptyStatement);
+        return make(NodeKind::kEmptyStatement);
       }
     }
     if (cur().type == TokenType::kKeyword) {
@@ -141,20 +170,20 @@ class Parser {
       if (kw == "debugger") {
         ++pos_;
         consume_semicolon();
-        return arena_->make(NodeKind::kDebuggerStatement);
+        return make(NodeKind::kDebuggerStatement);
       }
     }
     // Labeled statement: Identifier ':' Statement
     if (cur().type == TokenType::kIdentifier && ahead().value == ":" &&
         ahead().type == TokenType::kPunctuator) {
-      Node* labeled = arena_->make(NodeKind::kLabeledStatement);
+      Node* labeled = make(NodeKind::kLabeledStatement);
       labeled->str = take().value;
       ++pos_;  // ':'
       labeled->children.push_back(parse_statement());
       return labeled;
     }
     // Expression statement.
-    Node* stmt = arena_->make(NodeKind::kExpressionStatement);
+    Node* stmt = make(NodeKind::kExpressionStatement);
     stmt->children.push_back(parse_expression());
     consume_semicolon();
     return stmt;
@@ -162,7 +191,7 @@ class Parser {
 
   Node* parse_block() {
     expect_punct("{");
-    Node* block = arena_->make(NodeKind::kBlockStatement);
+    Node* block = make(NodeKind::kBlockStatement);
     while (!is_punct("}")) {
       if (at_eof()) fail("unterminated block");
       block->children.push_back(parse_statement());
@@ -172,11 +201,11 @@ class Parser {
   }
 
   Node* parse_variable_declaration(bool no_in = false) {
-    Node* decl = arena_->make(NodeKind::kVariableDeclaration);
+    Node* decl = make(NodeKind::kVariableDeclaration);
     decl->str = take().value;  // var / let / const
     while (true) {
-      Node* d = arena_->make(NodeKind::kVariableDeclarator);
-      d->children.push_back(arena_->identifier(expect_identifier_name()));
+      Node* d = make(NodeKind::kVariableDeclarator);
+      d->children.push_back(make_identifier(expect_identifier_name()));
       if (eat_punct("=")) {
         d->children.push_back(parse_assignment(no_in));
       } else {
@@ -190,7 +219,7 @@ class Parser {
 
   Node* parse_function(NodeKind kind) {
     expect_keyword("function");
-    Node* fn = arena_->make(kind);
+    Node* fn = make(kind);
     if (kind == NodeKind::kFunctionDeclaration) {
       fn->str = expect_identifier_name();
     } else if (cur().type == TokenType::kIdentifier) {
@@ -198,7 +227,7 @@ class Parser {
     }
     expect_punct("(");
     while (!is_punct(")")) {
-      fn->children.push_back(arena_->identifier(expect_identifier_name()));
+      fn->children.push_back(make_identifier(expect_identifier_name()));
       if (!is_punct(")")) expect_punct(",");
     }
     ++pos_;  // ')'
@@ -209,7 +238,7 @@ class Parser {
   Node* parse_if() {
     expect_keyword("if");
     expect_punct("(");
-    Node* n = arena_->make(NodeKind::kIfStatement);
+    Node* n = make(NodeKind::kIfStatement);
     n->children.push_back(parse_expression());
     expect_punct(")");
     n->children.push_back(parse_statement());
@@ -237,7 +266,7 @@ class Parser {
           (cur().type == TokenType::kIdentifier && cur().value == "of")) {
         const bool is_of = cur().value == "of";
         ++pos_;
-        Node* loop = arena_->make(NodeKind::kForInStatement);
+        Node* loop = make(NodeKind::kForInStatement);
         if (is_of) loop->flags |= Node::kOfLoop;
         loop->children.push_back(init);
         loop->children.push_back(parse_expression());
@@ -247,7 +276,7 @@ class Parser {
       }
     }
     expect_punct(";");
-    Node* loop = arena_->make(NodeKind::kForStatement);
+    Node* loop = make(NodeKind::kForStatement);
     loop->children.push_back(init);
     loop->children.push_back(is_punct(";") ? nullptr : parse_expression());
     expect_punct(";");
@@ -260,7 +289,7 @@ class Parser {
   Node* parse_while() {
     expect_keyword("while");
     expect_punct("(");
-    Node* n = arena_->make(NodeKind::kWhileStatement);
+    Node* n = make(NodeKind::kWhileStatement);
     n->children.push_back(parse_expression());
     expect_punct(")");
     n->children.push_back(parse_statement());
@@ -269,7 +298,7 @@ class Parser {
 
   Node* parse_do_while() {
     expect_keyword("do");
-    Node* n = arena_->make(NodeKind::kDoWhileStatement);
+    Node* n = make(NodeKind::kDoWhileStatement);
     n->children.push_back(parse_statement());
     expect_keyword("while");
     expect_punct("(");
@@ -282,13 +311,13 @@ class Parser {
   Node* parse_switch() {
     expect_keyword("switch");
     expect_punct("(");
-    Node* sw = arena_->make(NodeKind::kSwitchStatement);
+    Node* sw = make(NodeKind::kSwitchStatement);
     sw->children.push_back(parse_expression());
     expect_punct(")");
     expect_punct("{");
     while (!is_punct("}")) {
       if (at_eof()) fail("unterminated switch");
-      Node* cs = arena_->make(NodeKind::kSwitchCase);
+      Node* cs = make(NodeKind::kSwitchCase);
       if (eat_keyword("case")) {
         cs->children.push_back(parse_expression());
       } else {
@@ -308,12 +337,12 @@ class Parser {
 
   Node* parse_try() {
     expect_keyword("try");
-    Node* n = arena_->make(NodeKind::kTryStatement);
+    Node* n = make(NodeKind::kTryStatement);
     n->children.push_back(parse_block());
     if (eat_keyword("catch")) {
-      Node* handler = arena_->make(NodeKind::kCatchClause);
+      Node* handler = make(NodeKind::kCatchClause);
       expect_punct("(");
-      handler->children.push_back(arena_->identifier(expect_identifier_name()));
+      handler->children.push_back(make_identifier(expect_identifier_name()));
       expect_punct(")");
       handler->children.push_back(parse_block());
       n->children.push_back(handler);
@@ -333,7 +362,7 @@ class Parser {
 
   Node* parse_return() {
     expect_keyword("return");
-    Node* n = arena_->make(NodeKind::kReturnStatement);
+    Node* n = make(NodeKind::kReturnStatement);
     // [no LineTerminator here] restriction.
     if (!is_punct(";") && !is_punct("}") && !at_eof() &&
         !cur().newline_before) {
@@ -346,7 +375,7 @@ class Parser {
   Node* parse_throw() {
     expect_keyword("throw");
     if (cur().newline_before) fail("illegal newline after throw");
-    Node* n = arena_->make(NodeKind::kThrowStatement);
+    Node* n = make(NodeKind::kThrowStatement);
     n->children.push_back(parse_expression());
     consume_semicolon();
     return n;
@@ -355,7 +384,7 @@ class Parser {
   Node* parse_break_continue() {
     const bool is_break = cur().value == "break";
     ++pos_;
-    Node* n = arena_->make(is_break ? NodeKind::kBreakStatement
+    Node* n = make(is_break ? NodeKind::kBreakStatement
                                     : NodeKind::kContinueStatement);
     if (cur().type == TokenType::kIdentifier && !cur().newline_before) {
       n->str = take().value;
@@ -367,7 +396,7 @@ class Parser {
   Node* parse_with() {
     expect_keyword("with");
     expect_punct("(");
-    Node* n = arena_->make(NodeKind::kWithStatement);
+    Node* n = make(NodeKind::kWithStatement);
     n->children.push_back(parse_expression());
     expect_punct(")");
     n->children.push_back(parse_statement());
@@ -379,7 +408,7 @@ class Parser {
   Node* parse_expression(bool no_in = false) {
     Node* first = parse_assignment(no_in);
     if (!is_punct(",")) return first;
-    Node* seq = arena_->make(NodeKind::kSequenceExpression);
+    Node* seq = make(NodeKind::kSequenceExpression);
     seq->children.push_back(first);
     while (eat_punct(",")) seq->children.push_back(parse_assignment(no_in));
     return seq;
@@ -409,15 +438,15 @@ class Parser {
 
   Node* parse_arrow_tail(std::vector<Node*> params) {
     expect_punct("=>");
-    Node* fn = arena_->make(NodeKind::kArrowFunctionExpression);
+    Node* fn = make(NodeKind::kArrowFunctionExpression);
     fn->children = std::move(params);
     if (is_punct("{")) {
       fn->children.push_back(parse_block());
     } else {
       // Expression body: wrap in an implicit return for a uniform layout.
-      Node* ret = arena_->make(NodeKind::kReturnStatement);
+      Node* ret = make(NodeKind::kReturnStatement);
       ret->children.push_back(parse_assignment(false));
-      Node* body = arena_->make(NodeKind::kBlockStatement);
+      Node* body = make(NodeKind::kBlockStatement);
       body->children.push_back(ret);
       fn->children.push_back(body);
     }
@@ -428,14 +457,14 @@ class Parser {
     // Arrow functions: `x => ...` or `(a, b) => ...`.
     if (cur().type == TokenType::kIdentifier && ahead().value == "=>" &&
         ahead().type == TokenType::kPunctuator) {
-      std::vector<Node*> params{arena_->identifier(take().value)};
+      std::vector<Node*> params{make_identifier(take().value)};
       return parse_arrow_tail(std::move(params));
     }
     if (looks_like_arrow_params()) {
       ++pos_;  // '('
       std::vector<Node*> params;
       while (!is_punct(")")) {
-        params.push_back(arena_->identifier(expect_identifier_name()));
+        params.push_back(make_identifier(expect_identifier_name()));
         if (!is_punct(")")) expect_punct(",");
       }
       ++pos_;  // ')'
@@ -454,7 +483,7 @@ class Parser {
             fail("invalid assignment target");
           }
           ++pos_;
-          Node* n = arena_->make(NodeKind::kAssignmentExpression);
+          Node* n = make(NodeKind::kAssignmentExpression);
           n->str = std::string(op);
           n->children.push_back(left);
           n->children.push_back(parse_assignment(no_in));
@@ -468,7 +497,7 @@ class Parser {
   Node* parse_conditional(bool no_in) {
     Node* test = parse_binary(0, no_in);
     if (!eat_punct("?")) return test;
-    Node* n = arena_->make(NodeKind::kConditionalExpression);
+    Node* n = make(NodeKind::kConditionalExpression);
     n->children.push_back(test);
     n->children.push_back(parse_assignment(false));
     expect_punct(":");
@@ -493,7 +522,7 @@ class Parser {
       ++pos_;
       Node* right = parse_binary(prec, no_in);
       const bool logical = op_str == "&&" || op_str == "||";
-      Node* n = arena_->make(logical ? NodeKind::kLogicalExpression
+      Node* n = make(logical ? NodeKind::kLogicalExpression
                                      : NodeKind::kBinaryExpression);
       n->str = op_str;
       n->children.push_back(left);
@@ -507,20 +536,20 @@ class Parser {
     if (cur().type == TokenType::kPunctuator &&
         (cur().value == "!" || cur().value == "~" || cur().value == "+" ||
          cur().value == "-")) {
-      Node* n = arena_->make(NodeKind::kUnaryExpression);
+      Node* n = make(NodeKind::kUnaryExpression);
       n->str = take().value;
       n->children.push_back(parse_unary());
       return n;
     }
     if (is_keyword_tok("typeof") || is_keyword_tok("void") ||
         is_keyword_tok("delete")) {
-      Node* n = arena_->make(NodeKind::kUnaryExpression);
+      Node* n = make(NodeKind::kUnaryExpression);
       n->str = take().value;
       n->children.push_back(parse_unary());
       return n;
     }
     if (is_punct("++") || is_punct("--")) {
-      Node* n = arena_->make(NodeKind::kUpdateExpression);
+      Node* n = make(NodeKind::kUpdateExpression);
       n->flags |= Node::kPrefix;
       n->str = take().value;
       n->children.push_back(parse_unary());
@@ -533,7 +562,7 @@ class Parser {
   Node* parse_postfix() {
     Node* expr = parse_call_member(parse_primary());
     if ((is_punct("++") || is_punct("--")) && !cur().newline_before) {
-      Node* n = arena_->make(NodeKind::kUpdateExpression);
+      Node* n = make(NodeKind::kUpdateExpression);
       n->str = take().value;
       n->children.push_back(expr);
       return n;
@@ -544,27 +573,27 @@ class Parser {
   Node* parse_call_member(Node* expr) {
     while (true) {
       if (eat_punct(".")) {
-        Node* m = arena_->make(NodeKind::kMemberExpression);
+        Node* m = make(NodeKind::kMemberExpression);
         m->children.push_back(expr);
         // Property names may be keywords (obj.in, obj.delete, ...).
         if (cur().type == TokenType::kIdentifier ||
             cur().type == TokenType::kKeyword ||
             cur().type == TokenType::kBooleanLiteral ||
             cur().type == TokenType::kNullLiteral) {
-          m->children.push_back(arena_->identifier(take().value));
+          m->children.push_back(make_identifier(take().value));
         } else {
           fail("expected property name");
         }
         expr = m;
       } else if (eat_punct("[")) {
-        Node* m = arena_->make(NodeKind::kMemberExpression);
+        Node* m = make(NodeKind::kMemberExpression);
         m->flags |= Node::kComputed;
         m->children.push_back(expr);
         m->children.push_back(parse_expression());
         expect_punct("]");
         expr = m;
       } else if (is_punct("(")) {
-        Node* call = arena_->make(NodeKind::kCallExpression);
+        Node* call = make(NodeKind::kCallExpression);
         call->children.push_back(expr);
         parse_arguments(call);
         expr = call;
@@ -585,18 +614,18 @@ class Parser {
 
   Node* parse_new() {
     expect_keyword("new");
-    Node* n = arena_->make(NodeKind::kNewExpression);
+    Node* n = make(NodeKind::kNewExpression);
     // `new new X()()` and member chains on the callee are allowed, but a call
     // ends the callee part.
     Node* callee = is_keyword_tok("new") ? parse_new() : parse_primary();
     while (true) {
       if (eat_punct(".")) {
-        Node* m = arena_->make(NodeKind::kMemberExpression);
+        Node* m = make(NodeKind::kMemberExpression);
         m->children.push_back(callee);
-        m->children.push_back(arena_->identifier(expect_identifier_name()));
+        m->children.push_back(make_identifier(expect_identifier_name()));
         callee = m;
       } else if (eat_punct("[")) {
-        Node* m = arena_->make(NodeKind::kMemberExpression);
+        Node* m = make(NodeKind::kMemberExpression);
         m->flags |= Node::kComputed;
         m->children.push_back(callee);
         m->children.push_back(parse_expression());
@@ -614,34 +643,34 @@ class Parser {
   Node* parse_primary() {
     switch (cur().type) {
       case TokenType::kNumericLiteral:
-        return arena_->number_literal(take().numeric_value);
+        return make_number(take().numeric_value);
       case TokenType::kStringLiteral:
       case TokenType::kTemplateString:
-        return arena_->string_literal(take().string_value);
+        return make_string(take().string_value);
       case TokenType::kBooleanLiteral:
-        return arena_->bool_literal(take().value == "true");
+        return make_bool(take().value == "true");
       case TokenType::kNullLiteral:
         take();
-        return arena_->null_literal();
+        return make_null();
       case TokenType::kRegexLiteral: {
-        Node* n = arena_->make(NodeKind::kLiteral);
+        Node* n = make(NodeKind::kLiteral);
         n->lit = LiteralType::kRegex;
         n->str = take().value;
         return n;
       }
       case TokenType::kIdentifier:
-        return arena_->identifier(take().value);
+        return make_identifier(take().value);
       case TokenType::kKeyword: {
         const std::string& kw = cur().value;
         if (kw == "this") {
           ++pos_;
-          return arena_->make(NodeKind::kThisExpression);
+          return make(NodeKind::kThisExpression);
         }
         if (kw == "function") return parse_function(NodeKind::kFunctionExpression);
         if (kw == "new") return parse_new();
         if (kw == "get" || kw == "set" || kw == "static") {
           // Contextual keywords usable as plain identifiers.
-          return arena_->identifier(take().value);
+          return make_identifier(take().value);
         }
         fail("unexpected keyword '" + kw + "'");
       }
@@ -663,7 +692,7 @@ class Parser {
 
   Node* parse_array_literal() {
     expect_punct("[");
-    Node* arr = arena_->make(NodeKind::kArrayExpression);
+    Node* arr = make(NodeKind::kArrayExpression);
     while (!is_punct("]")) {
       if (is_punct(",")) {
         ++pos_;
@@ -679,9 +708,9 @@ class Parser {
 
   Node* parse_object_literal() {
     expect_punct("{");
-    Node* obj = arena_->make(NodeKind::kObjectExpression);
+    Node* obj = make(NodeKind::kObjectExpression);
     while (!is_punct("}")) {
-      Node* prop = arena_->make(NodeKind::kProperty);
+      Node* prop = make(NodeKind::kProperty);
       // Key: identifier, keyword, string, number, or computed [expr].
       if (eat_punct("[")) {
         prop->flags |= Node::kComputed;
@@ -691,11 +720,11 @@ class Parser {
                  cur().type == TokenType::kKeyword ||
                  cur().type == TokenType::kBooleanLiteral ||
                  cur().type == TokenType::kNullLiteral) {
-        prop->children.push_back(arena_->identifier(take().value));
+        prop->children.push_back(make_identifier(take().value));
       } else if (cur().type == TokenType::kStringLiteral) {
-        prop->children.push_back(arena_->string_literal(take().string_value));
+        prop->children.push_back(make_string(take().string_value));
       } else if (cur().type == TokenType::kNumericLiteral) {
-        prop->children.push_back(arena_->number_literal(take().numeric_value));
+        prop->children.push_back(make_number(take().numeric_value));
       } else {
         fail("expected property key");
       }

@@ -10,6 +10,7 @@ Node* clone(const Node* n, AstArena& arena) {
   copy->num = n->num;
   copy->bval = n->bval;
   copy->flags = n->flags;
+  copy->line = n->line;
   copy->children.reserve(n->children.size());
   for (const Node* child : n->children) {
     copy->children.push_back(clone(child, arena));

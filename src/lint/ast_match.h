@@ -1,0 +1,126 @@
+// Small AST pattern-matching helpers shared by the lint rules.
+//
+// Internal to src/lint — not part of the public lint API.
+#pragma once
+
+#include <string_view>
+
+#include "js/ast.h"
+
+namespace jsrev::lint {
+
+inline bool is_identifier(const js::Node* n, std::string_view name) {
+  return n != nullptr && n->kind == js::NodeKind::kIdentifier &&
+         n->str == name;
+}
+
+inline bool is_string_literal(const js::Node* n) {
+  return n != nullptr && n->kind == js::NodeKind::kLiteral &&
+         n->lit == js::LiteralType::kString;
+}
+
+inline bool is_literal(const js::Node* n) {
+  return n != nullptr && n->kind == js::NodeKind::kLiteral;
+}
+
+inline bool is_call_like(const js::Node* n) {
+  return n != nullptr && (n->kind == js::NodeKind::kCallExpression ||
+                          n->kind == js::NodeKind::kNewExpression);
+}
+
+/// Callee of a Call/NewExpression, nullptr otherwise.
+inline const js::Node* callee_of(const js::Node* n) {
+  return is_call_like(n) && !n->children.empty() ? n->children[0] : nullptr;
+}
+
+/// First argument of a Call/NewExpression, nullptr when absent.
+inline const js::Node* first_arg_of(const js::Node* n) {
+  return is_call_like(n) && n->children.size() > 1 ? n->children[1] : nullptr;
+}
+
+/// Matches a non-computed member access `obj.prop` with both names fixed.
+inline bool is_member(const js::Node* n, std::string_view obj,
+                      std::string_view prop) {
+  return n != nullptr && n->kind == js::NodeKind::kMemberExpression &&
+         !n->has_flag(js::Node::kComputed) && is_identifier(n->children[0], obj) &&
+         is_identifier(n->children[1], prop);
+}
+
+/// Matches a non-computed member access `<anything>.prop`.
+inline bool is_member_prop(const js::Node* n, std::string_view prop) {
+  return n != nullptr && n->kind == js::NodeKind::kMemberExpression &&
+         !n->has_flag(js::Node::kComputed) &&
+         is_identifier(n->children[1], prop);
+}
+
+/// Call whose result is attacker-decodable plaintext: atob, unescape,
+/// decodeURIComponent, decodeURI, or String.fromCharCode.
+inline bool is_decoder_call(const js::Node* n) {
+  const js::Node* callee = callee_of(n);
+  if (callee == nullptr) return false;
+  if (callee->kind == js::NodeKind::kIdentifier) {
+    return callee->str == "atob" || callee->str == "unescape" ||
+           callee->str == "decodeURIComponent" || callee->str == "decodeURI";
+  }
+  return is_member(callee, "String", "fromCharCode");
+}
+
+/// Call that evaluates a string as code (or injects it into the document):
+/// eval, execScript, Function, setTimeout/setInterval, document.write(ln).
+inline bool is_exec_sink_call(const js::Node* n) {
+  const js::Node* callee = callee_of(n);
+  if (callee == nullptr) return false;
+  if (callee->kind == js::NodeKind::kIdentifier) {
+    return callee->str == "eval" || callee->str == "execScript" ||
+           callee->str == "Function" || callee->str == "setTimeout" ||
+           callee->str == "setInterval";
+  }
+  return is_member(callee, "document", "write") ||
+         is_member(callee, "document", "writeln") ||
+         is_member_prop(callee, "setTimeout") ||
+         is_member_prop(callee, "setInterval");
+}
+
+/// True if `n` sits in the argument list of `call` (any depth inside an
+/// argument expression). Requires finalized parent links.
+inline bool is_inside_args_of(const js::Node* n, const js::Node* call) {
+  const js::Node* prev = n;
+  for (const js::Node* p = n->parent; p != nullptr; p = p->parent) {
+    if (p == call) {
+      // Reached the call: `n` is inside an argument iff the child we came
+      // from is not the callee slot.
+      return prev != call->children[0];
+    }
+    prev = p;
+  }
+  return false;
+}
+
+/// The value expression assigned at a write-site identifier `def`
+/// (declarator init or assignment RHS), nullptr for other write shapes
+/// (update expressions, for-in targets). Requires finalized parent links.
+inline const js::Node* assigned_value_of(const js::Node* def) {
+  const js::Node* parent = def->parent;
+  if (parent == nullptr) return nullptr;
+  if (parent->kind == js::NodeKind::kVariableDeclarator &&
+      parent->children.size() > 1 && parent->children[0] == def) {
+    return parent->children[1];
+  }
+  if (parent->kind == js::NodeKind::kAssignmentExpression &&
+      parent->children[0] == def) {
+    return parent->children[1];
+  }
+  return nullptr;
+}
+
+/// Nearest enclosing Call/NewExpression that is an exec sink and has `n`
+/// inside its argument list; nullptr if none.
+inline const js::Node* enclosing_exec_sink(const js::Node* n) {
+  const js::Node* prev = n;
+  for (const js::Node* p = n->parent; p != nullptr; prev = p, p = p->parent) {
+    if (is_exec_sink_call(p) && prev != p->children[0]) return p;
+  }
+  return nullptr;
+}
+
+}  // namespace jsrev::lint

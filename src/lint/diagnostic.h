@@ -1,0 +1,46 @@
+// Structured findings emitted by the semantic lint engine.
+//
+// A Diagnostic anchors one rule violation to a source span (the 1-based line
+// of the offending construct) together with a printer-generated code excerpt,
+// so reports stay readable even for minified or obfuscated one-line inputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace jsrev::lint {
+
+enum class Severity : std::uint8_t {
+  kInfo,     // stylistic / weak signal
+  kWarning,  // suspicious construct or hygiene defect
+  kError,    // strong malice indicator
+};
+
+inline constexpr int kSeverityCount = 3;
+
+enum class Category : std::uint8_t {
+  kMalice,   // constructs correlated with malicious payload delivery
+  kHygiene,  // semantic defects (unreachable code, write-only vars, ...)
+};
+
+inline constexpr int kCategoryCount = 2;
+
+std::string_view severity_name(Severity s) noexcept;
+std::string_view category_name(Category c) noexcept;
+
+/// Contribution of one diagnostic to the severity-weighted lint score.
+double severity_weight(Severity s) noexcept;
+
+struct Diagnostic {
+  std::string rule_id;    // stable short id, e.g. "M01"
+  std::string rule_name;  // kebab-case name, e.g. "eval-non-literal"
+  Severity severity = Severity::kWarning;
+  Category category = Category::kHygiene;
+  std::uint32_t line = 0;  // 1-based source line; 0 if unknown
+  std::string node_kind;   // ESTree kind of the anchor node
+  std::string message;     // human-readable explanation
+  std::string excerpt;     // minified re-print of the anchor node, truncated
+};
+
+}  // namespace jsrev::lint

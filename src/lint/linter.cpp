@@ -1,0 +1,70 @@
+#include "lint/linter.h"
+
+#include <algorithm>
+
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+#include "analysis/scope.h"
+#include "js/parser.h"
+#include "util/thread_pool.h"
+
+namespace jsrev::lint {
+
+LintResult Linter::lint(const std::string& source) const {
+  LintResult result;
+  js::Ast ast;
+  try {
+    ast = js::parse(source);
+  } catch (const std::exception& e) {
+    result.parse_failed = true;
+    result.parse_error = e.what();
+    return result;
+  }
+
+  const analysis::ScopeInfo scopes = analysis::analyze_scopes(ast.root);
+  const analysis::DataFlowInfo dataflow =
+      analysis::analyze_dataflow(ast.root, scopes);
+  const std::vector<analysis::Cfg> cfgs = analysis::build_all_cfgs(ast.root);
+
+  LintContext ctx;
+  ctx.program = ast.root;
+  ctx.scopes = &scopes;
+  ctx.dataflow = &dataflow;
+  ctx.cfgs = &cfgs;
+
+  for (const auto& rule : rules_) {
+    rule->run(ctx, &result.diagnostics);
+  }
+  return result;
+}
+
+std::vector<LintResult> Linter::lint_all(
+    const std::vector<std::string>& sources, std::size_t threads) const {
+  std::vector<LintResult> results(sources.size());
+  parallel_for_threads(threads, sources.size(), [&](std::size_t i) {
+    results[i] = lint(sources[i]);
+  });
+  return results;
+}
+
+std::vector<double> lint_feature_vector(const LintResult& result) {
+  std::vector<double> f(kLintFeatureDim, 0.0);
+  std::vector<std::string_view> fired;
+  for (const Diagnostic& d : result.diagnostics) {
+    f[static_cast<std::size_t>(d.category)] += 1.0;
+    f[kCategoryCount] += severity_weight(d.severity);
+    fired.push_back(d.rule_id);
+  }
+  std::sort(fired.begin(), fired.end());
+  f[kCategoryCount + 1] = static_cast<double>(
+      std::unique(fired.begin(), fired.end()) - fired.begin());
+  return f;
+}
+
+const std::vector<std::string>& lint_feature_names() {
+  static const std::vector<std::string> names = {
+      "malice_diags", "hygiene_diags", "weighted_score", "rules_fired"};
+  return names;
+}
+
+}  // namespace jsrev::lint

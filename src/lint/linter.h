@@ -1,0 +1,60 @@
+// The lint driver: parses a script, runs the scope/data-flow/CFG analyses
+// once, then executes every registered rule over the shared LintContext.
+//
+// lint() is const and thread-safe (rules are stateless), so lint_all() fans
+// scripts out across the shared ThreadPool with the repository's determinism
+// discipline: per-script results land in index slots, and within one script
+// rules run in registration order — output is bit-identical at any width.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lint/registry.h"
+#include "lint/rule.h"
+
+namespace jsrev::lint {
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;  // rule order, then source order
+  bool parse_failed = false;
+  std::string parse_error;  // populated when parse_failed
+};
+
+class Linter {
+ public:
+  /// Default-constructs with the full built-in rule set.
+  Linter() : rules_(make_default_rules()) {}
+  explicit Linter(std::vector<std::unique_ptr<Rule>> rules)
+      : rules_(std::move(rules)) {}
+
+  const std::vector<std::unique_ptr<Rule>>& rules() const { return rules_; }
+
+  /// Lints one script. Parse failures are reported in the result, not
+  /// thrown; rules run only on parseable input.
+  LintResult lint(const std::string& source) const;
+
+  /// Lints many scripts, fanning out per script at the given width
+  /// (0 = hardware concurrency, 1 = serial). Deterministic at any width.
+  std::vector<LintResult> lint_all(const std::vector<std::string>& sources,
+                                   std::size_t threads = 0) const;
+
+ private:
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+/// Width of the per-script lint summary vector appended to the detector's
+/// features when Config::lint_features is on:
+///   [malice count, hygiene count, severity-weighted score, distinct rules].
+inline constexpr std::size_t kLintFeatureDim =
+    static_cast<std::size_t>(kCategoryCount) + 2;
+
+/// Summary vector for one lint result (all zeros on parse failure).
+std::vector<double> lint_feature_vector(const LintResult& result);
+
+/// Human-readable names of the summary vector's components.
+const std::vector<std::string>& lint_feature_names();
+
+}  // namespace jsrev::lint

@@ -1,0 +1,26 @@
+#include "lint/registry.h"
+
+namespace jsrev::lint {
+
+std::vector<std::unique_ptr<Rule>> make_default_rules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  append_malice_rules(&rules);
+  append_hygiene_rules(&rules);
+  return rules;
+}
+
+std::vector<RuleMeta> rule_catalog() {
+  std::vector<RuleMeta> out;
+  for (const auto& rule : make_default_rules()) {
+    RuleMeta m;
+    m.id = std::string(rule->id());
+    m.name = std::string(rule->name());
+    m.severity = rule->severity();
+    m.category = rule->category();
+    m.description = std::string(rule->description());
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace jsrev::lint

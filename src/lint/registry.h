@@ -1,0 +1,30 @@
+// Rule registry: the default rule set and its metadata catalog.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lint/rule.h"
+
+namespace jsrev::lint {
+
+/// Implemented in rules_malice.cpp / rules_hygiene.cpp.
+void append_malice_rules(std::vector<std::unique_ptr<Rule>>* rules);
+void append_hygiene_rules(std::vector<std::unique_ptr<Rule>>* rules);
+
+/// All built-in rules, in stable id order (M01.., then H01..).
+std::vector<std::unique_ptr<Rule>> make_default_rules();
+
+/// One catalog row per rule (for reports, docs, and the CLI's --rules).
+struct RuleMeta {
+  std::string id;
+  std::string name;
+  Severity severity;
+  Category category;
+  std::string description;
+};
+
+std::vector<RuleMeta> rule_catalog();
+
+}  // namespace jsrev::lint

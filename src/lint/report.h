@@ -1,0 +1,27 @@
+// Report rendering for lint results: a human-readable text report and a
+// machine-readable JSON document (consumed by `jsr_lint --json` and tests).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/linter.h"
+
+namespace jsrev::lint {
+
+/// One linted input with a display name (usually the file path).
+struct NamedResult {
+  std::string name;
+  LintResult result;
+};
+
+/// Renders a `file:line: severity [id] message` listing per input, followed
+/// by a summary block (inputs, parse failures, diagnostics by severity).
+std::string render_text(const std::vector<NamedResult>& results);
+
+/// Renders a stable JSON document:
+/// {"inputs":[{"name","parse_failed","parse_error"?,"diagnostics":[...],
+///             "summary":{...}}],"totals":{...}}
+std::string render_json(const std::vector<NamedResult>& results);
+
+}  // namespace jsrev::lint

@@ -1,0 +1,68 @@
+#include "lint/rule.h"
+
+#include "js/printer.h"
+
+namespace jsrev::lint {
+
+std::string_view severity_name(Severity s) noexcept {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string_view category_name(Category c) noexcept {
+  switch (c) {
+    case Category::kMalice: return "malice";
+    case Category::kHygiene: return "hygiene";
+  }
+  return "?";
+}
+
+double severity_weight(Severity s) noexcept {
+  switch (s) {
+    case Severity::kInfo: return 1.0;
+    case Severity::kWarning: return 2.0;
+    case Severity::kError: return 4.0;
+  }
+  return 0.0;
+}
+
+namespace {
+
+constexpr std::size_t kMaxExcerpt = 80;
+
+std::string excerpt_for(const js::Node* anchor) {
+  if (anchor == nullptr) return {};
+  std::string text = js::print(anchor, js::PrintStyle::kMinified);
+  // Collapse the newlines a pretty-printed block may still contain.
+  for (char& c : text) {
+    if (c == '\n' || c == '\t') c = ' ';
+  }
+  if (text.size() > kMaxExcerpt) {
+    text.resize(kMaxExcerpt - 3);
+    text += "...";
+  }
+  return text;
+}
+
+}  // namespace
+
+Diagnostic Rule::diag(const js::Node* anchor, std::string message) const {
+  Diagnostic d;
+  d.rule_id = id_;
+  d.rule_name = name_;
+  d.severity = severity_;
+  d.category = category_;
+  d.message = std::move(message);
+  if (anchor != nullptr) {
+    d.line = anchor->line;
+    d.node_kind = std::string(js::node_kind_name(anchor->kind));
+    d.excerpt = excerpt_for(anchor);
+  }
+  return d;
+}
+
+}  // namespace jsrev::lint

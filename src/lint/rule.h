@@ -1,0 +1,68 @@
+// Rule interface for the semantic lint engine.
+//
+// A rule inspects one script through the LintContext — the AST plus the
+// scope, data-flow, and control-flow analyses computed once by the Linter —
+// and appends Diagnostics for every violation it finds. Rules are stateless
+// and const, so one rule instance can lint many scripts concurrently.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+#include "analysis/scope.h"
+#include "js/ast.h"
+#include "lint/diagnostic.h"
+
+namespace jsrev::lint {
+
+/// Per-script analysis bundle handed to every rule. All pointers are owned
+/// by the Linter and valid for the duration of the rule's run() call.
+struct LintContext {
+  const js::Node* program = nullptr;
+  const analysis::ScopeInfo* scopes = nullptr;
+  const analysis::DataFlowInfo* dataflow = nullptr;
+  const std::vector<analysis::Cfg>* cfgs = nullptr;  // program + per function
+};
+
+class Rule {
+ public:
+  Rule(std::string_view id, std::string_view name, Severity severity,
+       Category category, std::string_view description)
+      : id_(id),
+        name_(name),
+        severity_(severity),
+        category_(category),
+        description_(description) {}
+  virtual ~Rule() = default;
+
+  Rule(const Rule&) = delete;
+  Rule& operator=(const Rule&) = delete;
+
+  std::string_view id() const noexcept { return id_; }
+  std::string_view name() const noexcept { return name_; }
+  Severity severity() const noexcept { return severity_; }
+  Category category() const noexcept { return category_; }
+  std::string_view description() const noexcept { return description_; }
+
+  /// Appends one Diagnostic per violation. Must not throw on any parseable
+  /// input (enforced by the lint property test).
+  virtual void run(const LintContext& ctx,
+                   std::vector<Diagnostic>* out) const = 0;
+
+ protected:
+  /// Fills the rule's metadata, the anchor's line/kind, and a minified code
+  /// excerpt (truncated) — rules only supply the message.
+  Diagnostic diag(const js::Node* anchor, std::string message) const;
+
+ private:
+  std::string id_;
+  std::string name_;
+  Severity severity_;
+  Category category_;
+  std::string description_;
+};
+
+}  // namespace jsrev::lint

@@ -1,0 +1,197 @@
+// Semantic-hygiene rules (H01-H05).
+//
+// These consume the scope and control-flow analyses: dynamic-scope escapes
+// (`with`), sloppy global writes, unreachable statements, write-only
+// variables, and constant conditions (a common dead-code-injection artifact
+// of obfuscators).
+#include <unordered_set>
+
+#include "js/visitor.h"
+#include "lint/ast_match.h"
+#include "lint/registry.h"
+#include "lint/rule.h"
+
+namespace jsrev::lint {
+namespace {
+
+using js::Node;
+using js::NodeKind;
+
+// H01: `with` — defeats lexical scoping and every static analysis.
+class WithStatementRule final : public Rule {
+ public:
+  WithStatementRule()
+      : Rule("H01", "with-statement", Severity::kWarning, Category::kHygiene,
+             "with statement (dynamic scope, blocks static analysis)") {}
+
+  void run(const LintContext& ctx, std::vector<Diagnostic>* out) const override {
+    js::walk_all(ctx.program, [&](const Node* n) {
+      if (n->kind == NodeKind::kWithStatement) {
+        out->push_back(diag(n, "with statement"));
+      }
+    });
+  }
+};
+
+// H02: assignment to an identifier that was never declared — creates a
+// sloppy-mode global. Well-known host objects are exempt.
+class UndeclaredAssignmentRule final : public Rule {
+ public:
+  UndeclaredAssignmentRule()
+      : Rule("H02", "undeclared-assignment", Severity::kWarning,
+             Category::kHygiene,
+             "assignment to an undeclared identifier (implicit global)") {}
+
+  void run(const LintContext& ctx, std::vector<Diagnostic>* out) const override {
+    static const std::unordered_set<std::string> kHostGlobals = {
+        "window",  "document", "navigator", "console", "location",
+        "onload",  "onerror",  "onclick",   "module",  "exports",
+        "self",    "top",      "parent",    "opener",  "event",
+    };
+    for (const auto& sym : ctx.scopes->symbols()) {
+      if (!sym->is_global_implicit || sym->writes.empty()) continue;
+      if (kHostGlobals.count(sym->name) != 0) continue;
+      out->push_back(diag(sym->writes.front(),
+                          "'" + sym->name + "' is assigned but never declared"));
+    }
+  }
+};
+
+// H03: statements the CFG never reaches (code after return/throw/break).
+// Function declarations are exempt: they are hoisted and callable even when
+// placed after a return. Reports only the outermost unreachable statement.
+class UnreachableCodeRule final : public Rule {
+ public:
+  UnreachableCodeRule()
+      : Rule("H03", "unreachable-code", Severity::kWarning, Category::kHygiene,
+             "statement unreachable in the control-flow graph") {}
+
+  void run(const LintContext& ctx, std::vector<Diagnostic>* out) const override {
+    if (ctx.cfgs == nullptr || ctx.cfgs->empty()) return;
+    // Body roots in build_all_cfgs order: the program, then each function's
+    // block in preorder.
+    std::vector<const Node*> bodies;
+    bodies.push_back(ctx.program);
+    js::walk(ctx.program, [&bodies](const Node* n) {
+      if (n->is_function()) bodies.push_back(n->children.back());
+      return true;
+    });
+    const std::size_t count = std::min(bodies.size(), ctx.cfgs->size());
+    for (std::size_t i = 0; i < count; ++i) {
+      scan(bodies[i], (*ctx.cfgs)[i], /*reported_ancestor=*/false, out);
+    }
+  }
+
+ private:
+  // Kinds the CFG builder materializes as nodes; everything else (blocks,
+  // labels, case clauses) is structural and owns no CFG node of its own.
+  static bool cfg_emitted_kind(const Node* n) {
+    switch (n->kind) {
+      case NodeKind::kExpressionStatement:
+      case NodeKind::kIfStatement:
+      case NodeKind::kWhileStatement:
+      case NodeKind::kDoWhileStatement:
+      case NodeKind::kForStatement:
+      case NodeKind::kForInStatement:
+      case NodeKind::kSwitchStatement:
+      case NodeKind::kTryStatement:
+      case NodeKind::kReturnStatement:
+      case NodeKind::kThrowStatement:
+      case NodeKind::kBreakStatement:
+      case NodeKind::kContinueStatement:
+      case NodeKind::kWithStatement:
+      case NodeKind::kDebuggerStatement:
+        return true;
+      case NodeKind::kVariableDeclaration:
+        // for(var i;...) / for(var k in o) heads live inside the loop node.
+        return n->parent == nullptr ||
+               (n->parent->kind != NodeKind::kForStatement &&
+                n->parent->kind != NodeKind::kForInStatement);
+      default:
+        return false;
+    }
+  }
+
+  // Walks the statement tree of one function body (not descending into
+  // nested functions) and reports emittable statements missing from the CFG.
+  void scan(const Node* n, const analysis::Cfg& cfg, bool reported_ancestor,
+            std::vector<Diagnostic>* out) const {
+    if (n == nullptr) return;
+    bool reported = reported_ancestor;
+    if (!reported_ancestor && cfg_emitted_kind(n) &&
+        cfg.node_for(n) == analysis::Cfg::npos) {
+      out->push_back(diag(n, "unreachable statement"));
+      reported = true;
+    }
+    for (const Node* child : n->children) {
+      if (child != nullptr && child->is_function()) continue;
+      scan(child, cfg, reported, out);
+    }
+  }
+};
+
+// H04: variables that are only ever written — every reference is a write,
+// so the stored value can never be observed. (Obfuscator dead-store
+// injection produces these; so do plain bugs.)
+class WriteOnlyVariableRule final : public Rule {
+ public:
+  WriteOnlyVariableRule()
+      : Rule("H04", "write-only-variable", Severity::kInfo, Category::kHygiene,
+             "variable written but never read") {}
+
+  void run(const LintContext& ctx, std::vector<Diagnostic>* out) const override {
+    for (const auto& sym : ctx.scopes->symbols()) {
+      // Parameters are written by every call; implicit globals may be read
+      // by other scripts on the page; function bindings have no write sites.
+      if (sym->is_parameter || sym->is_function || sym->is_global_implicit) {
+        continue;
+      }
+      if (sym->writes.empty() ||
+          sym->writes.size() != sym->references.size()) {
+        continue;
+      }
+      out->push_back(diag(sym->writes.front(),
+                          "'" + sym->name + "' is written but never read"));
+    }
+  }
+};
+
+// H05: if / ternary with a literal condition — one branch is dead. A
+// signature of obfuscator-injected opaque predicates and leftover debug code.
+class ConstantConditionRule final : public Rule {
+ public:
+  ConstantConditionRule()
+      : Rule("H05", "constant-condition", Severity::kInfo, Category::kHygiene,
+             "branch condition is a constant") {}
+
+  void run(const LintContext& ctx, std::vector<Diagnostic>* out) const override {
+    js::walk_all(ctx.program, [&](const Node* n) {
+      if (n->kind != NodeKind::kIfStatement &&
+          n->kind != NodeKind::kConditionalExpression) {
+        return;
+      }
+      if (is_constant(n->children[0])) {
+        out->push_back(diag(n, "condition always evaluates the same way"));
+      }
+    });
+  }
+
+ private:
+  static bool is_constant(const Node* test) {
+    if (is_literal(test)) return true;
+    return test->kind == NodeKind::kUnaryExpression && test->str == "!" &&
+           is_constant(test->children[0]);
+  }
+};
+
+}  // namespace
+
+void append_hygiene_rules(std::vector<std::unique_ptr<Rule>>* rules) {
+  rules->push_back(std::make_unique<WithStatementRule>());
+  rules->push_back(std::make_unique<UndeclaredAssignmentRule>());
+  rules->push_back(std::make_unique<UnreachableCodeRule>());
+  rules->push_back(std::make_unique<WriteOnlyVariableRule>());
+  rules->push_back(std::make_unique<ConstantConditionRule>());
+}
+
+}  // namespace jsrev::lint

@@ -1,0 +1,360 @@
+// Malice-indicator rules (M01-M10).
+//
+// Each rule targets a construct that survives obfuscation (JSForce; "From
+// Obfuscated to Obvious"): dynamic code evaluation, decode-then-execute
+// chains, payload-carrying literals, environment probes. Severity encodes
+// how strongly the construct correlates with malicious payload delivery.
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+#include "js/visitor.h"
+#include "lint/ast_match.h"
+#include "lint/registry.h"
+#include "lint/rule.h"
+
+namespace jsrev::lint {
+namespace {
+
+using js::Node;
+using js::NodeKind;
+
+// M01: eval / execScript whose argument is not a plain string literal —
+// the canonical unpacking entry point; a literal argument is almost always
+// an analytics shim or test fixture, so only computed arguments fire.
+class EvalNonLiteralRule final : public Rule {
+ public:
+  EvalNonLiteralRule()
+      : Rule("M01", "eval-non-literal", Severity::kError, Category::kMalice,
+             "eval/execScript with a computed (non-literal) argument") {}
+
+  void run(const LintContext& ctx, std::vector<Diagnostic>* out) const override {
+    js::walk_all(ctx.program, [&](const Node* n) {
+      if (n->kind != NodeKind::kCallExpression) return;
+      const Node* callee = callee_of(n);
+      if (callee == nullptr || callee->kind != NodeKind::kIdentifier) return;
+      if (callee->str != "eval" && callee->str != "execScript") return;
+      const Node* arg = first_arg_of(n);
+      if (arg == nullptr || is_literal(arg)) return;
+      out->push_back(diag(n, callee->str + " of a computed expression"));
+    });
+  }
+};
+
+// M02: the Function constructor — compiles strings to code like eval but
+// is rarely caught by naive eval filters.
+class FunctionConstructorRule final : public Rule {
+ public:
+  FunctionConstructorRule()
+      : Rule("M02", "function-constructor", Severity::kError, Category::kMalice,
+             "Function constructor compiling strings into code") {}
+
+  void run(const LintContext& ctx, std::vector<Diagnostic>* out) const override {
+    js::walk_all(ctx.program, [&](const Node* n) {
+      if (!is_call_like(n)) return;
+      if (!is_identifier(callee_of(n), "Function")) return;
+      if (n->children.size() < 2) return;  // Function() without body arg
+      out->push_back(diag(n, "Function constructor invocation"));
+    });
+  }
+};
+
+// M03: data-flow chain from a decode call into an exec sink: the variable is
+// written with atob/unescape/... output and a later read of the same
+// variable feeds eval/Function/setTimeout/document.write.
+class DecodeThenExecuteRule final : public Rule {
+ public:
+  DecodeThenExecuteRule()
+      : Rule("M03", "decode-then-execute", Severity::kError, Category::kMalice,
+             "decoded string flows into a code-execution sink "
+             "(via data-flow edges)") {}
+
+  void run(const LintContext& ctx, std::vector<Diagnostic>* out) const override {
+    if (ctx.dataflow == nullptr) return;
+    // One diagnostic per sink call, not per edge.
+    std::unordered_set<const Node*> reported;
+    for (const auto& edge : ctx.dataflow->edges()) {
+      if (!write_is_decoded(edge.def)) continue;
+      const Node* sink = enclosing_exec_sink(edge.use);
+      if (sink == nullptr || !reported.insert(sink).second) continue;
+      out->push_back(diag(
+          sink, "'" + edge.def->str + "' holds decoded data and reaches an "
+                                      "execution sink"));
+    }
+  }
+
+ private:
+  friend class DocumentWriteDecodedRule;
+
+  // The write site's assigned value is (or contains) a decoder call:
+  // `var x = atob(...)`, `x = unescape(...) + tail`.
+  static bool write_is_decoded(const Node* def) {
+    const Node* value = assigned_value_of(def);
+    if (value == nullptr) return false;
+    bool found = false;
+    js::walk_all(value, [&found](const Node* n) {
+      if (is_decoder_call(n)) found = true;
+    });
+    return found;
+  }
+};
+
+// M04: document.write / writeln whose argument contains decoded data —
+// the classic drive-by injection vector.
+class DocumentWriteDecodedRule final : public Rule {
+ public:
+  DocumentWriteDecodedRule()
+      : Rule("M04", "document-write-decoded", Severity::kWarning,
+             Category::kMalice,
+             "document.write of decoded or assembled data") {}
+
+  void run(const LintContext& ctx, std::vector<Diagnostic>* out) const override {
+    js::walk_all(ctx.program, [&](const Node* n) {
+      if (n->kind != NodeKind::kCallExpression) return;
+      const Node* callee = callee_of(n);
+      if (!is_member(callee, "document", "write") &&
+          !is_member(callee, "document", "writeln")) {
+        return;
+      }
+      for (std::size_t i = 1; i < n->children.size(); ++i) {
+        bool decoded = false;
+        js::walk_all(n->children[i], [&](const Node* c) {
+          if (is_decoder_call(c)) decoded = true;
+          // Flow-linked identifiers whose chain includes a decode also count.
+          if (c->kind == NodeKind::kIdentifier && ctx.dataflow != nullptr &&
+              ctx.dataflow->has_dependency(c)) {
+            for (const auto& edge : ctx.dataflow->edges()) {
+              if (edge.use == c && DecodeThenExecuteRule::write_is_decoded(edge.def)) {
+                decoded = true;
+              }
+            }
+          }
+        });
+        if (decoded) {
+          out->push_back(diag(n, "document.write of decoded data"));
+          return;
+        }
+      }
+    });
+  }
+};
+
+// M05: long single-charset string literals (pure hex or base64 alphabet,
+// no whitespace) — encoded payload carriers.
+class LongEncodedLiteralRule final : public Rule {
+ public:
+  LongEncodedLiteralRule()
+      : Rule("M05", "long-encoded-literal", Severity::kWarning,
+             Category::kMalice,
+             "long hex/base64-alphabet string literal (payload carrier)") {}
+
+  void run(const LintContext& ctx, std::vector<Diagnostic>* out) const override {
+    js::walk_all(ctx.program, [&](const Node* n) {
+      if (!is_string_literal(n) || n->str.size() < kMinLength) return;
+      if (looks_hex(n->str) || looks_base64(n->str)) {
+        out->push_back(diag(
+            n, "string literal of " + std::to_string(n->str.size()) +
+                   " chars drawn from an encoded alphabet"));
+      }
+    });
+  }
+
+ private:
+  static constexpr std::size_t kMinLength = 48;
+
+  static bool looks_hex(const std::string& s) {
+    return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+      return std::isxdigit(c) != 0 || c == '%' || c == '\\' || c == 'x';
+    });
+  }
+
+  static bool looks_base64(const std::string& s) {
+    return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+      return std::isalnum(c) != 0 || c == '+' || c == '/' || c == '=';
+    });
+  }
+};
+
+// M06: loops assembling strings from character codes
+// (String.fromCharCode / charCodeAt inside a loop body).
+class CharcodeAssemblyRule final : public Rule {
+ public:
+  CharcodeAssemblyRule()
+      : Rule("M06", "charcode-assembly", Severity::kWarning, Category::kMalice,
+             "loop assembling a string from character codes") {}
+
+  void run(const LintContext& ctx, std::vector<Diagnostic>* out) const override {
+    js::walk(ctx.program, [&](const Node* n) {
+      if (!is_loop(n)) return true;
+      bool uses_charcode = false;
+      js::walk_all(n, [&uses_charcode](const Node* c) {
+        const Node* callee = callee_of(c);
+        if (callee == nullptr) return;
+        if (is_member(callee, "String", "fromCharCode") ||
+            is_member_prop(callee, "fromCharCode") ||
+            is_member_prop(callee, "charCodeAt")) {
+          uses_charcode = true;
+        }
+      });
+      if (uses_charcode) {
+        out->push_back(diag(n, "character-code assembly inside a loop"));
+        return false;  // don't double-report nested loops
+      }
+      return true;
+    });
+  }
+
+ private:
+  static bool is_loop(const Node* n) {
+    return n->kind == NodeKind::kForStatement ||
+           n->kind == NodeKind::kForInStatement ||
+           n->kind == NodeKind::kWhileStatement ||
+           n->kind == NodeKind::kDoWhileStatement;
+  }
+};
+
+// M07: ActiveX / Windows-Script-Host object construction — the dropper
+// family's system-access probe; never appears in benign web scripts.
+class ActiveXProbeRule final : public Rule {
+ public:
+  ActiveXProbeRule()
+      : Rule("M07", "activex-probe", Severity::kError, Category::kMalice,
+             "ActiveXObject / WScript host-object access") {}
+
+  void run(const LintContext& ctx, std::vector<Diagnostic>* out) const override {
+    for (const auto& sym : ctx.scopes->symbols()) {
+      if (!sym->is_global_implicit) continue;
+      if (sym->name != "ActiveXObject" && sym->name != "WScript" &&
+          sym->name != "GetObject") {
+        continue;
+      }
+      if (sym->references.empty()) continue;
+      out->push_back(diag(sym->references.front(),
+                          "reference to host object '" + sym->name + "'"));
+    }
+  }
+};
+
+// M08: environment fingerprinting — two or more distinct navigator/screen
+// probes in one script (UA sniffing for exploit targeting).
+class EnvFingerprintRule final : public Rule {
+ public:
+  EnvFingerprintRule()
+      : Rule("M08", "env-fingerprinting", Severity::kInfo, Category::kMalice,
+             "multiple navigator/screen environment probes") {}
+
+  void run(const LintContext& ctx, std::vector<Diagnostic>* out) const override {
+    static const std::unordered_set<std::string> kNavProps = {
+        "userAgent", "platform", "appVersion", "appName", "language",
+        "plugins",   "vendor"};
+    static const std::unordered_set<std::string> kScreenProps = {
+        "width", "height", "colorDepth", "availWidth", "availHeight"};
+    std::unordered_set<std::string> probes;
+    const Node* first = nullptr;
+    js::walk_all(ctx.program, [&](const Node* n) {
+      if (n->kind != NodeKind::kMemberExpression ||
+          n->has_flag(Node::kComputed)) {
+        return;
+      }
+      const Node* obj = n->children[0];
+      const Node* prop = n->children[1];
+      if (prop->kind != NodeKind::kIdentifier) return;
+      const bool nav = is_identifier(obj, "navigator") &&
+                       kNavProps.count(prop->str) != 0;
+      const bool scr =
+          is_identifier(obj, "screen") && kScreenProps.count(prop->str) != 0;
+      if (!nav && !scr) return;
+      if (probes.insert(obj->str + "." + prop->str).second && first == nullptr) {
+        first = n;
+      }
+    });
+    if (probes.size() >= 2) {
+      out->push_back(diag(first, std::to_string(probes.size()) +
+                                     " distinct environment probes"));
+    }
+  }
+};
+
+// M09: setTimeout / setInterval with a string first argument — implicit eval.
+class TimerStringEvalRule final : public Rule {
+ public:
+  TimerStringEvalRule()
+      : Rule("M09", "timer-string-eval", Severity::kError, Category::kMalice,
+             "setTimeout/setInterval with a string argument (implicit eval)") {}
+
+  void run(const LintContext& ctx, std::vector<Diagnostic>* out) const override {
+    js::walk_all(ctx.program, [&](const Node* n) {
+      if (n->kind != NodeKind::kCallExpression) return;
+      const Node* callee = callee_of(n);
+      bool timer = false;
+      std::string name;
+      if (callee != nullptr && callee->kind == NodeKind::kIdentifier &&
+          (callee->str == "setTimeout" || callee->str == "setInterval")) {
+        timer = true;
+        name = callee->str;
+      } else if (is_member_prop(callee, "setTimeout") ||
+                 is_member_prop(callee, "setInterval")) {
+        timer = true;
+        name = callee->children[1]->str;
+      }
+      if (!timer) return;
+      const Node* arg = first_arg_of(n);
+      if (arg == nullptr) return;
+      if (is_string_literal(arg) || is_string_concat(arg)) {
+        out->push_back(diag(n, name + " evaluating a string"));
+      }
+    });
+  }
+
+ private:
+  // `"code" + x` style concatenations also reach the implicit eval.
+  static bool is_string_concat(const Node* n) {
+    if (n->kind != NodeKind::kBinaryExpression || n->str != "+") return false;
+    bool has_string = false;
+    js::walk_all(n, [&has_string](const Node* c) {
+      if (is_string_literal(c)) has_string = true;
+    });
+    return has_string;
+  }
+};
+
+// M10: dynamic script/iframe element injection via createElement.
+class ScriptInjectionRule final : public Rule {
+ public:
+  ScriptInjectionRule()
+      : Rule("M10", "script-injection", Severity::kWarning, Category::kMalice,
+             "dynamic creation of script/iframe elements") {}
+
+  void run(const LintContext& ctx, std::vector<Diagnostic>* out) const override {
+    js::walk_all(ctx.program, [&](const Node* n) {
+      if (n->kind != NodeKind::kCallExpression) return;
+      if (!is_member_prop(callee_of(n), "createElement")) return;
+      const Node* arg = first_arg_of(n);
+      if (!is_string_literal(arg)) return;
+      std::string tag = arg->str;
+      std::transform(tag.begin(), tag.end(), tag.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (tag == "script" || tag == "iframe" || tag == "embed" ||
+          tag == "object") {
+        out->push_back(diag(n, "createElement(\"" + tag + "\")"));
+      }
+    });
+  }
+};
+
+}  // namespace
+
+void append_malice_rules(std::vector<std::unique_ptr<Rule>>* rules) {
+  rules->push_back(std::make_unique<EvalNonLiteralRule>());
+  rules->push_back(std::make_unique<FunctionConstructorRule>());
+  rules->push_back(std::make_unique<DecodeThenExecuteRule>());
+  rules->push_back(std::make_unique<DocumentWriteDecodedRule>());
+  rules->push_back(std::make_unique<LongEncodedLiteralRule>());
+  rules->push_back(std::make_unique<CharcodeAssemblyRule>());
+  rules->push_back(std::make_unique<ActiveXProbeRule>());
+  rules->push_back(std::make_unique<EnvFingerprintRule>());
+  rules->push_back(std::make_unique<TimerStringEvalRule>());
+  rules->push_back(std::make_unique<ScriptInjectionRule>());
+}
+
+}  // namespace jsrev::lint

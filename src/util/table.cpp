@@ -21,9 +21,12 @@ std::string Table::to_string() const {
   }
 
   auto render_row = [&](const std::vector<std::string>& row) {
+    static const std::string kEmpty;
     std::string line = "|";
     for (std::size_t c = 0; c < header_.size(); ++c) {
-      const std::string& cell = c < row.size() ? row[c] : std::string();
+      // Binding the conditional to a const& would copy row[c] into a
+      // lifetime-extended temporary on every cell; reference kEmpty instead.
+      const std::string& cell = c < row.size() ? row[c] : kEmpty;
       line += ' ';
       line += cell;
       line.append(width[c] - cell.size() + 1, ' ');

@@ -78,6 +78,58 @@ TEST(Scope, CatchParamScoped) {
   EXPECT_EQ(count, 2);
 }
 
+TEST(Scope, CatchParamIsParameter) {
+  // The catch param is a binding written by the throw machinery — it must
+  // carry is_parameter like function params do (ES5 12.14), so consumers
+  // (e.g. the write-only-variable lint) treat `catch (e) {}` as benign.
+  const js::Ast ast = js::parse("try { f(); } catch (err) { }");
+  const ScopeInfo info = analyze_scopes(ast.root);
+  const Symbol* err = find_symbol(info, "err");
+  ASSERT_NE(err, nullptr);
+  EXPECT_TRUE(err->is_parameter);
+  EXPECT_FALSE(err->is_global_implicit);
+  EXPECT_EQ(err->writes.size(), 1u);  // the binding occurrence
+}
+
+TEST(Scope, VarInCatchHoistsToFunctionScope) {
+  // ES5: only the catch PARAM is block-scoped; `var` inside the catch body
+  // hoists to the enclosing function scope and is visible after the try.
+  const js::Ast ast = js::parse(
+      "function f() { try { g(); } catch (e) { var leaked = 1; } "
+      "return leaked; }");
+  const ScopeInfo info = analyze_scopes(ast.root);
+  const Symbol* leaked = find_symbol(info, "leaked");
+  ASSERT_NE(leaked, nullptr);
+  EXPECT_FALSE(leaked->is_global_implicit);
+  // Declaration write + the return read resolve to the same symbol.
+  EXPECT_EQ(leaked->references.size(), 2u);
+}
+
+TEST(Scope, FunctionInBlockHoistsToFunctionScope) {
+  // Annex-B web behavior (what ES5 engines actually shipped): a function
+  // declaration inside a block is callable from outside the block.
+  const js::Ast ast = js::parse(
+      "function outer() { before(); if (x) { function inner() {} } "
+      "inner(); }");
+  const ScopeInfo info = analyze_scopes(ast.root);
+  const Symbol* inner = find_symbol(info, "inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_TRUE(inner->is_function);
+  EXPECT_FALSE(inner->is_global_implicit);
+}
+
+TEST(Scope, ClosureOverCatchParam) {
+  // A function expression inside the catch body closes over the catch param,
+  // not a global.
+  const js::Ast ast = js::parse(
+      "try { f(); } catch (e) { setHandler(function () { return e; }); }");
+  const ScopeInfo info = analyze_scopes(ast.root);
+  const Symbol* e = find_symbol(info, "e");
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(e->is_global_implicit);
+  EXPECT_EQ(e->references.size(), 2u);  // binding + closed-over read
+}
+
 TEST(Scope, ClosureResolvesToOuter) {
   const js::Ast ast = js::parse(
       "function outer() { var n = 0; return function() { n++; return n; }; }");

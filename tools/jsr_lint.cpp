@@ -1,0 +1,89 @@
+// jsr_lint: standalone CLI for the semantic lint engine.
+//
+//   $ jsr_lint file.js [file2.js ...]      # human-readable report
+//   $ jsr_lint --json file.js ...          # machine-readable JSON
+//   $ jsr_lint --rules                     # print the rule catalog
+//
+// Exit status: 0 on success (diagnostics are data, not failures), 2 on
+// usage or I/O errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/linter.h"
+#include "lint/registry.h"
+#include "lint/report.h"
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+int print_rules() {
+  std::printf("%-5s %-24s %-8s %-8s %s\n", "id", "name", "severity",
+              "category", "description");
+  for (const auto& m : jsrev::lint::rule_catalog()) {
+    std::printf("%-5s %-24s %-8s %-8s %s\n", m.id.c_str(), m.name.c_str(),
+                std::string(jsrev::lint::severity_name(m.severity)).c_str(),
+                std::string(jsrev::lint::category_name(m.category)).c_str(),
+                m.description.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace jsrev::lint;
+
+  bool json = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--rules") == 0) {
+      return print_rules();
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      std::fprintf(stderr, "usage: %s [--json] file.js ... | --rules\n",
+                   argv[0]);
+      return 2;
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: %s [--json] file.js ... | --rules\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<std::string> sources(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (!read_file(files[i], &sources[i])) {
+      std::fprintf(stderr, "cannot read %s\n", files[i].c_str());
+      return 2;
+    }
+  }
+
+  const Linter linter;
+  const std::vector<LintResult> results = linter.lint_all(sources);
+  std::vector<NamedResult> named(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    named[i] = NamedResult{files[i], results[i]};
+  }
+
+  const std::string report = json ? render_json(named) : render_text(named);
+  std::fwrite(report.data(), 1, report.size(), stdout);
+  if (json) std::fputc('\n', stdout);
+  return 0;
+}
