@@ -1,0 +1,155 @@
+// Shared-analysis cache benchmark: quantifies what the parse-once
+// ScriptAnalysis layer buys a multi-detector evaluation.
+//
+// Trains all five detectors (JSRevealer + 4 baselines), then evaluates the
+// held-out test set twice:
+//   uncached — every detector gets the raw corpus, so each parsing detector
+//              front-ends every script itself (CUJO is lex-only and never
+//              parses): expected parse count = 4 * N;
+//   cached   — one AnalyzedCorpus is built up front and shared by all five:
+//              expected parse count = N, all of it in analyze_corpus.
+// The parse counts are ASSERTED against js::parse_invocations() and the two
+// modes' confusion matrices are asserted identical; any violation exits 1.
+// Emits BENCH_analysis_cache.json.
+//
+// Scale knob: JSREV_BENCH_CACHE_SCRIPTS sets the corpus size per class.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_config.h"
+#include "core/jsrevealer.h"
+#include "dataset/generator.h"
+#include "js/parser.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace jsrev;
+
+bool same_confusion(const ml::Metrics& a, const ml::Metrics& b) {
+  return a.cm.tp == b.cm.tp && a.cm.tn == b.cm.tn && a.cm.fp == b.cm.fp &&
+         a.cm.fn == b.cm.fn;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t per_class =
+      bench::env_or("JSREV_BENCH_CACHE_SCRIPTS", 120);
+  const std::size_t train_per_class = per_class * 2 / 3;
+
+  dataset::GeneratorConfig gc;
+  gc.seed = 2025;
+  gc.benign_count = per_class;
+  gc.malicious_count = per_class;
+  const dataset::Corpus corpus = dataset::generate_corpus(gc);
+  Rng rng(gc.seed);
+  const dataset::Split split =
+      dataset::split_corpus(corpus, train_per_class, train_per_class, rng);
+  const dataset::Corpus& test = split.test;
+  const std::size_t n = test.samples.size();
+
+  core::Config jc;
+  jc.seed = gc.seed;
+  jc.lint_features = true;  // exercises the shared lint/extract artifact
+  jc.embed_epochs = 6;
+  jc.cluster_sample_per_class = 400;
+  std::vector<std::unique_ptr<detect::Detector>> detectors;
+  detectors.push_back(std::make_unique<core::JsRevealer>(jc));
+  for (const detect::BaselineKind kind : detect::kAllBaselines) {
+    detectors.push_back(detect::make_baseline(kind, gc.seed));
+  }
+
+  std::printf("analysis cache: %zu test scripts, %zu detectors\n", n,
+              detectors.size());
+  for (const auto& d : detectors) {
+    d->train(split.train);
+    std::printf("  trained %s\n", d->name().c_str());
+  }
+
+  // ---- uncached: every parsing detector front-ends each script itself ----
+  std::vector<ml::Metrics> uncached(detectors.size());
+  const std::uint64_t parses_before_uncached = js::parse_invocations();
+  Timer t_uncached;
+  for (std::size_t d = 0; d < detectors.size(); ++d) {
+    uncached[d] = detectors[d]->evaluate(test);
+  }
+  const double uncached_ms = t_uncached.elapsed_ms();
+  const std::uint64_t uncached_parses =
+      js::parse_invocations() - parses_before_uncached;
+
+  // ---- cached: one shared AnalyzedCorpus for all five detectors ----------
+  std::vector<ml::Metrics> cached(detectors.size());
+  const std::uint64_t parses_before_cached = js::parse_invocations();
+  Timer t_cached;
+  const analysis::AnalyzedCorpus analyzed = detect::analyze_corpus(test);
+  for (std::size_t d = 0; d < detectors.size(); ++d) {
+    cached[d] = detectors[d]->evaluate(analyzed);
+  }
+  const double cached_ms = t_cached.elapsed_ms();
+  const std::uint64_t cached_parses =
+      js::parse_invocations() - parses_before_cached;
+
+  // ---- assertions ---------------------------------------------------------
+  // Four of the five detectors parse (CUJO is lex-only), so the uncached
+  // sweep costs 4 parses per script; the cached sweep costs exactly the one
+  // parse analyze_corpus performs.
+  bool ok = true;
+  const std::uint64_t expect_uncached = 4 * static_cast<std::uint64_t>(n);
+  if (uncached_parses != expect_uncached) {
+    std::fprintf(stderr, "FATAL: uncached parse count %llu != expected %llu\n",
+                 static_cast<unsigned long long>(uncached_parses),
+                 static_cast<unsigned long long>(expect_uncached));
+    ok = false;
+  }
+  if (cached_parses != static_cast<std::uint64_t>(n)) {
+    std::fprintf(stderr, "FATAL: cached parse count %llu != expected %llu\n",
+                 static_cast<unsigned long long>(cached_parses),
+                 static_cast<unsigned long long>(n));
+    ok = false;
+  }
+  for (std::size_t d = 0; d < detectors.size(); ++d) {
+    if (!same_confusion(uncached[d], cached[d])) {
+      std::fprintf(stderr, "FATAL: %s verdicts differ cached vs uncached\n",
+                   detectors[d]->name().c_str());
+      ok = false;
+    }
+  }
+
+  Table table({"mode", "parses", "wall ms", "accuracy (JSRevealer)"});
+  table.add_row({"uncached", std::to_string(uncached_parses),
+                 fmt(uncached_ms, 0), bench::pct(uncached[0].accuracy)});
+  table.add_row({"cached", std::to_string(cached_parses), fmt(cached_ms, 0),
+                 bench::pct(cached[0].accuracy)});
+  std::printf("\n%s\n", table.to_string().c_str());
+  std::printf("parse reduction: %sx fewer parses, %.2fx wall speedup\n",
+              fmt(static_cast<double>(uncached_parses) /
+                      static_cast<double>(cached_parses),
+                  2)
+                  .c_str(),
+              uncached_ms / cached_ms);
+  std::printf("verdicts identical cached vs uncached: %s\n",
+              ok ? "yes" : "NO");
+
+  std::ofstream json("BENCH_analysis_cache.json");
+  json << "{\n  \"test_scripts\": " << n
+       << ",\n  \"detectors\": " << detectors.size()
+       << ",\n  \"uncached\": {\"parses\": " << uncached_parses
+       << ", \"wall_ms\": " << fmt(uncached_ms, 1) << "},"
+       << "\n  \"cached\": {\"parses\": " << cached_parses
+       << ", \"wall_ms\": " << fmt(cached_ms, 1) << "},"
+       << "\n  \"parse_reduction\": "
+       << fmt(static_cast<double>(uncached_parses) /
+                  static_cast<double>(cached_parses),
+              3)
+       << ",\n  \"verdicts_identical\": " << (ok ? "true" : "false")
+       << "\n}\n";
+  std::printf("wrote BENCH_analysis_cache.json\n");
+  return ok ? 0 : 1;
+}

@@ -78,6 +78,7 @@ void print_stage_table() {
     table.add_row({module, period, fmt(s.mean(), 3),
                    with_dev ? fmt(s.stddev(), 3) : std::string("-")});
   };
+  row("Path extraction", "Parse", t.parse, true);
   row("Path extraction", "Enhanced AST", t.enhanced_ast, true);
   row("Path extraction", "Path traversal", t.path_traversal, true);
   row("Path embedding", "Pre-training", t.pretraining, false);
@@ -88,8 +89,12 @@ void print_stage_table() {
   row("Classification", "Classifying", t.classifying, false);
   std::fputs(table.to_string().c_str(), stdout);
 
-  const double detect_ms = t.enhanced_ast.mean() + t.path_traversal.mean() +
-                           t.embedding.mean() + t.classifying.mean();
+  // parse + enhanced_ast together equal the paper's fused "enhanced AST"
+  // figure; the harness samples them separately since the parse moved into
+  // the shared ScriptAnalysis artifact.
+  const double detect_ms = t.parse.mean() + t.enhanced_ast.mean() +
+                           t.path_traversal.mean() + t.embedding.mean() +
+                           t.classifying.mean();
   std::printf("\nper-file detection total (extract+embed+classify): %s ms\n",
               fmt(detect_ms, 1).c_str());
 }

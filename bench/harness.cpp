@@ -67,19 +67,28 @@ ResultGrid run_grid(const HarnessConfig& cfg,
         corpus, cfg.train_per_class, cfg.train_per_class, rng);
     const dataset::Corpus test = dataset::balance(split.test, rng);
 
-    // Pre-compute the five test-set conditions once per repeat.
+    // Pre-compute the five test-set conditions once per repeat, then build
+    // each condition's shared analyses (parallel parse) exactly once — every
+    // detector of this repeat evaluates against the same AnalyzedCorpus, so
+    // a test script is parsed once total rather than once per detector.
     std::vector<dataset::Corpus> conditions;
     conditions.push_back(test);
     for (const obf::ObfuscatorKind kind : obf::kAllObfuscators) {
       conditions.push_back(obfuscate_corpus(test, kind, seed ^ 0x5555));
     }
+    std::vector<analysis::AnalyzedCorpus> analyzed;
+    analyzed.reserve(conditions.size());
+    for (const dataset::Corpus& condition : conditions) {
+      analyzed.push_back(
+          detect::analyze_corpus(condition, cfg.jsrevealer.threads));
+    }
 
     for (const auto& factory : factories) {
       auto detector = factory(seed);
       detector->train(split.train);
-      for (std::size_t c = 0; c < conditions.size(); ++c) {
+      for (std::size_t c = 0; c < analyzed.size(); ++c) {
         runs[detector->name()][condition_names()[c]].push_back(
-            detector->evaluate(conditions[c]));
+            detector->evaluate(analyzed[c]));
       }
       std::fprintf(stderr, "  [rep %d/%d] %s done\n", rep + 1, cfg.repeats,
                    detector->name().c_str());

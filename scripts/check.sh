@@ -17,7 +17,15 @@ echo "== build"
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 
 echo "== ctest (ASan+UBSan)"
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" \
+      -E '^script_analysis_test$'
+
+# The shared-analysis equivalence suite (string vs ScriptAnalysis paths,
+# parse-count accounting, thread widths 1/2/8) runs as its own step so a
+# sanitizer finding in the parse-once layer is attributed unambiguously.
+echo "== script_analysis equivalence (ASan+UBSan)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+      -R '^script_analysis_test$'
 
 echo "== jsr_lint smoke"
 "${BUILD_DIR}/tools/jsr_lint" examples/samples/dropper.js

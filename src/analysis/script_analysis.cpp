@@ -1,0 +1,100 @@
+#include "analysis/script_analysis.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "js/lexer.h"
+#include "js/parser.h"
+#include "util/timer.h"
+
+namespace jsrev::analysis {
+
+void ScriptAnalysis::ensure_parsed() const {
+  std::call_once(parse_once_, [this] {
+    Timer t;
+    try {
+      ast_ = js::parse(source_);
+      parse_ok_ = true;
+    } catch (const std::exception& e) {
+      parse_error_ = e.what();
+    }
+    parse_ms_ = t.elapsed_ms();
+  });
+}
+
+void ScriptAnalysis::require_ast() const {
+  ensure_parsed();
+  if (!parse_ok_) {
+    throw std::logic_error(
+        "ScriptAnalysis: derived analysis requested for an unparseable "
+        "script (" +
+        parse_error_ + ")");
+  }
+}
+
+bool ScriptAnalysis::parse_failed() const {
+  ensure_parsed();
+  return !parse_ok_;
+}
+
+const std::string& ScriptAnalysis::parse_error() const {
+  ensure_parsed();
+  return parse_error_;
+}
+
+const js::Node* ScriptAnalysis::root() const {
+  ensure_parsed();
+  return parse_ok_ ? ast_.root : nullptr;
+}
+
+double ScriptAnalysis::parse_ms() const {
+  ensure_parsed();
+  return parse_ms_;
+}
+
+const std::vector<js::Token>* ScriptAnalysis::tokens() const {
+  std::call_once(tokens_once_, [this] {
+    try {
+      js::Lexer lexer(source_);
+      tokens_ = std::make_unique<std::vector<js::Token>>(lexer.tokenize());
+    } catch (const std::exception&) {
+      // Unlexable input: tokens() stays null, mirroring parse_failed().
+    }
+  });
+  return tokens_.get();
+}
+
+const ScopeInfo& ScriptAnalysis::scopes() const {
+  require_ast();
+  std::call_once(scopes_once_, [this] {
+    scopes_ = std::make_unique<ScopeInfo>(analyze_scopes(ast_.root));
+  });
+  return *scopes_;
+}
+
+const DataFlowInfo& ScriptAnalysis::dataflow() const {
+  require_ast();
+  std::call_once(dataflow_once_, [this] {
+    dataflow_ =
+        std::make_unique<DataFlowInfo>(analyze_dataflow(ast_.root, scopes()));
+  });
+  return *dataflow_;
+}
+
+const std::vector<Cfg>& ScriptAnalysis::cfgs() const {
+  require_ast();
+  std::call_once(cfgs_once_, [this] {
+    cfgs_ = std::make_unique<std::vector<Cfg>>(build_all_cfgs(ast_.root));
+  });
+  return *cfgs_;
+}
+
+const Pdg& ScriptAnalysis::pdg() const {
+  require_ast();
+  std::call_once(pdg_once_, [this] {
+    pdg_ = std::make_unique<Pdg>(build_pdg(ast_.root, scopes(), dataflow()));
+  });
+  return *pdg_;
+}
+
+}  // namespace jsrev::analysis

@@ -1,5 +1,6 @@
 #include "baselines/cujo.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "js/lexer.h"
@@ -14,9 +15,14 @@ Cujo::Cujo(CujoConfig cfg)
 }
 
 std::vector<std::string> Cujo::normalize_tokens(const std::string& source) {
-  std::vector<std::string> out;
   js::Lexer lexer(source);
-  for (const js::Token& t : lexer.tokenize()) {
+  return normalize_tokens(lexer.tokenize());
+}
+
+std::vector<std::string> Cujo::normalize_tokens(
+    const std::vector<js::Token>& tokens) {
+  std::vector<std::string> out;
+  for (const js::Token& t : tokens) {
     switch (t.type) {
       case js::TokenType::kEof:
         break;
@@ -43,9 +49,10 @@ std::vector<std::string> Cujo::normalize_tokens(const std::string& source) {
   return out;
 }
 
-std::vector<double> Cujo::featurize(const std::string& source) const {
+std::vector<double> Cujo::featurize(
+    const std::vector<js::Token>& tokens) const {
   std::vector<double> f(cfg_.dims, 0.0);
-  hasher_.accumulate(normalize_tokens(source), f);
+  hasher_.accumulate(normalize_tokens(tokens), f);
   l2_normalize(f);
   return f;
 }
@@ -54,25 +61,27 @@ void Cujo::train(const dataset::Corpus& corpus) {
   ml::Matrix x(corpus.samples.size(), cfg_.dims);
   std::vector<int> y(corpus.samples.size());
   for (std::size_t i = 0; i < corpus.samples.size(); ++i) {
-    std::vector<double> f;
-    try {
-      f = featurize(corpus.samples[i].source);
-    } catch (const std::exception&) {
-      f.assign(cfg_.dims, 0.0);
+    const analysis::ScriptAnalysis analysis(corpus.samples[i].source);
+    if (const std::vector<js::Token>* tokens = analysis.tokens()) {
+      const std::vector<double> f = featurize(*tokens);
+      std::copy(f.begin(), f.end(), x.row(i));
     }
-    std::copy(f.begin(), f.end(), x.row(i));
     y[i] = corpus.samples[i].label;
   }
   svm_.fit(x, y);
 }
 
 int Cujo::classify(const std::string& source) const {
-  try {
-    const std::vector<double> f = featurize(source);
-    return svm_.predict(f.data());
-  } catch (const std::exception&) {
-    return 1;  // unlexable input → malicious by convention
+  return classify(analysis::ScriptAnalysis(source));
+}
+
+int Cujo::classify(const analysis::ScriptAnalysis& analysis) const {
+  const std::vector<js::Token>* tokens = analysis.tokens();
+  if (tokens == nullptr) {
+    // Unlexable input → malicious by the shared convention.
+    return analysis::ScriptAnalysis::kUnparseableVerdict;
   }
+  return svm_.predict(featurize(*tokens).data());
 }
 
 }  // namespace jsrev::detect

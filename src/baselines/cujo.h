@@ -10,6 +10,7 @@
 
 #include "baselines/detector.h"
 #include "baselines/ngram.h"
+#include "js/token.h"
 #include "ml/linear_models.h"
 
 namespace jsrev::detect {
@@ -26,13 +27,19 @@ class Cujo final : public Detector {
 
   void train(const dataset::Corpus& corpus) override;
   int classify(const std::string& source) const override;
+  /// CUJO is token-level: the shared-analysis path consumes the memoized
+  /// token stream and never forces a parse, so a script that lexes but does
+  /// not parse is still classified by the model (as the real tool would).
+  int classify(const analysis::ScriptAnalysis& analysis) const override;
   std::string name() const override { return "CUJO"; }
 
   /// Normalized lexical token stream (exposed for tests).
   static std::vector<std::string> normalize_tokens(const std::string& source);
+  static std::vector<std::string> normalize_tokens(
+      const std::vector<js::Token>& tokens);
 
  private:
-  std::vector<double> featurize(const std::string& source) const;
+  std::vector<double> featurize(const std::vector<js::Token>& tokens) const;
 
   CujoConfig cfg_;
   NgramHasher hasher_;

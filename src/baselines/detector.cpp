@@ -4,8 +4,26 @@
 #include "baselines/jast.h"
 #include "baselines/jstap.h"
 #include "baselines/zozzle.h"
+#include "util/thread_pool.h"
 
 namespace jsrev::detect {
+
+analysis::AnalyzedCorpus analyze_corpus(const dataset::Corpus& corpus,
+                                        std::size_t threads) {
+  analysis::AnalyzedCorpus out;
+  out.scripts.reserve(corpus.samples.size());
+  out.labels.reserve(corpus.samples.size());
+  for (const auto& s : corpus.samples) {
+    out.scripts.push_back(
+        std::make_unique<analysis::ScriptAnalysis>(s.source));
+    out.labels.push_back(s.label);
+  }
+  // Warm the parse in parallel; failures are values, so no item can throw.
+  parallel_for_threads(threads, out.scripts.size(), [&](std::size_t i) {
+    out.scripts[i]->parse_failed();
+  });
+  return out;
+}
 
 std::string baseline_kind_name(BaselineKind k) {
   switch (k) {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/script_analysis.h"
 #include "dataset/corpus.h"
 #include "ml/metrics.h"
 
@@ -20,8 +21,17 @@ class Detector {
   virtual void train(const dataset::Corpus& corpus) = 0;
 
   /// Classifies one script: 1 = malicious, 0 = benign. Unparseable input is
-  /// conventionally classified malicious (all compared tools reject it).
+  /// conventionally classified malicious (all compared tools reject it;
+  /// the convention lives in analysis::ScriptAnalysis).
   virtual int classify(const std::string& source) const = 0;
+
+  /// Shared-analysis overload: classifies from a pre-built ScriptAnalysis
+  /// without re-running the frontend. The default delegates to the string
+  /// path so detectors outside this repository stay source-compatible;
+  /// in-tree detectors override it to consume `analysis` directly.
+  virtual int classify(const analysis::ScriptAnalysis& analysis) const {
+    return classify(analysis.source());
+  }
 
   virtual std::string name() const = 0;
 
@@ -37,7 +47,26 @@ class Detector {
     }
     return ml::compute_metrics(truth, pred);
   }
+
+  /// Metrics over a pre-analyzed corpus (the parse-once path: the harness
+  /// analyzes each condition once and hands the same AnalyzedCorpus to
+  /// every detector of a multi-detector table).
+  virtual ml::Metrics evaluate(const analysis::AnalyzedCorpus& corpus) const {
+    std::vector<int> pred;
+    pred.reserve(corpus.size());
+    for (const auto& script : corpus.scripts) {
+      pred.push_back(classify(*script));
+    }
+    return ml::compute_metrics(corpus.labels, pred);
+  }
 };
+
+/// Builds the shared per-sample analyses of a corpus, forcing the parse in
+/// parallel at `threads` width (0 = hardware concurrency). Derived analyses
+/// (scopes, data flow, CFG, PDG) stay lazy: each is computed at most once,
+/// by whichever consumer needs it first.
+analysis::AnalyzedCorpus analyze_corpus(const dataset::Corpus& corpus,
+                                        std::size_t threads = 0);
 
 enum class BaselineKind { kCujo, kZozzle, kJast, kJstap };
 

@@ -1,8 +1,8 @@
 #include "baselines/jast.h"
 
 #include <algorithm>
+#include <stdexcept>
 
-#include "js/parser.h"
 #include "js/visitor.h"
 
 namespace jsrev::detect {
@@ -13,18 +13,27 @@ Jast::Jast(JastConfig cfg) : cfg_(cfg), vocab_(cfg.n, cfg.dims) {
   forest_ = ml::RandomForest(fc);
 }
 
-std::vector<std::string> Jast::unit_sequence(const std::string& source) {
-  const js::Ast ast = js::parse(source);
+std::vector<std::string> Jast::unit_sequence(
+    const analysis::ScriptAnalysis& analysis) {
   std::vector<std::string> units;
-  js::walk_all(ast.root, [&units](const js::Node* n) {
+  js::walk_all(analysis.root(), [&units](const js::Node* n) {
     units.emplace_back(js::node_kind_name(n->kind));
   });
   return units;
 }
 
-std::vector<double> Jast::featurize(const std::string& source) const {
+std::vector<std::string> Jast::unit_sequence(const std::string& source) {
+  const analysis::ScriptAnalysis analysis(source);
+  if (analysis.parse_failed()) {
+    throw std::runtime_error(analysis.parse_error());
+  }
+  return unit_sequence(analysis);
+}
+
+std::vector<double> Jast::featurize(
+    const analysis::ScriptAnalysis& analysis) const {
   std::vector<double> f(vocab_.dims(), 0.0);
-  vocab_.accumulate(unit_sequence(source), f);
+  vocab_.accumulate(unit_sequence(analysis), f);
   // JAST uses relative n-gram frequencies.
   double total = 0.0;
   for (const double v : f) total += v;
@@ -38,11 +47,11 @@ void Jast::train(const dataset::Corpus& corpus) {
   // Pass 1: build the n-gram vocabulary from the training corpus.
   std::vector<std::vector<std::string>> sequences(corpus.samples.size());
   for (std::size_t i = 0; i < corpus.samples.size(); ++i) {
-    try {
-      sequences[i] = unit_sequence(corpus.samples[i].source);
-    } catch (const std::exception&) {
-      // unparseable sample contributes no n-grams
+    const analysis::ScriptAnalysis analysis(corpus.samples[i].source);
+    if (!analysis.parse_failed()) {
+      sequences[i] = unit_sequence(analysis);
     }
+    // unparseable sample contributes no n-grams
     vocab_.count(sequences[i]);
   }
   vocab_.freeze();
@@ -65,12 +74,12 @@ void Jast::train(const dataset::Corpus& corpus) {
 }
 
 int Jast::classify(const std::string& source) const {
-  try {
-    const std::vector<double> f = featurize(source);
-    return forest_.predict(f.data());
-  } catch (const std::exception&) {
-    return 1;
-  }
+  return classify(analysis::ScriptAnalysis(source));
+}
+
+int Jast::classify(const analysis::ScriptAnalysis& analysis) const {
+  return analysis.classify_or_malicious(
+      [&] { return forest_.predict(featurize(analysis).data()); });
 }
 
 }  // namespace jsrev::detect

@@ -22,13 +22,17 @@ class Jast final : public Detector {
 
   void train(const dataset::Corpus& corpus) override;
   int classify(const std::string& source) const override;
+  int classify(const analysis::ScriptAnalysis& analysis) const override;
   std::string name() const override { return "JAST"; }
 
   /// Preorder node-kind sequence for one script (exposed for tests).
+  /// The string form parses internally and throws on malformed input.
   static std::vector<std::string> unit_sequence(const std::string& source);
+  static std::vector<std::string> unit_sequence(
+      const analysis::ScriptAnalysis& analysis);
 
  private:
-  std::vector<double> featurize(const std::string& source) const;
+  std::vector<double> featurize(const analysis::ScriptAnalysis& analysis) const;
 
   JastConfig cfg_;
   // Explicit training-time n-gram vocabulary: n-grams never seen during

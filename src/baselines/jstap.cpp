@@ -1,11 +1,9 @@
 #include "baselines/jstap.h"
 
 #include <algorithm>
+#include <stdexcept>
 
-#include "analysis/dataflow.h"
 #include "analysis/pdg.h"
-#include "analysis/scope.h"
-#include "js/parser.h"
 #include "js/visitor.h"
 
 namespace jsrev::detect {
@@ -18,10 +16,16 @@ Jstap::Jstap(JstapConfig cfg) : cfg_(cfg), vocab_(cfg.n, cfg.dims) {
 
 std::vector<std::vector<std::string>> Jstap::pdg_walks(
     const std::string& source) {
-  const js::Ast ast = js::parse(source);
-  const analysis::ScopeInfo scopes = analysis::analyze_scopes(ast.root);
-  const analysis::DataFlowInfo flow = analysis::analyze_dataflow(ast.root, scopes);
-  const analysis::Pdg pdg = build_pdg(ast.root, scopes, flow);
+  const analysis::ScriptAnalysis analysis(source);
+  if (analysis.parse_failed()) {
+    throw std::runtime_error(analysis.parse_error());
+  }
+  return pdg_walks(analysis);
+}
+
+std::vector<std::vector<std::string>> Jstap::pdg_walks(
+    const analysis::ScriptAnalysis& analysis) {
+  const analysis::Pdg& pdg = analysis.pdg();
 
   // One GLOBAL traversal of the PDG in statement preorder: each statement
   // contributes its AST subtree kinds (at AST-node granularity, so
@@ -72,11 +76,12 @@ std::vector<std::vector<std::string>> Jstap::pdg_walks(
   return walks;
 }
 
-std::vector<double> Jstap::featurize(const std::string& source) const {
+std::vector<double> Jstap::featurize(
+    const analysis::ScriptAnalysis& analysis) const {
   // Binary n-gram presence over the training vocabulary: obfuscation that
   // rewrites the PDG wholesale zeroes most of the vector.
   std::vector<double> f(vocab_.dims(), 0.0);
-  for (const auto& walk : pdg_walks(source)) {
+  for (const auto& walk : pdg_walks(analysis)) {
     vocab_.accumulate(walk, f);
   }
   for (double& v : f) v = v > 0 ? 1.0 : 0.0;
@@ -88,11 +93,11 @@ void Jstap::train(const dataset::Corpus& corpus) {
   std::vector<std::vector<std::vector<std::string>>> all_walks(
       corpus.samples.size());
   for (std::size_t i = 0; i < corpus.samples.size(); ++i) {
-    try {
-      all_walks[i] = pdg_walks(corpus.samples[i].source);
-    } catch (const std::exception&) {
-      // unparseable sample contributes no n-grams
+    const analysis::ScriptAnalysis analysis(corpus.samples[i].source);
+    if (!analysis.parse_failed()) {
+      all_walks[i] = pdg_walks(analysis);
     }
+    // unparseable sample contributes no n-grams
     for (const auto& walk : all_walks[i]) vocab_.count(walk);
   }
   vocab_.freeze();
@@ -111,12 +116,12 @@ void Jstap::train(const dataset::Corpus& corpus) {
 }
 
 int Jstap::classify(const std::string& source) const {
-  try {
-    const std::vector<double> f = featurize(source);
-    return forest_.predict(f.data());
-  } catch (const std::exception&) {
-    return 1;
-  }
+  return classify(analysis::ScriptAnalysis(source));
+}
+
+int Jstap::classify(const analysis::ScriptAnalysis& analysis) const {
+  return analysis.classify_or_malicious(
+      [&] { return forest_.predict(featurize(analysis).data()); });
 }
 
 }  // namespace jsrev::detect

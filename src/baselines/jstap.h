@@ -25,14 +25,19 @@ class Jstap final : public Detector {
 
   void train(const dataset::Corpus& corpus) override;
   int classify(const std::string& source) const override;
+  int classify(const analysis::ScriptAnalysis& analysis) const override;
   std::string name() const override { return "JSTAP"; }
 
-  /// PDG walk token sequences for one script (exposed for tests).
+  /// PDG walk token sequences for one script (exposed for tests). The
+  /// string form parses internally and throws on malformed input; the
+  /// analysis form shares the memoized scope/data-flow/PDG artifacts.
   static std::vector<std::vector<std::string>> pdg_walks(
       const std::string& source);
+  static std::vector<std::vector<std::string>> pdg_walks(
+      const analysis::ScriptAnalysis& analysis);
 
  private:
-  std::vector<double> featurize(const std::string& source) const;
+  std::vector<double> featurize(const analysis::ScriptAnalysis& analysis) const;
 
   JstapConfig cfg_;
   // Explicit training-time n-gram vocabulary (unknown n-grams dropped at

@@ -1,8 +1,8 @@
 #include "baselines/zozzle.h"
 
 #include <algorithm>
+#include <stdexcept>
 
-#include "js/parser.h"
 #include "js/printer.h"
 #include "js/visitor.h"
 #include "util/hash.h"
@@ -56,10 +56,10 @@ bool interesting(const Node* n) {
 
 Zozzle::Zozzle(ZozzleConfig cfg) : cfg_(cfg) {}
 
-std::vector<std::string> Zozzle::context_features(const std::string& source) {
+std::vector<std::string> Zozzle::context_features(
+    const analysis::ScriptAnalysis& analysis) {
   std::vector<std::string> feats;
-  const js::Ast ast = js::parse(source);
-  js::walk(const_cast<const Node*>(ast.root), [&feats](const Node* n) {
+  js::walk(analysis.root(), [&feats](const Node* n) {
     if (interesting(n)) {
       std::string text = js::print(n, js::PrintStyle::kMinified);
       if (text.size() > 64) text.resize(64);  // cap pathological nodes
@@ -70,9 +70,18 @@ std::vector<std::string> Zozzle::context_features(const std::string& source) {
   return feats;
 }
 
-std::vector<double> Zozzle::featurize(const std::string& source) const {
+std::vector<std::string> Zozzle::context_features(const std::string& source) {
+  const analysis::ScriptAnalysis analysis(source);
+  if (analysis.parse_failed()) {
+    throw std::runtime_error(analysis.parse_error());
+  }
+  return context_features(analysis);
+}
+
+std::vector<double> Zozzle::featurize(
+    const analysis::ScriptAnalysis& analysis) const {
   std::vector<double> f(cfg_.dims, 0.0);
-  for (const std::string& feat : context_features(source)) {
+  for (const std::string& feat : context_features(analysis)) {
     f[fnv1a64(feat) % cfg_.dims] = 1.0;  // binary presence
   }
   return f;
@@ -82,25 +91,23 @@ void Zozzle::train(const dataset::Corpus& corpus) {
   ml::Matrix x(corpus.samples.size(), cfg_.dims);
   std::vector<int> y(corpus.samples.size());
   for (std::size_t i = 0; i < corpus.samples.size(); ++i) {
-    std::vector<double> f;
-    try {
-      f = featurize(corpus.samples[i].source);
-    } catch (const std::exception&) {
-      f.assign(cfg_.dims, 0.0);
+    const analysis::ScriptAnalysis analysis(corpus.samples[i].source);
+    if (!analysis.parse_failed()) {
+      const std::vector<double> f = featurize(analysis);
+      std::copy(f.begin(), f.end(), x.row(i));
     }
-    std::copy(f.begin(), f.end(), x.row(i));
     y[i] = corpus.samples[i].label;
   }
   nb_.fit(x, y);
 }
 
 int Zozzle::classify(const std::string& source) const {
-  try {
-    const std::vector<double> f = featurize(source);
-    return nb_.predict(f.data());
-  } catch (const std::exception&) {
-    return 1;
-  }
+  return classify(analysis::ScriptAnalysis(source));
+}
+
+int Zozzle::classify(const analysis::ScriptAnalysis& analysis) const {
+  return analysis.classify_or_malicious(
+      [&] { return nb_.predict(featurize(analysis).data()); });
 }
 
 }  // namespace jsrev::detect

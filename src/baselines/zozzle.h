@@ -24,13 +24,17 @@ class Zozzle final : public Detector {
 
   void train(const dataset::Corpus& corpus) override;
   int classify(const std::string& source) const override;
+  int classify(const analysis::ScriptAnalysis& analysis) const override;
   std::string name() const override { return "ZOZZLE"; }
 
   /// (context:text) feature strings for one script (exposed for tests).
+  /// The string form parses internally and throws on malformed input.
   static std::vector<std::string> context_features(const std::string& source);
+  static std::vector<std::string> context_features(
+      const analysis::ScriptAnalysis& analysis);
 
  private:
-  std::vector<double> featurize(const std::string& source) const;
+  std::vector<double> featurize(const analysis::ScriptAnalysis& analysis) const;
 
   ZozzleConfig cfg_;
   ml::BernoulliNaiveBayes nb_;

@@ -3,10 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 
-#include "analysis/dataflow.h"
-#include "analysis/scope.h"
-#include "js/parser.h"
 #include "ml/decision_tree.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -24,24 +22,28 @@ JsRevealer::JsRevealer(Config cfg) : cfg_(cfg) {
   classifier_ = ml::make_classifier(cfg_.classifier, cfg_.seed, cfg_.threads);
 }
 
-std::vector<paths::PathContext> JsRevealer::extract(const std::string& source,
-                                                    bool timed) const {
-  Timer t1;
-  const js::Ast ast = js::parse(source);
-  analysis::DataFlowInfo flow;
-  if (cfg_.path.use_dataflow) {
-    const analysis::ScopeInfo scopes = analysis::analyze_scopes(ast.root);
-    flow = analysis::analyze_dataflow(ast.root, scopes);
+std::vector<paths::PathContext> JsRevealer::extract(
+    const analysis::ScriptAnalysis& analysis, bool timed) const {
+  if (analysis.parse_failed()) {
+    throw std::runtime_error(analysis.parse_error());
   }
+
+  // Forcing dataflow() here is free when another consumer (lint, a second
+  // detector) already materialized it on the shared artifact; the sampled
+  // cost is then near zero, and the true cost was sampled by whoever forced
+  // it first.
+  Timer t1;
+  const analysis::DataFlowInfo* flow =
+      cfg_.path.use_dataflow ? &analysis.dataflow() : nullptr;
   const double ast_ms = t1.elapsed_ms();
 
   Timer t2;
-  auto pcs = paths::extract_paths(
-      ast.root, cfg_.path.use_dataflow ? &flow : nullptr, cfg_.path);
+  auto pcs = paths::extract_paths(analysis.root(), flow, cfg_.path);
   const double traverse_ms = t2.elapsed_ms();
 
   if (timed) {
     std::lock_guard<std::mutex> lock(timing_mu_);
+    timings_.parse.add(analysis.parse_ms());
     timings_.enhanced_ast.add(ast_ms);
     timings_.path_traversal.add(traverse_ms);
   }
@@ -65,15 +67,24 @@ void JsRevealer::train(const dataset::Corpus& corpus) {
   // per-module cost leaders of the paper's Table VIII); vocabulary interning
   // is order-dependent (ids assigned on first sight), so it stays serial in
   // sample order — ids are therefore identical at any thread count.
+  //
+  // Each sample's ScriptAnalysis is shared between path extraction and the
+  // lint summary tail (stage 5 consumes the vectors computed here), so
+  // training parses every script exactly once even with lint features on.
   const std::size_t n_samples = corpus.samples.size();
   std::vector<std::vector<paths::PathContext>> extracted(n_samples);
+  std::vector<std::vector<double>> lint_vecs(n_samples);
   {
     Timer t_wall;
     parallel_for_threads(cfg_.threads, n_samples, [&](std::size_t i) {
+      const analysis::ScriptAnalysis a(corpus.samples[i].source);
       try {
-        extracted[i] = extract(corpus.samples[i].source, /*timed=*/true);
+        extracted[i] = extract(a, /*timed=*/true);
       } catch (const std::exception&) {
         // unparseable training sample contributes nothing
+      }
+      if (lint_dim_ != 0) {
+        lint_vecs[i] = lint::lint_feature_vector(linter_.lint(a));
       }
     });
     timings_.enhanced_ast.add_wall(t_wall.elapsed_ms());
@@ -303,9 +314,8 @@ void JsRevealer::train(const dataset::Corpus& corpus) {
       const std::vector<double> f = features_from_embedding(emb);
       std::copy(f.begin(), f.end(), x.row(i));
       if (lint_dim_ != 0) {
-        const std::vector<double> lf =
-            lint::lint_feature_vector(linter_.lint(corpus.samples[i].source));
-        std::copy(lf.begin(), lf.end(), x.row(i) + feature_dim_);
+        std::copy(lint_vecs[i].begin(), lint_vecs[i].end(),
+                  x.row(i) + feature_dim_);
       }
       y[i] = labels[i];
     });
@@ -343,7 +353,12 @@ std::vector<double> JsRevealer::features_from_embedding(
 }
 
 std::vector<double> JsRevealer::featurize(const std::string& source) const {
-  const auto pcs = extract(source, /*timed=*/true);
+  return featurize(analysis::ScriptAnalysis(source));
+}
+
+std::vector<double> JsRevealer::featurize(
+    const analysis::ScriptAnalysis& analysis) const {
+  const auto pcs = extract(analysis, /*timed=*/true);
 
   Timer t_embed;
   const auto ids = to_ids(pcs);
@@ -355,8 +370,10 @@ std::vector<double> JsRevealer::featurize(const std::string& source) const {
 
   std::vector<double> f = features_from_embedding(emb);
   if (lint_dim_ != 0) {
+    // Shares the analysis' memoized AST/scope/data-flow with extract():
+    // the lint tail costs no second parse.
     const std::vector<double> lf =
-        lint::lint_feature_vector(linter_.lint(source));
+        lint::lint_feature_vector(linter_.lint(analysis));
     f.insert(f.end(), lf.begin(), lf.end());
   }
   scaler_.transform_row(f.data());
@@ -364,19 +381,25 @@ std::vector<double> JsRevealer::featurize(const std::string& source) const {
 }
 
 int JsRevealer::classify(const std::string& source) const {
+  return classify(analysis::ScriptAnalysis(source));
+}
+
+int JsRevealer::classify(const analysis::ScriptAnalysis& analysis) const {
   if (!trained_) return 1;
-  try {
-    const std::vector<double> f = featurize(source);
-    Timer t;
-    const int verdict = classifier_->predict(f.data());
-    {
-      std::lock_guard<std::mutex> lock(timing_mu_);
-      timings_.classifying.add(t.elapsed_ms());
+  return analysis.classify_or_malicious([&]() -> int {
+    try {
+      const std::vector<double> f = featurize(analysis);
+      Timer t;
+      const int verdict = classifier_->predict(f.data());
+      {
+        std::lock_guard<std::mutex> lock(timing_mu_);
+        timings_.classifying.add(t.elapsed_ms());
+      }
+      return verdict;
+    } catch (const std::exception&) {
+      return 1;  // degenerate input that survives the parse → same verdict
     }
-    return verdict;
-  } catch (const std::exception&) {
-    return 1;  // unparseable → malicious by convention
-  }
+  });
 }
 
 std::vector<int> JsRevealer::classify_all(
@@ -396,6 +419,20 @@ std::vector<int> JsRevealer::classify_all(
   return verdicts;
 }
 
+std::vector<int> JsRevealer::classify_all(
+    const analysis::AnalyzedCorpus& corpus) const {
+  std::vector<int> verdicts(corpus.size(), 1);
+  Timer t_wall;
+  parallel_for_threads(cfg_.threads, corpus.size(), [&](std::size_t i) {
+    verdicts[i] = classify(*corpus.scripts[i]);
+  });
+  {
+    std::lock_guard<std::mutex> lock(timing_mu_);
+    timings_.classifying.add_wall(t_wall.elapsed_ms());
+  }
+  return verdicts;
+}
+
 ml::Metrics JsRevealer::evaluate(const dataset::Corpus& corpus) const {
   std::vector<std::string> sources;
   std::vector<int> truth;
@@ -406,6 +443,10 @@ ml::Metrics JsRevealer::evaluate(const dataset::Corpus& corpus) const {
     truth.push_back(s.label);
   }
   return ml::compute_metrics(truth, classify_all(sources));
+}
+
+ml::Metrics JsRevealer::evaluate(const analysis::AnalyzedCorpus& corpus) const {
+  return ml::compute_metrics(corpus.labels, classify_all(corpus));
 }
 
 std::vector<FeatureReportEntry> JsRevealer::feature_report(int n) const {
@@ -454,7 +495,8 @@ std::vector<double> JsRevealer::sse_curve(const dataset::Corpus& corpus,
         if (s.label != label) return;
         std::vector<paths::PathContext> pcs;
         try {
-          pcs = extract(s.source, /*timed=*/false);
+          const analysis::ScriptAnalysis a(s.source);
+          pcs = extract(a, /*timed=*/false);
         } catch (const std::exception&) {
           return;
         }

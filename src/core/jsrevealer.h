@@ -36,8 +36,14 @@ struct FeatureReportEntry {
 /// it (TimingStats::add_wall), so total()/wall_ms() shows the effective
 /// speedup at the `threads` width the pipeline ran with. The fused
 /// parse+analysis+path-enumeration region books its wall on enhanced_ast.
+///
+/// The parse and the scope/data-flow augmentation are decoupled stages now
+/// that parsing lives in the shared ScriptAnalysis artifact, so they are
+/// sampled separately; parse.mean() + enhanced_ast.mean() equals the old
+/// fused enhanced-AST figure.
 struct StageTimings {
-  TimingStats enhanced_ast;     // parse + scope + dataflow
+  TimingStats parse;            // js::parse (lex + parse + finalize)
+  TimingStats enhanced_ast;     // scope + data-flow augmentation
   TimingStats path_traversal;   // path-context enumeration
   TimingStats pretraining;      // embedding-model training (per file)
   TimingStats embedding;        // per-file embedding at inference
@@ -54,6 +60,10 @@ class JsRevealer final : public detect::Detector {
 
   void train(const dataset::Corpus& corpus) override;
   int classify(const std::string& source) const override;
+  /// Classifies a pre-analyzed script, reusing its memoized AST and
+  /// analyses (the string overload builds a private ScriptAnalysis and
+  /// delegates here, so verdicts are identical).
+  int classify(const analysis::ScriptAnalysis& analysis) const override;
   std::string name() const override { return "JSRevealer"; }
 
   /// Batch prediction: classifies every source, fanning out per script at
@@ -61,9 +71,14 @@ class JsRevealer final : public detect::Detector {
   /// classify() per source (featurization and the trained model are
   /// read-only at inference).
   std::vector<int> classify_all(const std::vector<std::string>& sources) const;
+  /// Parse-once batch prediction over pre-built analyses.
+  std::vector<int> classify_all(const analysis::AnalyzedCorpus& corpus) const;
 
   /// Batched evaluate (same metrics as the base implementation).
   ml::Metrics evaluate(const dataset::Corpus& corpus) const override;
+  /// Batched evaluate over a shared AnalyzedCorpus: the detector performs
+  /// no parse of its own for scripts whose analysis is already warm.
+  ml::Metrics evaluate(const analysis::AnalyzedCorpus& corpus) const override;
 
   /// Width of featurize() output: surviving benign + malicious clusters,
   /// plus the lint summary tail when cfg.lint_features is on.
@@ -80,8 +95,12 @@ class JsRevealer final : public detect::Detector {
   /// (Table VII). Only valid after train() with the random-forest classifier.
   std::vector<FeatureReportEntry> feature_report(int n = 5) const;
 
-  /// Feature vector for one script (exposed for tests/inspection).
+  /// Feature vector for one script (exposed for tests/inspection). Parses
+  /// exactly once even with lint features on: the string overload builds
+  /// one ScriptAnalysis whose AST/scope/data-flow artifacts are shared by
+  /// path extraction and the lint tail.
   std::vector<double> featurize(const std::string& source) const;
+  std::vector<double> featurize(const analysis::ScriptAnalysis& analysis) const;
 
   const StageTimings& timings() const { return timings_; }
 
@@ -105,9 +124,10 @@ class JsRevealer final : public detect::Detector {
     std::vector<std::int32_t> path_ids;
   };
 
-  /// Parses + analyzes + extracts paths; grows vocab when `grow` is true.
-  std::vector<paths::PathContext> extract(const std::string& source,
-                                          bool timed) const;
+  /// Extracts path contexts from a shared analysis (forcing its data-flow
+  /// artifacts as needed); throws std::runtime_error on parse failure.
+  std::vector<paths::PathContext> extract(
+      const analysis::ScriptAnalysis& analysis, bool timed) const;
 
   std::vector<std::int32_t> to_ids(
       const std::vector<paths::PathContext>& pcs) const;

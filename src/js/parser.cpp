@@ -1,5 +1,6 @@
 #include "js/parser.h"
 
+#include <atomic>
 #include <utility>
 #include <vector>
 
@@ -744,7 +745,18 @@ class Parser {
 
 }  // namespace
 
-Ast parse(std::string_view source) { return Parser(source).run(); }
+namespace {
+std::atomic<std::uint64_t> g_parse_invocations{0};
+}  // namespace
+
+Ast parse(std::string_view source) {
+  g_parse_invocations.fetch_add(1, std::memory_order_relaxed);
+  return Parser(source).run();
+}
+
+std::uint64_t parse_invocations() noexcept {
+  return g_parse_invocations.load(std::memory_order_relaxed);
+}
 
 bool parses_ok(std::string_view source) noexcept {
   try {

@@ -6,6 +6,7 @@
 // functions, template literals without substitutions, and for-of.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -31,6 +32,12 @@ class ParseError : public std::runtime_error {
 /// Parses `source` into a finalized AST (ids and parent links assigned).
 /// Throws LexError or ParseError on malformed input.
 Ast parse(std::string_view source);
+
+/// Process-wide count of parse() invocations (monotonic, thread-safe).
+/// Instrumentation for the parse-once ScriptAnalysis layer: the analysis
+/// cache bench and tests assert a multi-detector evaluation parses each
+/// script exactly once.
+std::uint64_t parse_invocations() noexcept;
 
 /// Returns true if `source` parses without error.
 bool parses_ok(std::string_view source) noexcept;

@@ -2,35 +2,27 @@
 
 #include <algorithm>
 
-#include "analysis/cfg.h"
-#include "analysis/dataflow.h"
-#include "analysis/scope.h"
-#include "js/parser.h"
 #include "util/thread_pool.h"
 
 namespace jsrev::lint {
 
 LintResult Linter::lint(const std::string& source) const {
+  return lint(analysis::ScriptAnalysis(source));
+}
+
+LintResult Linter::lint(const analysis::ScriptAnalysis& analysis) const {
   LintResult result;
-  js::Ast ast;
-  try {
-    ast = js::parse(source);
-  } catch (const std::exception& e) {
+  if (analysis.parse_failed()) {
     result.parse_failed = true;
-    result.parse_error = e.what();
+    result.parse_error = analysis.parse_error();
     return result;
   }
 
-  const analysis::ScopeInfo scopes = analysis::analyze_scopes(ast.root);
-  const analysis::DataFlowInfo dataflow =
-      analysis::analyze_dataflow(ast.root, scopes);
-  const std::vector<analysis::Cfg> cfgs = analysis::build_all_cfgs(ast.root);
-
   LintContext ctx;
-  ctx.program = ast.root;
-  ctx.scopes = &scopes;
-  ctx.dataflow = &dataflow;
-  ctx.cfgs = &cfgs;
+  ctx.program = analysis.root();
+  ctx.scopes = &analysis.scopes();
+  ctx.dataflow = &analysis.dataflow();
+  ctx.cfgs = &analysis.cfgs();
 
   for (const auto& rule : rules_) {
     rule->run(ctx, &result.diagnostics);
@@ -43,6 +35,16 @@ std::vector<LintResult> Linter::lint_all(
   std::vector<LintResult> results(sources.size());
   parallel_for_threads(threads, sources.size(), [&](std::size_t i) {
     results[i] = lint(sources[i]);
+  });
+  return results;
+}
+
+std::vector<LintResult> Linter::lint_all(
+    const std::vector<std::unique_ptr<analysis::ScriptAnalysis>>& scripts,
+    std::size_t threads) const {
+  std::vector<LintResult> results(scripts.size());
+  parallel_for_threads(threads, scripts.size(), [&](std::size_t i) {
+    results[i] = lint(*scripts[i]);
   });
   return results;
 }

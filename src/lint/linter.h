@@ -1,5 +1,10 @@
-// The lint driver: parses a script, runs the scope/data-flow/CFG analyses
-// once, then executes every registered rule over the shared LintContext.
+// The lint driver: executes every registered rule over one script's shared
+// LintContext (AST + scope/data-flow/CFG analyses).
+//
+// Analyses come from the parse-once ScriptAnalysis layer: lint(analysis)
+// reuses whatever the caller (e.g. the detector's featurizer) already
+// computed, and the string overload builds a private ScriptAnalysis, so a
+// script is never parsed twice on lint's account.
 //
 // lint() is const and thread-safe (rules are stateless), so lint_all() fans
 // scripts out across the shared ThreadPool with the repository's determinism
@@ -12,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/script_analysis.h"
 #include "lint/registry.h"
 #include "lint/rule.h"
 
@@ -36,10 +42,19 @@ class Linter {
   /// thrown; rules run only on parseable input.
   LintResult lint(const std::string& source) const;
 
+  /// Lints a pre-analyzed script, sharing its memoized scope/data-flow/CFG
+  /// artifacts with every other consumer of the same ScriptAnalysis.
+  LintResult lint(const analysis::ScriptAnalysis& analysis) const;
+
   /// Lints many scripts, fanning out per script at the given width
   /// (0 = hardware concurrency, 1 = serial). Deterministic at any width.
   std::vector<LintResult> lint_all(const std::vector<std::string>& sources,
                                    std::size_t threads = 0) const;
+
+  /// Parse-once batch variant over pre-built analyses.
+  std::vector<LintResult> lint_all(
+      const std::vector<std::unique_ptr<analysis::ScriptAnalysis>>& scripts,
+      std::size_t threads = 0) const;
 
  private:
   std::vector<std::unique_ptr<Rule>> rules_;

@@ -121,6 +121,7 @@ TEST_F(TrainedJsRevealer, RobustToJshamanRenaming) {
 
 TEST_F(TrainedJsRevealer, TimingsPopulated) {
   const StageTimings& t = detector_->timings();
+  EXPECT_GT(t.parse.count(), 0u);
   EXPECT_GT(t.enhanced_ast.count(), 0u);
   EXPECT_GT(t.path_traversal.count(), 0u);
   EXPECT_GT(t.pretraining.count(), 0u);

@@ -9,10 +9,12 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/script_analysis.h"
 #include "lint/linter.h"
 #include "lint/registry.h"
 #include "lint/report.h"
@@ -67,16 +69,20 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<std::string> sources(files.size());
+  std::vector<std::unique_ptr<jsrev::analysis::ScriptAnalysis>> scripts;
+  scripts.reserve(files.size());
   for (std::size_t i = 0; i < files.size(); ++i) {
-    if (!read_file(files[i], &sources[i])) {
+    std::string source;
+    if (!read_file(files[i], &source)) {
       std::fprintf(stderr, "cannot read %s\n", files[i].c_str());
       return 2;
     }
+    scripts.push_back(std::make_unique<jsrev::analysis::ScriptAnalysis>(
+        std::move(source)));
   }
 
   const Linter linter;
-  const std::vector<LintResult> results = linter.lint_all(sources);
+  const std::vector<LintResult> results = linter.lint_all(scripts);
   std::vector<NamedResult> named(files.size());
   for (std::size_t i = 0; i < files.size(); ++i) {
     named[i] = NamedResult{files[i], results[i]};
