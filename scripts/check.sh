@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Sanitizer CI check: build everything with ASan+UBSan (findings are fatal —
-# -fno-sanitize-recover=all), run the full test suite, then smoke-test the
-# jsr_lint CLI on the bundled dropper sample.
+# -fno-sanitize-recover=all), run the full test suite, smoke-test the
+# jsr_lint CLI on the bundled dropper sample, then run a fixed-seed
+# jsr_fuzz pass (lexer/parser/printer/linter oracles under sanitizers).
 #
 #   $ scripts/check.sh            # build dir: build-asan
 #   $ BUILD_DIR=... scripts/check.sh
@@ -38,5 +39,14 @@ case "${json_out}" in
   *'"rule_id":"M01"'*) echo "jsr_lint smoke: M01 fired as expected" ;;
   *) echo "jsr_lint smoke FAILED: expected an M01 diagnostic" >&2; exit 1 ;;
 esac
+
+# Fixed-seed mutational fuzz pass under the same sanitizer build: every
+# iteration checks the four frontend oracles (never-crash, print→reparse
+# round trip, obfuscate-still-parses, linter totality). Deterministic, so a
+# failure here reproduces with the same command. Throughput lands in
+# BENCH_fuzz.json.
+echo "== jsr_fuzz smoke (seed 1, 2000 iters, ASan+UBSan)"
+"${BUILD_DIR}/tools/jsr_fuzz" --seed 1 --iters 2000 --quiet \
+    --json "${BUILD_DIR}/BENCH_fuzz.json"
 
 echo "== all checks passed"

@@ -13,7 +13,7 @@ void ScriptAnalysis::ensure_parsed() const {
   std::call_once(parse_once_, [this] {
     Timer t;
     try {
-      ast_ = js::parse(source_);
+      ast_ = js::parse(source_, limits_);
       parse_ok_ = true;
     } catch (const std::exception& e) {
       parse_error_ = e.what();
@@ -55,7 +55,7 @@ double ScriptAnalysis::parse_ms() const {
 const std::vector<js::Token>* ScriptAnalysis::tokens() const {
   std::call_once(tokens_once_, [this] {
     try {
-      js::Lexer lexer(source_);
+      js::Lexer lexer(source_, limits_);
       tokens_ = std::make_unique<std::vector<js::Token>>(lexer.tokenize());
     } catch (const std::exception&) {
       // Unlexable input: tokens() stays null, mirroring parse_failed().

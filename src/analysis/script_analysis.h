@@ -26,6 +26,7 @@
 #include "analysis/pdg.h"
 #include "analysis/scope.h"
 #include "js/ast.h"
+#include "js/parse_limits.h"
 #include "js/token.h"
 
 namespace jsrev::analysis {
@@ -37,7 +38,11 @@ class ScriptAnalysis {
   /// evaluation counts such scripts as malicious).
   static constexpr int kUnparseableVerdict = 1;
 
-  explicit ScriptAnalysis(std::string source) : source_(std::move(source)) {}
+  /// `limits` bounds the frontend's resources (recursion depth, source
+  /// bytes, token count); exceeding a limit lands in the same
+  /// parse-failed-as-a-value state as a syntax error.
+  explicit ScriptAnalysis(std::string source, js::ParseLimits limits = {})
+      : source_(std::move(source)), limits_(limits) {}
 
   // Memoization state (once-flags) pins the object in place.
   ScriptAnalysis(const ScriptAnalysis&) = delete;
@@ -83,6 +88,7 @@ class ScriptAnalysis {
   void require_ast() const;  // throws std::logic_error on parse failure
 
   std::string source_;
+  js::ParseLimits limits_;
 
   mutable std::once_flag parse_once_;
   mutable js::Ast ast_;

@@ -9,13 +9,14 @@
 namespace jsrev::detect {
 
 analysis::AnalyzedCorpus analyze_corpus(const dataset::Corpus& corpus,
-                                        std::size_t threads) {
+                                        std::size_t threads,
+                                        js::ParseLimits limits) {
   analysis::AnalyzedCorpus out;
   out.scripts.reserve(corpus.samples.size());
   out.labels.reserve(corpus.samples.size());
   for (const auto& s : corpus.samples) {
     out.scripts.push_back(
-        std::make_unique<analysis::ScriptAnalysis>(s.source));
+        std::make_unique<analysis::ScriptAnalysis>(s.source, limits));
     out.labels.push_back(s.label);
   }
   // Warm the parse in parallel; failures are values, so no item can throw.

@@ -64,9 +64,12 @@ class Detector {
 /// Builds the shared per-sample analyses of a corpus, forcing the parse in
 /// parallel at `threads` width (0 = hardware concurrency). Derived analyses
 /// (scopes, data flow, CFG, PDG) stay lazy: each is computed at most once,
-/// by whichever consumer needs it first.
+/// by whichever consumer needs it first. `limits` bounds each script's
+/// frontend resources; a script that trips a limit carries a parse failure
+/// value and classifies as malicious, like any other unparseable input.
 analysis::AnalyzedCorpus analyze_corpus(const dataset::Corpus& corpus,
-                                        std::size_t threads = 0);
+                                        std::size_t threads = 0,
+                                        js::ParseLimits limits = {});
 
 enum class BaselineKind { kCujo, kZozzle, kJast, kJstap };
 

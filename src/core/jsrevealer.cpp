@@ -77,7 +77,8 @@ void JsRevealer::train(const dataset::Corpus& corpus) {
   {
     Timer t_wall;
     parallel_for_threads(cfg_.threads, n_samples, [&](std::size_t i) {
-      const analysis::ScriptAnalysis a(corpus.samples[i].source);
+      const analysis::ScriptAnalysis a(corpus.samples[i].source,
+                                       cfg_.parse_limits);
       try {
         extracted[i] = extract(a, /*timed=*/true);
       } catch (const std::exception&) {
@@ -353,7 +354,7 @@ std::vector<double> JsRevealer::features_from_embedding(
 }
 
 std::vector<double> JsRevealer::featurize(const std::string& source) const {
-  return featurize(analysis::ScriptAnalysis(source));
+  return featurize(analysis::ScriptAnalysis(source, cfg_.parse_limits));
 }
 
 std::vector<double> JsRevealer::featurize(
@@ -381,7 +382,7 @@ std::vector<double> JsRevealer::featurize(
 }
 
 int JsRevealer::classify(const std::string& source) const {
-  return classify(analysis::ScriptAnalysis(source));
+  return classify(analysis::ScriptAnalysis(source, cfg_.parse_limits));
 }
 
 int JsRevealer::classify(const analysis::ScriptAnalysis& analysis) const {
@@ -495,7 +496,7 @@ std::vector<double> JsRevealer::sse_curve(const dataset::Corpus& corpus,
         if (s.label != label) return;
         std::vector<paths::PathContext> pcs;
         try {
-          const analysis::ScriptAnalysis a(s.source);
+          const analysis::ScriptAnalysis a(s.source, cfg_.parse_limits);
           pcs = extract(a, /*timed=*/false);
         } catch (const std::exception&) {
           return;

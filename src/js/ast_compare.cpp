@@ -1,0 +1,77 @@
+#include "js/ast_compare.h"
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace jsrev::js {
+namespace {
+
+// Per-node payload comparison; children are handled by the traversal.
+bool node_payload_equal(const Node* a, const Node* b) noexcept {
+  if (a->kind != b->kind || a->lit != b->lit || a->flags != b->flags ||
+      a->str != b->str || a->bval != b->bval) {
+    return false;
+  }
+  if (a->lit == LiteralType::kNumber && a->num != b->num) return false;
+  return a->children.size() == b->children.size();
+}
+
+}  // namespace
+
+bool ast_equal(const Node* a, const Node* b) noexcept {
+  // Explicit worklist instead of recursion: comparison must not be the one
+  // place that still stack-overflows on a deep tree after the parser itself
+  // got a depth guard.
+  std::vector<std::pair<const Node*, const Node*>> work{{a, b}};
+  while (!work.empty()) {
+    const auto [x, y] = work.back();
+    work.pop_back();
+    if (x == nullptr || y == nullptr) {
+      if (x != y) return false;
+      continue;
+    }
+    if (!node_payload_equal(x, y)) return false;
+    for (std::size_t i = 0; i < x->children.size(); ++i) {
+      work.emplace_back(x->children[i], y->children[i]);
+    }
+  }
+  return true;
+}
+
+std::uint64_t ast_fingerprint(const Node* root) noexcept {
+  // Preorder traversal hashing each node's payload plus its child count and
+  // nullptr-slot markers: that encoding determines the tree shape uniquely,
+  // so trees equal under ast_equal fingerprint identically.
+  std::uint64_t h = fnv1a64("jsrev-ast-v1");
+  std::vector<const Node*> work{root};
+  while (!work.empty()) {
+    const Node* n = work.back();
+    work.pop_back();
+    if (n == nullptr) {
+      h = hash_combine(h, 0x9e2a5c17ULL);  // hole marker
+      continue;
+    }
+    h = hash_combine(h, static_cast<std::uint64_t>(n->kind));
+    h = hash_combine(h, static_cast<std::uint64_t>(n->lit));
+    h = hash_combine(h, static_cast<std::uint64_t>(n->flags));
+    h = hash_combine(h, static_cast<std::uint64_t>(n->bval));
+    h = hash_combine(h, fnv1a64(n->str));
+    if (n->lit == LiteralType::kNumber) {
+      std::uint64_t bits = 0;
+      static_assert(sizeof bits == sizeof n->num);
+      std::memcpy(&bits, &n->num, sizeof bits);
+      h = hash_combine(h, bits);
+    }
+    h = hash_combine(h, n->children.size());
+    // Push in reverse so children pop in order (order-sensitive hash).
+    for (std::size_t i = n->children.size(); i > 0; --i) {
+      work.push_back(n->children[i - 1]);
+    }
+  }
+  return h;
+}
+
+}  // namespace jsrev::js

@@ -1,0 +1,28 @@
+// Structural AST comparison and fingerprinting.
+//
+// The fuzz/differential harness (tools/jsr_fuzz) and the frontend property
+// tests need one shared definition of "same tree": print→reparse must be a
+// fixed point up to this equality. Both helpers compare structure only —
+// node kind, literal payloads, operator/name strings, flags, and child
+// shape (including nullptr slots) — and deliberately ignore the artifacts
+// finalize_tree assigns (ids, parent links, source lines), which legitimately
+// differ between a parsed original and its reparsed print.
+#pragma once
+
+#include <cstdint>
+
+#include "js/ast.h"
+
+namespace jsrev::js {
+
+/// Structural equality of two trees. Either argument may be nullptr (two
+/// nullptrs are equal). Iterative — safe on trees of any depth.
+bool ast_equal(const Node* a, const Node* b) noexcept;
+
+/// Order-sensitive 64-bit structural fingerprint over the same fields
+/// ast_equal compares: equal trees hash identically, and unequal trees
+/// collide with ordinary 64-bit-hash probability. Useful for corpus-scale
+/// dedup and cheap inequality checks. Iterative — safe on deep trees.
+std::uint64_t ast_fingerprint(const Node* root) noexcept;
+
+}  // namespace jsrev::js

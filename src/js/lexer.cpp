@@ -51,11 +51,22 @@ bool is_keyword(std::string_view word) noexcept {
   return false;
 }
 
-Lexer::Lexer(std::string_view source) : src_(source) {}
+Lexer::Lexer(std::string_view source, const ParseLimits& limits)
+    : src_(source), limits_(limits) {}
 
 std::vector<Token> Lexer::tokenize() {
+  if (src_.size() > limits_.max_source_bytes) {
+    throw LexError("source exceeds ParseLimits::max_source_bytes (" +
+                       std::to_string(src_.size()) + " > " +
+                       std::to_string(limits_.max_source_bytes) + ")",
+                   1);
+  }
   out_.clear();
   while (true) {
+    if (out_.size() >= limits_.max_token_count) {
+      fail("token count exceeds ParseLimits::max_token_count (" +
+           std::to_string(limits_.max_token_count) + ")");
+    }
     Token t = next_token();
     const bool done = t.type == TokenType::kEof;
     out_.push_back(std::move(t));
@@ -239,7 +250,15 @@ Token Lexer::lex_string(char quote) {
         case 'b': value += '\b'; break;
         case 'f': value += '\f'; break;
         case 'v': value += '\v'; break;
-        case '0': value += '\0'; break;
+        case '0':
+          // `\0` is NUL only when not followed by a decimal digit; `\01` etc.
+          // are legacy ES5 octal escapes, which we reject rather than decode
+          // so every accepted string round-trips through the printer.
+          if (std::isdigit(static_cast<unsigned char>(peek()))) {
+            fail("legacy octal escape in string literal");
+          }
+          value += '\0';
+          break;
         case 'x': {
           char buf[3] = {};
           for (int i = 0; i < 2; ++i) {
@@ -272,7 +291,13 @@ Token Lexer::lex_string(char quote) {
           }
           break;
         }
-        case '\n': ++line_; break;  // line continuation
+        // Line continuations: \<LF>, \<CR>, and \<CR><LF> all contribute
+        // nothing to the value and advance the line counter exactly once.
+        case '\n': ++line_; break;
+        case '\r':
+          if (peek() == '\n') ++pos_;
+          ++line_;
+          break;
         default: value += e; break; // \' \" \\ and identity escapes
       }
     } else {

@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "js/parse_limits.h"
 #include "js/token.h"
 
 namespace jsrev::js {
@@ -31,9 +32,11 @@ class LexError : public std::runtime_error {
 
 class Lexer {
  public:
-  explicit Lexer(std::string_view source);
+  explicit Lexer(std::string_view source, const ParseLimits& limits = {});
 
-  /// Tokenizes the whole input, ending with a kEof token.
+  /// Tokenizes the whole input, ending with a kEof token. Throws LexError on
+  /// malformed input or when a ParseLimits resource bound is exceeded
+  /// (source too large, too many tokens).
   std::vector<Token> tokenize();
 
  private:
@@ -60,6 +63,7 @@ class Lexer {
   }
 
   std::string_view src_;
+  ParseLimits limits_;
   std::size_t pos_ = 0;
   std::uint32_t line_ = 1;
   bool newline_pending_ = false;

@@ -30,8 +30,9 @@ int binary_precedence(std::string_view op, bool no_in) {
 
 class Parser {
  public:
-  explicit Parser(std::string_view source) {
-    Lexer lexer(source);
+  explicit Parser(std::string_view source, const ParseLimits& limits)
+      : limits_(limits) {
+    Lexer lexer(source, limits);
     tokens_ = lexer.tokenize();
   }
 
@@ -93,6 +94,28 @@ class Parser {
     throw ParseError(message, cur().line);
   }
 
+  // --- recursion depth guard ----------------------------------------------
+  // Every recursion cycle in the grammar passes through parse_statement,
+  // parse_assignment, parse_unary, or parse_new; a DepthGuard in each bounds
+  // the native stack used on adversarially nested input and converts
+  // overflow-in-the-making into a ParseError the caller already handles.
+
+  class DepthGuard {
+   public:
+    explicit DepthGuard(Parser& p) : p_(p) {
+      if (++p_.depth_ > p_.limits_.max_recursion_depth) {
+        p_.fail("nesting exceeds ParseLimits::max_recursion_depth (" +
+                std::to_string(p_.limits_.max_recursion_depth) + ")");
+      }
+    }
+    ~DepthGuard() { --p_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    Parser& p_;
+  };
+
   // --- node creation -------------------------------------------------------
   // Every node is stamped with the line of the token current at allocation
   // time. For nodes allocated after some of their tokens were consumed this
@@ -143,6 +166,7 @@ class Parser {
   // --- statements ----------------------------------------------------------
 
   Node* parse_statement() {
+    DepthGuard depth(*this);
     if (cur().type == TokenType::kPunctuator) {
       if (cur().value == "{") return parse_block();
       if (cur().value == ";") {
@@ -455,6 +479,7 @@ class Parser {
   }
 
   Node* parse_assignment(bool no_in) {
+    DepthGuard depth(*this);
     // Arrow functions: `x => ...` or `(a, b) => ...`.
     if (cur().type == TokenType::kIdentifier && ahead().value == "=>" &&
         ahead().type == TokenType::kPunctuator) {
@@ -534,6 +559,7 @@ class Parser {
   }
 
   Node* parse_unary() {
+    DepthGuard depth(*this);
     if (cur().type == TokenType::kPunctuator &&
         (cur().value == "!" || cur().value == "~" || cur().value == "+" ||
          cur().value == "-")) {
@@ -614,6 +640,7 @@ class Parser {
   }
 
   Node* parse_new() {
+    DepthGuard depth(*this);
     expect_keyword("new");
     Node* n = make(NodeKind::kNewExpression);
     // `new new X()()` and member chains on the callee are allowed, but a call
@@ -739,7 +766,9 @@ class Parser {
   }
 
   std::vector<Token> tokens_;
+  ParseLimits limits_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
   AstArena* arena_ = nullptr;
 };
 
@@ -749,18 +778,24 @@ namespace {
 std::atomic<std::uint64_t> g_parse_invocations{0};
 }  // namespace
 
-Ast parse(std::string_view source) {
+Ast parse(std::string_view source, const ParseLimits& limits) {
   g_parse_invocations.fetch_add(1, std::memory_order_relaxed);
-  return Parser(source).run();
+  return Parser(source, limits).run();
 }
+
+Ast parse(std::string_view source) { return parse(source, ParseLimits{}); }
 
 std::uint64_t parse_invocations() noexcept {
   return g_parse_invocations.load(std::memory_order_relaxed);
 }
 
 bool parses_ok(std::string_view source) noexcept {
+  return parses_ok(source, ParseLimits{});
+}
+
+bool parses_ok(std::string_view source, const ParseLimits& limits) noexcept {
   try {
-    parse(source);
+    parse(source, limits);
     return true;
   } catch (const std::exception&) {
     return false;

@@ -12,6 +12,7 @@
 #include <string_view>
 
 #include "js/ast.h"
+#include "js/parse_limits.h"
 #include "js/token.h"
 
 namespace jsrev::js {
@@ -30,8 +31,12 @@ class ParseError : public std::runtime_error {
 };
 
 /// Parses `source` into a finalized AST (ids and parent links assigned).
-/// Throws LexError or ParseError on malformed input.
-Ast parse(std::string_view source);
+/// Throws LexError or ParseError on malformed input. Resource exhaustion
+/// (nesting beyond `limits.max_recursion_depth`, oversized input, token
+/// explosion) throws the same structured errors instead of crashing, so
+/// adversarially nested input degrades into the ordinary parse-failure path.
+Ast parse(std::string_view source, const ParseLimits& limits);
+Ast parse(std::string_view source);  // default ParseLimits
 
 /// Process-wide count of parse() invocations (monotonic, thread-safe).
 /// Instrumentation for the parse-once ScriptAnalysis layer: the analysis
@@ -41,5 +46,6 @@ std::uint64_t parse_invocations() noexcept;
 
 /// Returns true if `source` parses without error.
 bool parses_ok(std::string_view source) noexcept;
+bool parses_ok(std::string_view source, const ParseLimits& limits) noexcept;
 
 }  // namespace jsrev::js

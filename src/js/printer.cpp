@@ -41,7 +41,10 @@ int expr_precedence(const Node* n) {
 
 std::string number_to_source(double v) {
   if (std::isnan(v)) return "NaN";
-  if (std::isinf(v)) return v > 0 ? "Infinity" : "-Infinity";
+  // An overflowing decimal literal (e.g. `1e999`) parses to an infinite
+  // numeric Literal. Print it as an overflowing literal again — emitting the
+  // identifier `Infinity` would reparse as kIdentifier, breaking round trips.
+  if (std::isinf(v)) return v > 0 ? "1e999" : "-1e999";
   if (v == static_cast<long long>(v) && std::fabs(v) < 1e15) {
     char buf[32];
     std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
@@ -413,6 +416,31 @@ class Printer {
     if (parens) emit(")");
   }
 
+  // True if emitting `b` directly after `a` would fuse two tokens into one:
+  // `-` `-x` → `--x` (decrement), `+` `+x` → `++x`, and `/` `/re/` → a line
+  // comment. Minified output hits these; pretty output's spaces already
+  // separate them.
+  static bool glues(char a, char b) {
+    return (a == '-' && b == '-') || (a == '+' && b == '+') ||
+           (a == '/' && b == '/');
+  }
+
+  // Emits a separating space if the next raw character would glue with the
+  // last emitted one.
+  void sep_before(char next) {
+    if (!out_.empty() && glues(out_.back(), next)) emit(" ");
+  }
+
+  // Prints `n` like expr(), inserting a space first if its leading character
+  // glues with the operator just emitted (e.g. binary `-` followed by a
+  // unary `-`, prefix `--`, or a negative numeric literal).
+  void expr_glue_guarded(const Node* n, int min_prec) {
+    const char prev = out_.empty() ? '\0' : out_.back();
+    const std::size_t at = out_.size();
+    expr(n, min_prec);
+    if (at < out_.size() && glues(prev, out_[at])) out_.insert(at, 1, ' ');
+  }
+
   void expr_raw(const Node* n) {
     switch (n->kind) {
       case NodeKind::kIdentifier:
@@ -499,13 +527,8 @@ class Printer {
         emit(n->str);
         const bool word = n->str.size() > 2;  // typeof / void / delete
         if (word) emit(" ");
-        // Avoid `- -x` gluing into `--x`.
-        const Node* arg = n->children[0];
-        const bool same_sign_unary =
-            !word && arg->kind == NodeKind::kUnaryExpression &&
-            arg->str == n->str;
-        if (same_sign_unary) emit(" ");
-        expr(arg, 13);
+        // Avoid `- -x` gluing into `--x` (also `- --x`, `-(-5)` literals).
+        expr_glue_guarded(n->children[0], 13);
         break;
       }
       case NodeKind::kUpdateExpression:
@@ -520,13 +543,24 @@ class Printer {
       case NodeKind::kBinaryExpression:
       case NodeKind::kLogicalExpression: {
         const int prec = expr_precedence(n);
+        const std::size_t lstart = out_.size();
         expr(n->children[0], prec);
+        // A left operand ending in `}` (function/arrow/object expression)
+        // makes a following `/` re-lex as a regex start; parenthesize it so
+        // the lexer sees `)` before the operator and picks division.
+        if (n->str[0] == '/' && out_.size() > lstart && out_.back() == '}') {
+          out_.insert(lstart, 1, '(');
+          emit(")");
+        }
         const bool word = n->str == "in" || n->str == "instanceof";
         if (word) emit(" "); else space();
+        sep_before(n->str[0]);  // `/re/ / x` must not minify to `/re//x`
         emit(n->str);
         if (word) emit(" "); else space();
         // Left-associative: right operand needs strictly higher precedence.
-        expr(n->children[1], prec + 1);
+        // Glue guard: minified `a - -b` must not become `a--b` (and likewise
+        // `a + +b`, `a + ++b`, `a / /re/`).
+        expr_glue_guarded(n->children[1], prec + 1);
         break;
       }
       case NodeKind::kAssignmentExpression:
@@ -548,7 +582,18 @@ class Printer {
         expr(n->children[2], 1);
         break;
       case NodeKind::kMemberExpression:
-        expr(n->children[0], 17);
+        // `(758).length` must not print as `758.length`: the lexer would
+        // absorb the dot into the number token. Parenthesize integer-literal
+        // objects of dotted access.
+        if (!n->has_flag(Node::kComputed) &&
+            n->children[0]->kind == NodeKind::kLiteral &&
+            n->children[0]->lit == LiteralType::kNumber) {
+          emit("(");
+          expr(n->children[0], 0);
+          emit(")");
+        } else {
+          expr(n->children[0], 17);
+        }
         if (n->has_flag(Node::kComputed)) {
           emit("[");
           expr(n->children[1], 0);

@@ -77,7 +77,23 @@ std::string js_escape(std::string_view s) {
       case '\n': out += "\\n"; break;
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
-      default: out += c; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\v': out += "\\v"; break;
+      default: {
+        const unsigned char u = static_cast<unsigned char>(c);
+        if (u < 0x20 || u == 0x7f) {
+          // Remaining control bytes (NUL included) as \xNN: emitting them
+          // raw would break print→reparse, and \x00 side-steps the
+          // `\0`-followed-by-digit octal ambiguity entirely.
+          char buf[5];
+          std::snprintf(buf, sizeof buf, "\\x%02x", u);
+          out += buf;
+        } else {
+          out += c;
+        }
+        break;
+      }
     }
   }
   return out;

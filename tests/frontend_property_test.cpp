@@ -9,6 +9,7 @@
 #include <string>
 
 #include "dataset/generator.h"
+#include "js/ast_compare.h"
 #include "js/lexer.h"
 #include "js/parser.h"
 #include "js/printer.h"
@@ -18,20 +19,6 @@
 
 namespace jsrev::js {
 namespace {
-
-bool tree_equal(const Node* a, const Node* b) {
-  if (a == nullptr || b == nullptr) return a == b;
-  if (a->kind != b->kind || a->lit != b->lit || a->str != b->str ||
-      a->flags != b->flags || a->bval != b->bval) {
-    return false;
-  }
-  if (a->lit == LiteralType::kNumber && a->num != b->num) return false;
-  if (a->children.size() != b->children.size()) return false;
-  for (std::size_t i = 0; i < a->children.size(); ++i) {
-    if (!tree_equal(a->children[i], b->children[i])) return false;
-  }
-  return true;
-}
 
 TEST(FrontendProperty, CorpusRoundTripsBothStyles) {
   Rng rng(101);
@@ -43,7 +30,7 @@ TEST(FrontendProperty, CorpusRoundTripsBothStyles) {
                                    PrintStyle::kMinified}) {
       const std::string printed = print(first.root, style);
       const Ast second = parse(printed);
-      EXPECT_TRUE(tree_equal(first.root, second.root)) << printed;
+      EXPECT_TRUE(ast_equal(first.root, second.root)) << printed;
     }
   }
 }
@@ -69,10 +56,36 @@ TEST(FrontendProperty, ObfuscatedTreesRoundTrip) {
       const std::string transformed = obfuscator->obfuscate(src, rng());
       const Ast first = parse(transformed);
       const Ast second = parse(print(first.root, PrintStyle::kMinified));
-      EXPECT_TRUE(tree_equal(first.root, second.root))
+      EXPECT_TRUE(ast_equal(first.root, second.root))
           << obf::obfuscator_kind_name(kind);
     }
   }
+}
+
+TEST(FrontendProperty, ObfuscatedCorpusRoundTripsAtScale) {
+  // 500+ scripts spread across the four obfuscation models: every
+  // machine-made tree must survive parse → print → parse with an
+  // ast_equal-identical structure, in both print styles.
+  Rng rng(108);
+  int checked = 0;
+  for (int i = 0; i < 126; ++i) {
+    const std::string base = i % 2 == 0 ? dataset::generate_malicious(rng)
+                                        : dataset::generate_benign(rng);
+    for (const obf::ObfuscatorKind kind : obf::kAllObfuscators) {
+      const auto obfuscator = obf::make_obfuscator(kind);
+      const std::string transformed = obfuscator->obfuscate(base, rng());
+      const Ast first = parse(transformed);
+      const PrintStyle style =
+          checked % 2 == 0 ? PrintStyle::kPretty : PrintStyle::kMinified;
+      const std::string printed = print(first.root, style);
+      const Ast second = parse(printed);
+      ASSERT_TRUE(ast_equal(first.root, second.root))
+          << obf::obfuscator_kind_name(kind) << " script " << i;
+      EXPECT_EQ(ast_fingerprint(first.root), ast_fingerprint(second.root));
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 500);
 }
 
 TEST(FrontendFailureInjection, TruncationsNeverCrash) {
@@ -120,13 +133,48 @@ TEST(FrontendFailureInjection, GarbageInputsThrowStructuredErrors) {
 }
 
 TEST(FrontendFailureInjection, DeepNestingDoesNotOverflowQuickly) {
-  // 400 nested blocks — recursion depth guard by construction (the parser
-  // is recursive-descent; this bounds the practical depth we promise).
+  // 400 nested blocks — well under ParseLimits::max_recursion_depth, so
+  // this must keep parsing cleanly.
   std::string src;
   for (int i = 0; i < 400; ++i) src += "{";
   src += "var x = 1;";
   for (int i = 0; i < 400; ++i) src += "}";
   EXPECT_TRUE(parses_ok(src));
+}
+
+TEST(FrontendFailureInjection, PathologicalDepthIsAParseErrorValue) {
+  // 50k nested parens would blow the C++ stack in a recursive-descent
+  // parser; the depth guard must convert that into an ordinary ParseError
+  // long before the stack is at risk.
+  std::string deep;
+  deep.reserve(2 * 50000 + 8);
+  for (int i = 0; i < 50000; ++i) deep += "(";
+  deep += "1";
+  for (int i = 0; i < 50000; ++i) deep += ")";
+  EXPECT_FALSE(parses_ok(deep));
+  EXPECT_THROW(parse(deep), ParseError);
+
+  // Same for statement nesting.
+  std::string blocks;
+  for (int i = 0; i < 50000; ++i) blocks += "{";
+  EXPECT_FALSE(parses_ok(blocks));
+}
+
+TEST(FrontendFailureInjection, ParseLimitsAreOverridable) {
+  ParseLimits tight;
+  tight.max_recursion_depth = 40;
+  std::string src = "r = ";
+  for (int i = 0; i < 30; ++i) src += "(";
+  src += "1";
+  for (int i = 0; i < 30; ++i) src += ")";
+  src += ";";
+  EXPECT_THROW(parse(src, tight), ParseError);
+  EXPECT_FALSE(parses_ok(src, tight));
+  EXPECT_TRUE(parses_ok(src));  // default limits accept it
+
+  ParseLimits small_src;
+  small_src.max_source_bytes = 8;
+  EXPECT_THROW(parse("var xyz = 12345;", small_src), LexError);
 }
 
 TEST(FrontendProperty, LexerTokenOffsetsMonotonic) {

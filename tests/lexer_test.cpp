@@ -89,6 +89,42 @@ TEST(Lexer, TemplateLiteral) {
   EXPECT_EQ(toks[0].string_value, "hello world");
 }
 
+TEST(Lexer, StringLineContinuations) {
+  // \<LF>, \<CR>, and \<CR><LF> contribute nothing to the value, and the
+  // line counter advances exactly once per continuation.
+  const auto lf = lex("\"a\\\nb\" x");
+  EXPECT_EQ(lf[0].string_value, "ab");
+  EXPECT_EQ(lf[1].line, 2);
+  const auto cr = lex("\"a\\\rb\" x");
+  EXPECT_EQ(cr[0].string_value, "ab");
+  EXPECT_EQ(cr[1].line, 2);
+  const auto crlf = lex("\"a\\\r\nb\" x");
+  EXPECT_EQ(crlf[0].string_value, "ab");
+  EXPECT_EQ(crlf[1].line, 2);
+}
+
+TEST(Lexer, NulEscapeInString) {
+  const auto toks = lex(R"("\0")");
+  EXPECT_EQ(toks[0].string_value, std::string(1, '\0'));
+  // `\0` followed by a decimal digit is a legacy octal escape; reject it
+  // rather than silently decoding something that will not round-trip.
+  EXPECT_THROW(lex(R"("\01")"), LexError);
+  EXPECT_THROW(lex(R"("\08")"), LexError);
+}
+
+TEST(Lexer, ParseLimitsBoundSourceAndTokens) {
+  ParseLimits tiny;
+  tiny.max_source_bytes = 4;
+  EXPECT_THROW(Lexer("var x = 1;", tiny).tokenize(), LexError);
+
+  ParseLimits few;
+  few.max_token_count = 3;
+  EXPECT_THROW(Lexer("a b c d e f", few).tokenize(), LexError);
+
+  // The defaults are generous: ordinary code is unaffected.
+  EXPECT_NO_THROW(Lexer("var ok = 1;").tokenize());
+}
+
 TEST(Lexer, UnterminatedStringThrows) {
   EXPECT_THROW(lex("\"abc"), LexError);
 }

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "js/ast_compare.h"
 #include "js/parser.h"
 #include "js/printer.h"
 #include "js/visitor.h"
@@ -10,32 +11,17 @@
 namespace jsrev::js {
 namespace {
 
-// Structural equality ignoring ids/parents (which finalize_tree assigns).
-bool tree_equal(const Node* a, const Node* b) {
-  if (a == nullptr || b == nullptr) return a == b;
-  if (a->kind != b->kind || a->lit != b->lit || a->str != b->str ||
-      a->flags != b->flags || a->bval != b->bval) {
-    return false;
-  }
-  if (a->lit == LiteralType::kNumber && a->num != b->num) return false;
-  if (a->children.size() != b->children.size()) return false;
-  for (std::size_t i = 0; i < a->children.size(); ++i) {
-    if (!tree_equal(a->children[i], b->children[i])) return false;
-  }
-  return true;
-}
-
 void expect_roundtrip(const std::string& src) {
   const Ast first = parse(src);
   const std::string pretty = print(first.root, PrintStyle::kPretty);
   const Ast second = parse(pretty);
-  EXPECT_TRUE(tree_equal(first.root, second.root))
+  EXPECT_TRUE(ast_equal(first.root, second.root))
       << "pretty round-trip failed\nsource: " << src
       << "\nprinted: " << pretty;
 
   const std::string mini = print(first.root, PrintStyle::kMinified);
   const Ast third = parse(mini);
-  EXPECT_TRUE(tree_equal(first.root, third.root))
+  EXPECT_TRUE(ast_equal(first.root, third.root))
       << "minified round-trip failed\nsource: " << src
       << "\nprinted: " << mini;
 }
@@ -72,6 +58,34 @@ TEST(Printer, UpdateExpressions) {
   expect_roundtrip("++i;");
   expect_roundtrip("i++;");
   expect_roundtrip("r = ++a + b++;");
+}
+
+// Regressions found by tools/jsr_fuzz: minified output must not glue two
+// tokens into one (`a - -1` → `a--1`), turn a division into a regex start
+// (`(fn) / d` → `...}/d`), or let a trailing dot be absorbed into a number
+// (`(758).length` → `758.length`).
+TEST(Printer, TokenGlueRegressions) {
+  expect_roundtrip("r = a - -1;");
+  expect_roundtrip("r = a + +b;");
+  expect_roundtrip("r = a + ++b;");
+  expect_roundtrip("r = a - --b;");
+  expect_roundtrip("r = a-- - b;");
+  expect_roundtrip("code = (code - -893 + 256) % 256;");
+  expect_roundtrip("r = (function () { return 1; }) / 2;");
+  expect_roundtrip("var p = ((t) => { return t; }) / d;");
+  expect_roundtrip("r = ({x: 1}) / 2;");
+  expect_roundtrip("r = (758).length;");
+  expect_roundtrip("r = (3.5).toFixed(1);");
+}
+
+TEST(Printer, OverflowingNumericLiteralStaysALiteral) {
+  // `1e999` overflows to +inf; printing it as the identifier `Infinity`
+  // would change the node kind on reparse.
+  expect_roundtrip("var i = 1e999;");
+  const Ast ast = parse("var i = 1e999;");
+  const std::string printed = print(ast.root, PrintStyle::kMinified);
+  EXPECT_NE(printed.find("1e999"), std::string::npos) << printed;
+  EXPECT_EQ(printed.find("Infinity"), std::string::npos) << printed;
 }
 
 TEST(Printer, LogicalAndConditional) {

@@ -83,6 +83,52 @@ TEST(ScriptAnalysis, TokensAreIndependentOfTheParser) {
   EXPECT_TRUE(b.parse_failed());
 }
 
+TEST(ScriptAnalysis, ResourceLimitTripIsAParseFailureValue) {
+  // A depth bomb must become parse_failed(), never a crash: the parser's
+  // depth guard converts the would-be stack overflow into a ParseError that
+  // ScriptAnalysis stores like any other unparseable input.
+  std::string deep;
+  deep.reserve(2 * 50000 + 8);
+  for (int i = 0; i < 50000; ++i) deep += "(";
+  deep += "1";
+  for (int i = 0; i < 50000; ++i) deep += ")";
+
+  const analysis::ScriptAnalysis a(deep);
+  EXPECT_TRUE(a.parse_failed());
+  EXPECT_EQ(a.classify_or_malicious([] { return 0; }),
+            analysis::ScriptAnalysis::kUnparseableVerdict);
+
+  // Tighter per-analysis limits are honored without touching the defaults.
+  js::ParseLimits tiny;
+  tiny.max_source_bytes = 8;
+  const analysis::ScriptAnalysis b("var xxxx = 12345;", tiny);
+  EXPECT_TRUE(b.parse_failed());
+}
+
+TEST(ScriptAnalysis, DepthBombClassifiedMaliciousAtEveryThreadWidth) {
+  std::string deep;
+  for (int i = 0; i < 50000; ++i) deep += "(";
+  deep += "1";
+  for (int i = 0; i < 50000; ++i) deep += ")";
+
+  dataset::Corpus corpus;
+  corpus.samples.push_back({deep, 1, "depth-bomb", "synthetic"});
+  corpus.samples.push_back({"var x = 1;", 0, "plain", "synthetic"});
+  corpus.samples.push_back({kParseBroken, 1, "broken", "synthetic"});
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const analysis::AnalyzedCorpus analyzed =
+        detect::analyze_corpus(corpus, threads);
+    ASSERT_EQ(analyzed.size(), 3u);
+    EXPECT_TRUE(analyzed.scripts[0]->parse_failed()) << threads;
+    EXPECT_EQ(analyzed.scripts[0]->classify_or_malicious([] { return 0; }),
+              analysis::ScriptAnalysis::kUnparseableVerdict)
+        << threads;
+    EXPECT_FALSE(analyzed.scripts[1]->parse_failed()) << threads;
+    EXPECT_TRUE(analyzed.scripts[2]->parse_failed()) << threads;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Trained-detector fixtures (built once: training dominates test runtime).
 

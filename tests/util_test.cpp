@@ -132,6 +132,23 @@ TEST(StringUtil, JsEscape) {
   EXPECT_EQ(js_escape("a\\b"), "a\\\\b");
 }
 
+TEST(StringUtil, JsEscapeControlBytes) {
+  // Named short escapes.
+  EXPECT_EQ(js_escape("a\bb"), "a\\bb");
+  EXPECT_EQ(js_escape("a\fb"), "a\\fb");
+  EXPECT_EQ(js_escape("a\vb"), "a\\vb");
+  EXPECT_EQ(js_escape("a\rb"), "a\\rb");
+  EXPECT_EQ(js_escape("a\tb"), "a\\tb");
+  // NUL uses \x00 (not \0, whose meaning depends on the following digit).
+  EXPECT_EQ(js_escape(std::string("a\0b", 3)), "a\\x00b");
+  // Remaining control bytes and DEL get two-digit hex escapes.
+  EXPECT_EQ(js_escape("\x01"), "\\x01");
+  EXPECT_EQ(js_escape("\x1f"), "\\x1f");
+  EXPECT_EQ(js_escape("\x7f"), "\\x7f");
+  // Printable ASCII is untouched.
+  EXPECT_EQ(js_escape(" ~azAZ09"), " ~azAZ09");
+}
+
 TEST(StringUtil, Fmt) {
   EXPECT_EQ(fmt(3.14159, 2), "3.14");
   EXPECT_EQ(fmt(99.95, 1), "100.0");

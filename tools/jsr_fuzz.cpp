@@ -1,0 +1,360 @@
+// jsr_fuzz: seeded mutational fuzzer / differential harness for the JS
+// frontend. No external fuzzing engine: the seed corpus comes from the
+// dataset generator (benign + malicious genres, plus variants of each
+// script through all four obfuscator models), mutations are driven by
+// util::Rng, and every run is bit-reproducible from --seed.
+//
+// Four oracles are checked per input:
+//   O1 never-crash: lex→parse terminates with a tree or a structured
+//      LexError/ParseError — any other exception (or a sanitizer abort,
+//      when built with JSR_SANITIZE=ON) is a finding;
+//   O2 round-trip: for input that parses, print→reparse succeeds and
+//      yields a structurally equal AST (js::ast_equal), in both pretty and
+//      minified styles;
+//   O3 obfuscate: obfuscating parseable input yields output that still
+//      parses (the path extractors consume obfuscator output downstream);
+//   O4 lint-total: Linter::lint never throws, parse failure included, and
+//      its parse-failed flag agrees with the direct parse outcome.
+//
+// Usage:
+//   $ jsr_fuzz --seed 1 --iters 2000            # CI smoke configuration
+//   $ jsr_fuzz --seed 7 --iters 100000 --quiet  # longer local run
+//
+// Writes throughput + outcome counters to BENCH_fuzz.json (cwd) unless
+// --no-json. Exit status: 0 = all oracles held, 1 = at least one finding,
+// 2 = usage error.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/script_analysis.h"
+#include "dataset/generator.h"
+#include "js/ast_compare.h"
+#include "js/lexer.h"
+#include "js/parser.h"
+#include "js/printer.h"
+#include "lint/linter.h"
+#include "obfuscators/obfuscator.h"
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace jsrev;
+
+constexpr std::size_t kMaxInputBytes = 1u << 16;  // cap mutation growth
+
+// Fragments the mutator splices in: escape-sequence and delimiter edge
+// cases the grammar is most likely to mishandle.
+constexpr const char* kDictionary[] = {
+    "\"\\x00\"", "\"\\0\"",   "\\u0041", "\\x4",   "\"\\\r\n\"", "0x",
+    "0b1",       "/*",        "*/",      "//",     "`",          "${",
+    "=>",        "...",       "new ",    "typeof ", "function",  "(((",
+    ")))",       "{{{",       "}}}",     "[",      "]",          "'\\01'",
+    "\\",        "\r",        "\\0",     "e+",     ".5.",        "in ",
+    "with(",     "label:",    ";;",      "?.:",    "/[/]/g",     "\"",
+};
+
+struct Options {
+  std::uint64_t seed = 1;
+  std::uint64_t iters = 2000;
+  std::size_t corpus = 48;
+  bool quiet = false;
+  bool write_json = true;
+  std::string json_path = "BENCH_fuzz.json";
+};
+
+struct Stats {
+  std::uint64_t execs = 0;
+  std::uint64_t parse_ok = 0;
+  std::uint64_t parse_fail = 0;
+  std::uint64_t o2_checked = 0;
+  std::uint64_t o3_checked = 0;
+  std::uint64_t failures = 0;
+};
+
+std::string printable(const std::string& s, std::size_t max_bytes = 100000) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size() && i < max_bytes; ++i) {
+    const unsigned char u = static_cast<unsigned char>(s[i]);
+    if (u >= 0x20 && u < 0x7f) {
+      out += static_cast<char>(u);
+    } else {
+      char buf[6];
+      std::snprintf(buf, sizeof buf, "\\x%02x", u);
+      out += buf;
+    }
+  }
+  if (s.size() > max_bytes) out += "...";
+  return out;
+}
+
+void report_failure(Stats& stats, const char* oracle, const std::string& why,
+                    const std::string& input) {
+  ++stats.failures;
+  std::fprintf(stderr, "FAIL %s: %s\n  input (%zu bytes): %s\n", oracle,
+               why.c_str(), input.size(), printable(input).c_str());
+}
+
+// One random mutation. Mutations may produce any byte sequence — the
+// oracles only require structured failure, not acceptance.
+std::string mutate(Rng& rng, std::string s) {
+  if (s.empty()) s = ";";
+  switch (rng.below(8)) {
+    case 0: {  // flip one byte
+      s[rng.below(s.size())] = static_cast<char>(rng.below(256));
+      break;
+    }
+    case 1: {  // insert a random byte
+      s.insert(s.begin() + static_cast<std::ptrdiff_t>(rng.below(s.size() + 1)),
+               static_cast<char>(rng.below(256)));
+      break;
+    }
+    case 2: {  // delete a span
+      const std::size_t at = rng.below(s.size());
+      const std::size_t len = 1 + rng.below(std::min<std::size_t>(
+                                      s.size() - at, 32));
+      s.erase(at, len);
+      break;
+    }
+    case 3: {  // duplicate a span
+      const std::size_t at = rng.below(s.size());
+      const std::size_t len = 1 + rng.below(std::min<std::size_t>(
+                                      s.size() - at, 64));
+      s.insert(at, s.substr(at, len));
+      break;
+    }
+    case 4: {  // truncate (models mid-transfer cutoffs)
+      s.resize(rng.below(s.size()) + 1);
+      break;
+    }
+    case 5: {  // splice a dictionary fragment
+      const std::size_t di =
+          rng.below(sizeof kDictionary / sizeof kDictionary[0]);
+      s.insert(rng.below(s.size() + 1), kDictionary[di]);
+      break;
+    }
+    case 6: {  // wrap in nesting (exercises the depth guard)
+      const std::size_t depth = 1 + rng.below(64);
+      const bool parens = rng.chance(0.5);
+      const std::string open(depth, parens ? '(' : '{');
+      const std::string close(depth, parens ? ')' : '}');
+      s = open + s + close;
+      break;
+    }
+    default: {  // swap two spans' order
+      const std::size_t a = rng.below(s.size());
+      const std::size_t b = rng.below(s.size());
+      std::swap(s[a], s[b]);
+      break;
+    }
+  }
+  if (s.size() > kMaxInputBytes) s.resize(kMaxInputBytes);
+  return s;
+}
+
+std::vector<std::string> build_seed_corpus(const Options& opt) {
+  std::vector<std::string> corpus;
+  Rng rng(opt.seed);
+  for (std::size_t i = 0; i < opt.corpus; ++i) {
+    corpus.push_back(i % 2 == 0 ? dataset::generate_benign(rng)
+                                : dataset::generate_malicious(rng));
+  }
+  // Obfuscated variants: machine-shaped trees stress the printer harder
+  // than generator output does.
+  const std::size_t base = corpus.size();
+  for (const obf::ObfuscatorKind kind : obf::kAllObfuscators) {
+    const auto obfuscator = obf::make_obfuscator(kind);
+    for (std::size_t i = 0; i < base; i += 7) {
+      corpus.push_back(obfuscator->obfuscate(corpus[i], rng()));
+    }
+  }
+  for (std::size_t i = 0; i < base; i += 5) {
+    corpus.push_back(obf::minify(corpus[i]));
+  }
+  // Hand-picked frontend edge cases as extra seeds.
+  corpus.push_back("var s = \"a\\x00b\\x07c\";");
+  corpus.push_back("var t = \"line\\\r\ncontinued\";");
+  corpus.push_back("for (var i in {a: 1}) i++;");
+  corpus.push_back("x = y / 2; r = /re[/]x/g;");
+  return corpus;
+}
+
+int run(const Options& opt) {
+  const std::vector<std::string> corpus = build_seed_corpus(opt);
+  std::vector<std::unique_ptr<obf::Obfuscator>> obfuscators;
+  for (const obf::ObfuscatorKind kind : obf::kAllObfuscators) {
+    obfuscators.push_back(obf::make_obfuscator(kind));
+  }
+  const lint::Linter linter;
+  const js::ParseLimits limits;  // library defaults — what production sees
+  Stats stats;
+  Timer wall;
+
+  for (std::uint64_t iter = 0; iter < opt.iters; ++iter) {
+    // Per-iteration generator derived from (seed, iter) only, so any
+    // failing iteration reproduces in isolation.
+    Rng rng(hash_combine(opt.seed, iter + 1));
+    std::string input = corpus[rng.below(corpus.size())];
+    const std::size_t n_mut = 1 + rng.below(4);
+    for (std::size_t m = 0; m < n_mut; ++m) input = mutate(rng, input);
+    ++stats.execs;
+
+    // --- O1: lex→parse fails as a value or not at all -----------------
+    bool parsed = false;
+    js::Ast ast;
+    try {
+      ast = js::parse(input, limits);
+      parsed = true;
+    } catch (const js::LexError&) {
+    } catch (const js::ParseError&) {
+    } catch (const std::exception& e) {
+      report_failure(stats, "O1-never-crash",
+                     std::string("unexpected exception: ") + e.what(), input);
+    }
+    if (parsed) {
+      ++stats.parse_ok;
+    } else {
+      ++stats.parse_fail;
+    }
+
+    if (parsed) {
+      // --- O2: print→reparse is a structural fixed point --------------
+      ++stats.o2_checked;
+      for (const js::PrintStyle style :
+           {js::PrintStyle::kPretty, js::PrintStyle::kMinified}) {
+        const std::string printed = js::print(ast.root, style);
+        try {
+          const js::Ast reparsed = js::parse(printed, limits);
+          if (!js::ast_equal(ast.root, reparsed.root)) {
+            report_failure(stats, "O2-round-trip",
+                           "reparsed AST differs structurally; printed: " +
+                               printable(printed),
+                           input);
+          }
+        } catch (const std::exception& e) {
+          report_failure(stats, "O2-round-trip",
+                         std::string("printed form no longer parses (") +
+                             e.what() + "); printed: " + printable(printed),
+                         input);
+        }
+      }
+
+      // --- O3: obfuscator output still parses --------------------------
+      ++stats.o3_checked;
+      const auto& obfuscator = obfuscators[iter % obfuscators.size()];
+      try {
+        const std::string transformed = obfuscator->obfuscate(input, rng());
+        if (!js::parses_ok(transformed, limits)) {
+          report_failure(stats, "O3-obfuscate",
+                         obfuscator->name() + " output no longer parses",
+                         input);
+        }
+      } catch (const std::exception& e) {
+        report_failure(stats, "O3-obfuscate",
+                       obfuscator->name() + " threw: " + e.what(), input);
+      }
+    }
+
+    // --- O4: lint is total, and agrees with parse on failure ----------
+    try {
+      const analysis::ScriptAnalysis sa(input, limits);
+      const lint::LintResult lr = linter.lint(sa);
+      if (lr.parse_failed == parsed) {
+        report_failure(stats, "O4-lint-total",
+                       "lint parse_failed disagrees with direct parse",
+                       input);
+      }
+    } catch (const std::exception& e) {
+      report_failure(stats, "O4-lint-total",
+                     std::string("lint threw: ") + e.what(), input);
+    }
+
+    if (!opt.quiet && (iter + 1) % 500 == 0) {
+      std::printf("  %llu/%llu iters, %llu parse-ok, %llu findings\n",
+                  static_cast<unsigned long long>(iter + 1),
+                  static_cast<unsigned long long>(opt.iters),
+                  static_cast<unsigned long long>(stats.parse_ok),
+                  static_cast<unsigned long long>(stats.failures));
+    }
+  }
+
+  const double secs = wall.elapsed_ms() / 1000.0;
+  const double rate = secs > 0 ? static_cast<double>(stats.execs) / secs : 0;
+  std::printf(
+      "jsr_fuzz: seed=%llu iters=%llu corpus=%zu | %llu parse-ok, "
+      "%llu parse-fail | O2 on %llu, O3 on %llu | %.2fs (%.0f execs/s) | "
+      "%llu findings\n",
+      static_cast<unsigned long long>(opt.seed),
+      static_cast<unsigned long long>(stats.execs), corpus.size(),
+      static_cast<unsigned long long>(stats.parse_ok),
+      static_cast<unsigned long long>(stats.parse_fail),
+      static_cast<unsigned long long>(stats.o2_checked),
+      static_cast<unsigned long long>(stats.o3_checked), secs, rate,
+      static_cast<unsigned long long>(stats.failures));
+
+  if (opt.write_json) {
+    std::ofstream json(opt.json_path);
+    json << "{\n  \"seed\": " << opt.seed << ",\n  \"iters\": " << stats.execs
+         << ",\n  \"corpus_seeds\": " << corpus.size()
+         << ",\n  \"parse_ok\": " << stats.parse_ok
+         << ",\n  \"parse_fail\": " << stats.parse_fail
+         << ",\n  \"roundtrip_checked\": " << stats.o2_checked
+         << ",\n  \"obfuscate_checked\": " << stats.o3_checked
+         << ",\n  \"wall_s\": " << secs << ",\n  \"execs_per_sec\": " << rate
+         << ",\n  \"findings\": " << stats.failures << "\n}\n";
+    std::printf("wrote %s\n", opt.json_path.c_str());
+  }
+  return stats.failures == 0 ? 0 : 1;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed N] [--iters N] [--corpus N] "
+               "[--json PATH | --no-json] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--iters") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.iters = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--corpus") == 0) {
+      const char* v = next();
+      if (v == nullptr || std::strtoull(v, nullptr, 10) == 0) {
+        return usage(argv[0]);
+      }
+      opt.corpus = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.json_path = v;
+    } else if (std::strcmp(argv[i], "--no-json") == 0) {
+      opt.write_json = false;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      opt.quiet = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  return run(opt);
+}
