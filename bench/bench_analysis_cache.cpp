@@ -23,6 +23,7 @@
 #include "core/jsrevealer.h"
 #include "dataset/generator.h"
 #include "js/parser.h"
+#include "obs/json.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 #include "util/table.h"
@@ -137,19 +138,28 @@ int main() {
   std::printf("verdicts identical cached vs uncached: %s\n",
               ok ? "yes" : "NO");
 
+  obs::JsonWriter w;
+  obs::write_bench_header(w, "analysis_cache");
+  w.kv("test_scripts", static_cast<std::uint64_t>(n))
+      .kv("detectors", static_cast<std::uint64_t>(detectors.size()))
+      .key("uncached")
+      .begin_object()
+      .kv("parses", uncached_parses)
+      .kv_fixed("wall_ms", uncached_ms, 1)
+      .end_object()
+      .key("cached")
+      .begin_object()
+      .kv("parses", cached_parses)
+      .kv_fixed("wall_ms", cached_ms, 1)
+      .end_object()
+      .kv_fixed("parse_reduction",
+                static_cast<double>(uncached_parses) /
+                    static_cast<double>(cached_parses),
+                3)
+      .kv("verdicts_identical", ok)
+      .end_object();
   std::ofstream json("BENCH_analysis_cache.json");
-  json << "{\n  \"test_scripts\": " << n
-       << ",\n  \"detectors\": " << detectors.size()
-       << ",\n  \"uncached\": {\"parses\": " << uncached_parses
-       << ", \"wall_ms\": " << fmt(uncached_ms, 1) << "},"
-       << "\n  \"cached\": {\"parses\": " << cached_parses
-       << ", \"wall_ms\": " << fmt(cached_ms, 1) << "},"
-       << "\n  \"parse_reduction\": "
-       << fmt(static_cast<double>(uncached_parses) /
-                  static_cast<double>(cached_parses),
-              3)
-       << ",\n  \"verdicts_identical\": " << (ok ? "true" : "false")
-       << "\n}\n";
+  json << w.str() << "\n";
   std::printf("wrote BENCH_analysis_cache.json\n");
   return ok ? 0 : 1;
 }

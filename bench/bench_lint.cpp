@@ -11,6 +11,7 @@
 #include "bench_config.h"
 #include "dataset/generator.h"
 #include "lint/linter.h"
+#include "obs/json.h"
 #include "util/string_util.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -98,21 +99,26 @@ int main() {
   std::printf("\n%s\n", table.to_string().c_str());
   std::printf("diagnostics identical across all widths: yes\n");
 
-  std::ofstream json("BENCH_lint.json");
-  json << "{\n  \"hardware_threads\": " << resolve_threads(0)
-       << ",\n  \"scripts\": " << sources.size()
-       << ",\n  \"rules\": " << linter.rules().size()
-       << ",\n  \"total_diagnostics\": " << points[0].diagnostics
-       << ",\n  \"points\": [\n";
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const LintPoint& p = points[i];
-    json << "    {\"threads\": " << p.threads
-         << ", \"lint_ms\": " << fmt(p.lint_ms, 1) << ", \"scripts_per_s\": "
-         << fmt(static_cast<double>(sources.size()) * 1000.0 / p.lint_ms, 1)
-         << ", \"speedup\": " << fmt(points[0].lint_ms / p.lint_ms, 3) << "}"
-         << (i + 1 < points.size() ? "," : "") << "\n";
+  obs::JsonWriter w;
+  obs::write_bench_header(w, "lint");
+  w.kv("scripts", static_cast<std::uint64_t>(sources.size()))
+      .kv("rules", static_cast<std::uint64_t>(linter.rules().size()))
+      .kv("total_diagnostics",
+          static_cast<std::uint64_t>(points[0].diagnostics))
+      .key("points")
+      .begin_array();
+  for (const LintPoint& p : points) {
+    w.begin_object()
+        .kv("threads", static_cast<std::uint64_t>(p.threads))
+        .kv_fixed("lint_ms", p.lint_ms, 1)
+        .kv_fixed("scripts_per_s",
+                  static_cast<double>(sources.size()) * 1000.0 / p.lint_ms, 1)
+        .kv_fixed("speedup", points[0].lint_ms / p.lint_ms, 3)
+        .end_object();
   }
-  json << "  ]\n}\n";
+  w.end_array().end_object();
+  std::ofstream json("BENCH_lint.json");
+  json << w.str() << "\n";
   std::printf("wrote BENCH_lint.json\n");
   return 0;
 }

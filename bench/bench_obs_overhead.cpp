@@ -1,0 +1,145 @@
+// Measures what the observability layer costs on the hot path: classify_all
+// throughput over the same corpus with (a) metrics disabled, (b) metrics
+// enabled (the default production state), (c) metrics + span tracing.
+//
+// Every instrumented call site degrades to one relaxed atomic load + branch
+// when the subsystem is off, so condition (a) is the "obs compiled in but
+// dormant" floor. The bench asserts the metrics-on overhead stays under
+// JSREV_BENCH_OBS_TOL_PCT percent (default 5) of that floor — the contract
+// ISSUE'd with the subsystem — and emits BENCH_obs.json through the shared
+// envelope. Tracing (c) is reported but not gated: it is opt-in and pays for
+// per-span timestamps by design.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_config.h"
+#include "core/jsrevealer.h"
+#include "dataset/generator.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace jsrev;
+
+struct Condition {
+  const char* name;
+  bool metrics;
+  bool trace;
+  double best_ms = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  const std::size_t per_class = bench::env_or("JSREV_BENCH_CORPUS", 160);
+  const std::size_t train_per_class =
+      bench::env_or("JSREV_BENCH_TRAIN", 110);
+  const std::size_t repeats = bench::env_or("JSREV_BENCH_REPEATS", 3);
+  const double tol_pct = static_cast<double>(
+      bench::env_or("JSREV_BENCH_OBS_TOL_PCT", 5));
+
+  dataset::GeneratorConfig gc;
+  gc.seed = 77;
+  gc.benign_count = per_class;
+  gc.malicious_count = per_class;
+  const dataset::Corpus corpus = dataset::generate_corpus(gc);
+  Rng rng(gc.seed);
+  const dataset::Split split =
+      dataset::split_corpus(corpus, train_per_class, train_per_class, rng);
+
+  std::printf("bench_obs_overhead: %zu train, %zu test scripts, "
+              "best of %zu repeats\n",
+              split.train.samples.size(), split.test.samples.size(), repeats);
+
+  core::JsRevealer det;
+  det.train(split.train);
+
+  std::vector<std::string> sources;
+  sources.reserve(split.test.samples.size());
+  for (const auto& s : split.test.samples) sources.push_back(s.source);
+
+  Condition conditions[] = {
+      {"obs off", false, false},
+      {"metrics on", true, false},
+      {"metrics+trace on", true, true},
+  };
+
+  // Warm-up pass (allocator, model caches) outside any measurement.
+  std::vector<int> reference = det.classify_all(sources);
+
+  for (Condition& c : conditions) {
+    obs::set_metrics_enabled(c.metrics);
+    obs::Tracer::global().set_enabled(c.trace);
+    double best = 0.0;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      obs::Tracer::global().clear();  // bound the ring's memory across reps
+      Timer t;
+      const std::vector<int> verdicts = det.classify_all(sources);
+      const double ms = t.elapsed_ms();
+      if (verdicts != reference) {
+        std::fprintf(stderr, "FAIL: verdicts changed under %s\n", c.name);
+        return 1;
+      }
+      if (r == 0 || ms < best) best = ms;
+    }
+    c.best_ms = best;
+  }
+  obs::set_metrics_enabled(true);
+  obs::Tracer::global().set_enabled(false);
+  obs::Tracer::global().clear();
+
+  const double base = conditions[0].best_ms;
+  Table table({"condition", "best ms", "scripts/s", "overhead"});
+  for (const Condition& c : conditions) {
+    table.add_row(
+        {c.name, fmt(c.best_ms, 1),
+         fmt(static_cast<double>(sources.size()) * 1000.0 / c.best_ms, 0),
+         fmt((c.best_ms / base - 1.0) * 100.0, 2) + "%"});
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+
+  const double metrics_overhead_pct =
+      (conditions[1].best_ms / base - 1.0) * 100.0;
+
+  obs::JsonWriter w;
+  obs::write_bench_header(w, "obs");
+  w.kv("test_scripts", static_cast<std::uint64_t>(sources.size()))
+      .kv("repeats", static_cast<std::uint64_t>(repeats))
+      .kv_fixed("tolerance_pct", tol_pct, 1)
+      .kv_fixed("metrics_overhead_pct", metrics_overhead_pct, 2)
+      .key("conditions")
+      .begin_array();
+  for (const Condition& c : conditions) {
+    w.begin_object()
+        .kv("name", c.name)
+        .kv("metrics", c.metrics)
+        .kv("trace", c.trace)
+        .kv_fixed("best_ms", c.best_ms, 1)
+        .kv_fixed("scripts_per_s",
+                  static_cast<double>(sources.size()) * 1000.0 / c.best_ms, 1)
+        .end_object();
+  }
+  w.end_array().end_object();
+  std::ofstream json("BENCH_obs.json");
+  json << w.str() << "\n";
+  std::printf("wrote BENCH_obs.json\n");
+
+  if (metrics_overhead_pct >= tol_pct) {
+    std::fprintf(stderr,
+                 "FAIL: metrics-on overhead %.2f%% exceeds tolerance %.1f%%\n",
+                 metrics_overhead_pct, tol_pct);
+    return 1;
+  }
+  std::printf("metrics-on overhead %.2f%% < %.1f%% tolerance\n",
+              metrics_overhead_pct, tol_pct);
+  return 0;
+}

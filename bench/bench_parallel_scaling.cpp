@@ -15,6 +15,7 @@
 #include "bench_config.h"
 #include "core/jsrevealer.h"
 #include "dataset/generator.h"
+#include "obs/json.h"
 #include "util/string_util.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -99,21 +100,25 @@ int main() {
   std::printf("\n%s\n", table.to_string().c_str());
   std::printf("predictions identical across all widths: yes\n");
 
-  std::ofstream json("BENCH_parallel.json");
-  json << "{\n  \"hardware_threads\": " << resolve_threads(0)
-       << ",\n  \"train_scripts\": " << split.train.samples.size()
-       << ",\n  \"cluster_sample_per_class\": " << cluster_sample
-       << ",\n  \"points\": [\n";
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const ScalingPoint& p = points[i];
-    json << "    {\"threads\": " << p.threads << ", \"train_ms\": "
-         << fmt(p.train_ms, 1) << ", \"predict_ms\": " << fmt(p.predict_ms, 1)
-         << ", \"train_speedup\": " << fmt(points[0].train_ms / p.train_ms, 3)
-         << ", \"predict_speedup\": "
-         << fmt(points[0].predict_ms / p.predict_ms, 3) << "}"
-         << (i + 1 < points.size() ? "," : "") << "\n";
+  obs::JsonWriter w;
+  obs::write_bench_header(w, "parallel");
+  w.kv("train_scripts", static_cast<std::uint64_t>(split.train.samples.size()))
+      .kv("cluster_sample_per_class",
+          static_cast<std::uint64_t>(cluster_sample))
+      .key("points")
+      .begin_array();
+  for (const ScalingPoint& p : points) {
+    w.begin_object()
+        .kv("threads", static_cast<std::uint64_t>(p.threads))
+        .kv_fixed("train_ms", p.train_ms, 1)
+        .kv_fixed("predict_ms", p.predict_ms, 1)
+        .kv_fixed("train_speedup", points[0].train_ms / p.train_ms, 3)
+        .kv_fixed("predict_speedup", points[0].predict_ms / p.predict_ms, 3)
+        .end_object();
   }
-  json << "  ]\n}\n";
+  w.end_array().end_object();
+  std::ofstream json("BENCH_parallel.json");
+  json << w.str() << "\n";
   std::printf("wrote BENCH_parallel.json\n");
   return 0;
 }

@@ -49,4 +49,25 @@ echo "== jsr_fuzz smoke (seed 1, 2000 iters, ASan+UBSan)"
 "${BUILD_DIR}/tools/jsr_fuzz" --seed 1 --iters 2000 --quiet \
     --json "${BUILD_DIR}/BENCH_fuzz.json"
 
+# Observability smoke under the same sanitizer build: jsr_stats trains
+# JSRevealer plus the four baselines, evaluates them over a shared analyzed
+# corpus (exercising every instrumented layer), explains the dropper sample,
+# and exports metrics + deterministic metrics + a Chrome trace. Every emitted
+# artifact — including the fuzz envelope above — is then gated through
+# `jsr_stats --validate`, which checks well-formed JSON plus the shared BENCH
+# envelope / Chrome trace-event schema.
+echo "== jsr_stats smoke (ASan+UBSan)"
+"${BUILD_DIR}/tools/jsr_stats" --scripts 18 --seed 1 \
+    --metrics "${BUILD_DIR}/stats_metrics.json" \
+    --deterministic "${BUILD_DIR}/stats_deterministic.json" \
+    --trace "${BUILD_DIR}/stats_trace.json" \
+    --explain examples/samples/dropper.js
+
+echo "== artifact schema validation"
+"${BUILD_DIR}/tools/jsr_stats" \
+    --validate "${BUILD_DIR}/stats_metrics.json" \
+    --validate "${BUILD_DIR}/stats_deterministic.json" \
+    --validate "${BUILD_DIR}/stats_trace.json" \
+    --validate "${BUILD_DIR}/BENCH_fuzz.json"
+
 echo "== all checks passed"

@@ -15,6 +15,7 @@
 // classify_or_malicious) rather than in per-detector try/catch blocks.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <mutex>
@@ -28,6 +29,7 @@
 #include "js/ast.h"
 #include "js/parse_limits.h"
 #include "js/token.h"
+#include "obs/provenance.h"
 
 namespace jsrev::analysis {
 
@@ -60,6 +62,23 @@ class ScriptAnalysis {
 
   /// Wall-clock cost of this script's parse (0.0 until the parse runs).
   double parse_ms() const;
+
+  /// True when the parse failure came from a ParseLimits bound (depth,
+  /// source bytes, token count) rather than malformed syntax.
+  bool parse_limit_trip() const;
+
+  /// Claims this script's parse cost for per-stage accounting: the first
+  /// caller receives parse_ms(), every later caller receives 0.0. Detectors
+  /// sampling stage timings use this so re-evaluating a warm analysis does
+  /// not re-book a parse that never re-ran (the memoized cost would
+  /// otherwise inflate the stage's work/wall speedup without bound).
+  double take_parse_cost() const;
+
+  /// Opt-in verdict provenance: after enable_provenance(), a
+  /// provenance-aware detector (JsRevealer) fills the record as classify()
+  /// runs. provenance() stays null until enabled.
+  void enable_provenance();
+  obs::VerdictProvenance* provenance() const { return provenance_.get(); }
 
   /// Lexical token stream (ending with kEof), lexed independently of the
   /// parser so token-level consumers (CUJO) never force a parse; nullptr
@@ -95,6 +114,8 @@ class ScriptAnalysis {
   mutable bool parse_ok_ = false;
   mutable std::string parse_error_;
   mutable double parse_ms_ = 0.0;
+  mutable std::atomic<bool> parse_cost_taken_{false};
+  std::unique_ptr<obs::VerdictProvenance> provenance_;
 
   mutable std::once_flag tokens_once_;
   mutable std::unique_ptr<std::vector<js::Token>> tokens_;  // null: lex error

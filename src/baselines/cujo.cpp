@@ -79,9 +79,9 @@ int Cujo::classify(const analysis::ScriptAnalysis& analysis) const {
   const std::vector<js::Token>* tokens = analysis.tokens();
   if (tokens == nullptr) {
     // Unlexable input → malicious by the shared convention.
-    return analysis::ScriptAnalysis::kUnparseableVerdict;
+    return record_verdict(analysis::ScriptAnalysis::kUnparseableVerdict);
   }
-  return svm_.predict(featurize(*tokens).data());
+  return record_verdict(svm_.predict(featurize(*tokens).data()));
 }
 
 }  // namespace jsrev::detect

@@ -4,6 +4,7 @@
 #include "baselines/jast.h"
 #include "baselines/jstap.h"
 #include "baselines/zozzle.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace jsrev::detect {
@@ -11,6 +12,7 @@ namespace jsrev::detect {
 analysis::AnalyzedCorpus analyze_corpus(const dataset::Corpus& corpus,
                                         std::size_t threads,
                                         js::ParseLimits limits) {
+  obs::Span span("detect.analyze_corpus", "detect");
   analysis::AnalyzedCorpus out;
   out.scripts.reserve(corpus.samples.size());
   out.labels.reserve(corpus.samples.size());

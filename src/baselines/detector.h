@@ -2,6 +2,7 @@
 // (JSRevealer and the four comparison baselines).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -10,6 +11,7 @@
 #include "analysis/script_analysis.h"
 #include "dataset/corpus.h"
 #include "ml/metrics.h"
+#include "obs/metrics.h"
 
 namespace jsrev::detect {
 
@@ -59,6 +61,32 @@ class Detector {
     }
     return ml::compute_metrics(corpus.labels, pred);
   }
+
+ protected:
+  /// Books one verdict into detector.verdicts{detector=name(),verdict=...}
+  /// and returns it unchanged, so classify() bodies end with
+  /// `return record_verdict(...)`. Counter handles resolve on first use
+  /// (name() is not callable from the constructor) and are cached per
+  /// detector instance.
+  int record_verdict(int verdict) const {
+    auto& slot = verdict == 0 ? benign_count_ : malicious_count_;
+    obs::Counter* c = slot.load(std::memory_order_acquire);
+    if (c == nullptr) {
+      // Racing initializers all receive the same registry handle, so the
+      // store order is immaterial.
+      c = obs::metrics().counter(
+          "detector.verdicts",
+          {{"detector", name()},
+           {"verdict", verdict == 0 ? "benign" : "malicious"}});
+      slot.store(c, std::memory_order_release);
+    }
+    c->add();
+    return verdict;
+  }
+
+ private:
+  mutable std::atomic<obs::Counter*> benign_count_{nullptr};
+  mutable std::atomic<obs::Counter*> malicious_count_{nullptr};
 };
 
 /// Builds the shared per-sample analyses of a corpus, forcing the parse in

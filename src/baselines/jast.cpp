@@ -78,8 +78,8 @@ int Jast::classify(const std::string& source) const {
 }
 
 int Jast::classify(const analysis::ScriptAnalysis& analysis) const {
-  return analysis.classify_or_malicious(
-      [&] { return forest_.predict(featurize(analysis).data()); });
+  return record_verdict(analysis.classify_or_malicious(
+      [&] { return forest_.predict(featurize(analysis).data()); }));
 }
 
 }  // namespace jsrev::detect

@@ -120,8 +120,8 @@ int Jstap::classify(const std::string& source) const {
 }
 
 int Jstap::classify(const analysis::ScriptAnalysis& analysis) const {
-  return analysis.classify_or_malicious(
-      [&] { return forest_.predict(featurize(analysis).data()); });
+  return record_verdict(analysis.classify_or_malicious(
+      [&] { return forest_.predict(featurize(analysis).data()); }));
 }
 
 }  // namespace jsrev::detect

@@ -106,8 +106,8 @@ int Zozzle::classify(const std::string& source) const {
 }
 
 int Zozzle::classify(const analysis::ScriptAnalysis& analysis) const {
-  return analysis.classify_or_malicious(
-      [&] { return nb_.predict(featurize(analysis).data()); });
+  return record_verdict(analysis.classify_or_malicious(
+      [&] { return nb_.predict(featurize(analysis).data()); }));
 }
 
 }  // namespace jsrev::detect

@@ -60,6 +60,13 @@ struct Config {
   // Maximum vocabulary size; further paths are treated as unknown.
   std::size_t max_vocab = 200000;
 
+  // Span tracing: when set, the JsRevealer constructor switches the global
+  // obs::Tracer on, so every pipeline stage (and each per-script classify)
+  // records a span exportable as a Chrome trace (obs/trace.h; view in
+  // Perfetto / chrome://tracing). Off by default — a disabled tracer costs
+  // one relaxed atomic load per would-be span.
+  bool trace = false;
+
   // Parallel width for every per-item pipeline stage (path extraction,
   // FastABOD, k-means assignment, forest training, batch prediction).
   // 0 = hardware concurrency; 1 = the exact legacy serial path. Results are

@@ -6,12 +6,22 @@
 #include <stdexcept>
 
 #include "ml/decision_tree.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace jsrev::core {
 
+void StageTimings::reset_inference() {
+  parse.reset();
+  enhanced_ast.reset();
+  path_traversal.reset();
+  embedding.reset();
+  classifying.reset();
+}
+
 JsRevealer::JsRevealer(Config cfg) : cfg_(cfg) {
+  if (cfg_.trace) obs::Tracer::global().set_enabled(true);
   lint_dim_ = cfg_.lint_features ? lint::kLintFeatureDim : 0;
   ml::AttentionModelConfig mc;
   mc.embedding_dim = cfg_.embedding_dim;
@@ -43,9 +53,17 @@ std::vector<paths::PathContext> JsRevealer::extract(
 
   if (timed) {
     std::lock_guard<std::mutex> lock(timing_mu_);
-    timings_.parse.add(analysis.parse_ms());
+    // take_parse_cost: the parse is booked by its first claimant only, so a
+    // warm (already-parsed) analysis contributes a zero sample instead of
+    // re-booking work that did not run in this batch.
+    timings_.parse.add(analysis.take_parse_cost());
     timings_.enhanced_ast.add(ast_ms);
     timings_.path_traversal.add(traverse_ms);
+  }
+  if (obs::VerdictProvenance* prov = analysis.provenance()) {
+    prov->stage_ms.parse = analysis.parse_ms();
+    prov->stage_ms.enhanced_ast = ast_ms;
+    prov->stage_ms.path_traversal = traverse_ms;
   }
   return pcs;
 }
@@ -59,6 +77,7 @@ std::vector<std::int32_t> JsRevealer::to_ids(
 }
 
 void JsRevealer::train(const dataset::Corpus& corpus) {
+  obs::Span train_span("core.train", "core");
   Rng rng(cfg_.seed);
   timings_.threads = resolve_threads(cfg_.threads);
 
@@ -75,6 +94,7 @@ void JsRevealer::train(const dataset::Corpus& corpus) {
   std::vector<std::vector<paths::PathContext>> extracted(n_samples);
   std::vector<std::vector<double>> lint_vecs(n_samples);
   {
+    obs::Span span("core.train.extract", "core");
     Timer t_wall;
     parallel_for_threads(cfg_.threads, n_samples, [&](std::size_t i) {
       const analysis::ScriptAnalysis a(corpus.samples[i].source,
@@ -113,6 +133,7 @@ void JsRevealer::train(const dataset::Corpus& corpus) {
   // training corpus itself (cfg_.pretrain_scripts == 0), subsampling paths
   // per script for tractable epochs.
   {
+    obs::Span span("core.train.pretrain", "core");
     Timer t;
     std::vector<ml::ScriptPaths> train_scripts;
     std::size_t budget = cfg_.pretrain_scripts == 0
@@ -309,6 +330,7 @@ void JsRevealer::train(const dataset::Corpus& corpus) {
   ml::Matrix x(n_samples, feature_dim_ + lint_dim_);
   std::vector<int> y(n_samples);
   {
+    obs::Span span("core.train.featurize", "core");
     Timer t_wall;
     parallel_for_threads(cfg_.threads, n_samples, [&](std::size_t i) {
       ml::EmbeddedScript emb = model_.embed(script_ids[i]);
@@ -333,9 +355,10 @@ void JsRevealer::train(const dataset::Corpus& corpus) {
 }
 
 std::vector<double> JsRevealer::features_from_embedding(
-    const ml::EmbeddedScript& emb) const {
+    const ml::EmbeddedScript& emb, obs::VerdictProvenance* prov) const {
   std::vector<double> f(feature_dim_, 0.0);
   const auto d = static_cast<std::size_t>(cfg_.embedding_dim);
+  std::size_t outside = 0;
   for (std::size_t i = 0; i < emb.embeddings.rows(); ++i) {
     const int c = ml::nearest_centroid(centroids_, emb.embeddings.row(i));
     // Paths far from every cluster belong to none of them.
@@ -343,11 +366,26 @@ std::vector<double> JsRevealer::features_from_embedding(
         emb.embeddings.row(i), centroids_.row(static_cast<std::size_t>(c)),
         d));
     const double radius = centroid_radius_[static_cast<std::size_t>(c)];
-    if (radius > 0 && dist > 4.0 * radius) continue;
+    if (radius > 0 && dist > 4.0 * radius) {
+      ++outside;
+      continue;
+    }
     if (cfg_.binary_cluster_features) {
       f[static_cast<std::size_t>(c)] = 1.0;  // ablation: occurrence only
     } else {
       f[static_cast<std::size_t>(c)] += emb.weights[i];
+    }
+  }
+  if (prov != nullptr) {
+    prov->paths_outside_clusters = outside;
+    prov->cluster_attention.clear();
+    for (std::size_t c = 0; c < feature_dim_; ++c) {
+      if (f[c] == 0.0) continue;  // record only clusters the script touched
+      obs::ClusterAttention ca;
+      ca.feature_index = static_cast<int>(c);
+      ca.from_benign = centroid_benign_[c];
+      ca.mass = f[c];
+      prov->cluster_attention.push_back(ca);
     }
   }
   return f;
@@ -359,23 +397,54 @@ std::vector<double> JsRevealer::featurize(const std::string& source) const {
 
 std::vector<double> JsRevealer::featurize(
     const analysis::ScriptAnalysis& analysis) const {
+  obs::VerdictProvenance* prov = analysis.provenance();
   const auto pcs = extract(analysis, /*timed=*/true);
 
   Timer t_embed;
   const auto ids = to_ids(pcs);
   ml::EmbeddedScript emb = model_.embed(ids);
+  const double embed_ms = t_embed.elapsed_ms();
   {
     std::lock_guard<std::mutex> lock(timing_mu_);
-    timings_.embedding.add(t_embed.elapsed_ms());
+    timings_.embedding.add(embed_ms);
   }
 
-  std::vector<double> f = features_from_embedding(emb);
+  std::vector<double> f = features_from_embedding(emb, prov);
   if (lint_dim_ != 0) {
     // Shares the analysis' memoized AST/scope/data-flow with extract():
     // the lint tail costs no second parse.
-    const std::vector<double> lf =
-        lint::lint_feature_vector(linter_.lint(analysis));
+    Timer t_lint;
+    const lint::LintResult lr = linter_.lint(analysis);
+    const std::vector<double> lf = lint::lint_feature_vector(lr);
     f.insert(f.end(), lf.begin(), lf.end());
+    if (prov != nullptr) {
+      prov->stage_ms.lint = t_lint.elapsed_ms();
+      prov->lint_malice_diags = 0;
+      prov->lint_hygiene_diags = 0;
+      prov->lint_rules_fired.clear();
+      for (const lint::Diagnostic& diag : lr.diagnostics) {
+        if (diag.category == lint::Category::kMalice) {
+          ++prov->lint_malice_diags;
+        } else {
+          ++prov->lint_hygiene_diags;
+        }
+        prov->lint_rules_fired.push_back(diag.rule_id);
+      }
+      std::sort(prov->lint_rules_fired.begin(), prov->lint_rules_fired.end());
+      prov->lint_rules_fired.erase(
+          std::unique(prov->lint_rules_fired.begin(),
+                      prov->lint_rules_fired.end()),
+          prov->lint_rules_fired.end());
+    }
+  }
+  if (prov != nullptr) {
+    prov->source_bytes = analysis.source().size();
+    prov->path_count = pcs.size();
+    prov->known_path_count = static_cast<std::size_t>(
+        std::count_if(ids.begin(), ids.end(),
+                      [](std::int32_t id) { return id >= 0; }));
+    prov->stage_ms.embedding = embed_ms;
+    prov->train_clusters_removed = clusters_removed_;
   }
   scaler_.transform_row(f.data());
   return f;
@@ -386,21 +455,49 @@ int JsRevealer::classify(const std::string& source) const {
 }
 
 int JsRevealer::classify(const analysis::ScriptAnalysis& analysis) const {
-  if (!trained_) return 1;
-  return analysis.classify_or_malicious([&]() -> int {
+  obs::Span span("core.classify", "core");
+  obs::VerdictProvenance* prov = analysis.provenance();
+  if (prov != nullptr) {
+    prov->detector = name();
+    prov->source_bytes = analysis.source().size();
+    prov->train_clusters_removed = clusters_removed_;
+  }
+  if (!trained_) {
+    if (prov != nullptr) prov->verdict = 1;
+    return record_verdict(1);
+  }
+  const int verdict = analysis.classify_or_malicious([&]() -> int {
     try {
       const std::vector<double> f = featurize(analysis);
       Timer t;
-      const int verdict = classifier_->predict(f.data());
+      const int v = classifier_->predict(f.data());
+      const double predict_ms = t.elapsed_ms();
       {
         std::lock_guard<std::mutex> lock(timing_mu_);
-        timings_.classifying.add(t.elapsed_ms());
+        timings_.classifying.add(predict_ms);
       }
-      return verdict;
+      if (prov != nullptr) prov->stage_ms.classify = predict_ms;
+      return v;
     } catch (const std::exception&) {
       return 1;  // degenerate input that survives the parse → same verdict
     }
   });
+  if (prov != nullptr) {
+    prov->verdict = verdict;
+    prov->parse_failed = analysis.parse_failed();
+    if (prov->parse_failed) {
+      prov->parse_error = analysis.parse_error();
+      prov->parse_limit_trip = analysis.parse_limit_trip();
+    }
+  }
+  return record_verdict(verdict);
+}
+
+obs::VerdictProvenance JsRevealer::explain(const std::string& source) const {
+  analysis::ScriptAnalysis analysis(source, cfg_.parse_limits);
+  analysis.enable_provenance();
+  classify(analysis);
+  return *analysis.provenance();
 }
 
 std::vector<int> JsRevealer::classify_all(
@@ -409,6 +506,11 @@ std::vector<int> JsRevealer::classify_all(
   // const and internally synchronized on the timing sink), so scripts fan
   // out independently with verdicts written to disjoint slots.
   std::vector<int> verdicts(sources.size(), 1);
+  obs::Span span("core.classify_all", "core");
+  {
+    std::lock_guard<std::mutex> lock(timing_mu_);
+    timings_.reset_inference();  // this batch's stages only (see StageTimings)
+  }
   Timer t_wall;
   parallel_for_threads(cfg_.threads, sources.size(), [&](std::size_t i) {
     verdicts[i] = classify(sources[i]);
@@ -423,6 +525,11 @@ std::vector<int> JsRevealer::classify_all(
 std::vector<int> JsRevealer::classify_all(
     const analysis::AnalyzedCorpus& corpus) const {
   std::vector<int> verdicts(corpus.size(), 1);
+  obs::Span span("core.classify_all", "core");
+  {
+    std::lock_guard<std::mutex> lock(timing_mu_);
+    timings_.reset_inference();  // this batch's stages only (see StageTimings)
+  }
   Timer t_wall;
   parallel_for_threads(cfg_.threads, corpus.size(), [&](std::size_t i) {
     verdicts[i] = classify(*corpus.scripts[i]);

@@ -42,16 +42,24 @@ struct FeatureReportEntry {
 /// sampled separately; parse.mean() + enhanced_ast.mean() equals the old
 /// fused enhanced-AST figure.
 struct StageTimings {
-  TimingStats parse;            // js::parse (lex + parse + finalize)
-  TimingStats enhanced_ast;     // scope + data-flow augmentation
-  TimingStats path_traversal;   // path-context enumeration
-  TimingStats pretraining;      // embedding-model training (per file)
-  TimingStats embedding;        // per-file embedding at inference
-  TimingStats outlier;          // outlier detection (train once)
-  TimingStats clustering;       // bisecting k-means (train once)
-  TimingStats classifier_train;
-  TimingStats classifying;      // classifier predict per file
+  TimingStats parse{"parse"};          // js::parse (lex + parse + finalize)
+  TimingStats enhanced_ast{"enhanced_ast"};  // scope + data-flow augmentation
+  TimingStats path_traversal{"path_traversal"};  // path-context enumeration
+  TimingStats pretraining{"pretraining"};  // embedding training (per file)
+  TimingStats embedding{"embedding"};  // per-file embedding at inference
+  TimingStats outlier{"outlier"};      // outlier detection (train once)
+  TimingStats clustering{"clustering"};  // bisecting k-means (train once)
+  TimingStats classifier_train{"classifier_train"};
+  TimingStats classifying{"classifying"};  // classifier predict per file
   std::size_t threads = 1;      // resolved parallel width used by train()
+
+  /// Zeroes the per-script inference stages (parse, enhanced AST, path
+  /// traversal, embedding, classifying — the train-once stages are kept).
+  /// classify_all calls this on entry so each batch reports only its own
+  /// work and wall time: without the reset, a re-evaluated warm corpus
+  /// stacks fresh per-item samples onto stale wall totals and the apparent
+  /// sum/wall speedup grows past the physical thread count.
+  void reset_inference();
 };
 
 class JsRevealer final : public detect::Detector {
@@ -95,6 +103,12 @@ class JsRevealer final : public detect::Detector {
   /// (Table VII). Only valid after train() with the random-forest classifier.
   std::vector<FeatureReportEntry> feature_report(int n = 5) const;
 
+  /// Classifies `source` with provenance capture on and returns the filled
+  /// record: verdict, frontend outcome, path/vocabulary counts, per-cluster
+  /// attention mass, lint rule hits, and per-stage durations. The JSON shape
+  /// is obs::VerdictProvenance::to_json() (surfaced by `jsr_stats --explain`).
+  obs::VerdictProvenance explain(const std::string& source) const;
+
   /// Feature vector for one script (exposed for tests/inspection). Parses
   /// exactly once even with lint features on: the string overload builds
   /// one ScriptAnalysis whose AST/scope/data-flow artifacts are shared by
@@ -133,9 +147,11 @@ class JsRevealer final : public detect::Detector {
       const std::vector<paths::PathContext>& pcs) const;
 
   /// Cluster-membership features (attention weight accumulated per cluster)
-  /// for an embedded script, before scaling.
+  /// for an embedded script, before scaling. When `prov` is non-null the
+  /// per-cluster mass and the outside-every-cluster path count land in it.
   std::vector<double> features_from_embedding(
-      const ml::EmbeddedScript& emb) const;
+      const ml::EmbeddedScript& emb,
+      obs::VerdictProvenance* prov = nullptr) const;
 
   Config cfg_;
   lint::Linter linter_;

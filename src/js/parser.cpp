@@ -1,10 +1,10 @@
 #include "js/parser.h"
 
-#include <atomic>
 #include <utility>
 #include <vector>
 
 #include "js/lexer.h"
+#include "obs/metrics.h"
 
 namespace jsrev::js {
 namespace {
@@ -775,18 +775,24 @@ class Parser {
 }  // namespace
 
 namespace {
-std::atomic<std::uint64_t> g_parse_invocations{0};
+// The parse counter lives in the process-wide obs registry (the bespoke
+// atomic it replaces is gone); parse_invocations() below reads the same
+// counter, so existing callers keep working.
+obs::Counter* parse_counter() {
+  static obs::Counter* c = obs::metrics().counter("js.parse.invocations");
+  return c;
+}
 }  // namespace
 
 Ast parse(std::string_view source, const ParseLimits& limits) {
-  g_parse_invocations.fetch_add(1, std::memory_order_relaxed);
+  parse_counter()->add();
   return Parser(source, limits).run();
 }
 
 Ast parse(std::string_view source) { return parse(source, ParseLimits{}); }
 
 std::uint64_t parse_invocations() noexcept {
-  return g_parse_invocations.load(std::memory_order_relaxed);
+  return parse_counter()->value();
 }
 
 bool parses_ok(std::string_view source) noexcept {

@@ -41,7 +41,9 @@ Ast parse(std::string_view source);  // default ParseLimits
 /// Process-wide count of parse() invocations (monotonic, thread-safe).
 /// Instrumentation for the parse-once ScriptAnalysis layer: the analysis
 /// cache bench and tests assert a multi-detector evaluation parses each
-/// script exactly once.
+/// script exactly once. A shim over the `js.parse.invocations` counter in
+/// the obs metrics registry (the former bespoke atomic is deprecated and
+/// gone); note the count pauses while obs::set_metrics_enabled(false).
 std::uint64_t parse_invocations() noexcept;
 
 /// Returns true if `source` parses without error.

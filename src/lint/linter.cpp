@@ -2,17 +2,33 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace jsrev::lint {
+
+Linter::Linter(std::vector<std::unique_ptr<Rule>> rules)
+    : rules_(std::move(rules)) {
+  auto& reg = obs::metrics();
+  hits_.reserve(rules_.size());
+  for (const auto& rule : rules_) {
+    hits_.push_back(
+        reg.counter("lint.rule_hits", {{"rule", std::string(rule->id())}}));
+  }
+  scripts_ = reg.counter("lint.scripts");
+  parse_failures_ = reg.counter("lint.parse_failures");
+}
 
 LintResult Linter::lint(const std::string& source) const {
   return lint(analysis::ScriptAnalysis(source));
 }
 
 LintResult Linter::lint(const analysis::ScriptAnalysis& analysis) const {
+  obs::Span span("lint.script", "lint");
+  scripts_->add();
   LintResult result;
   if (analysis.parse_failed()) {
+    parse_failures_->add();
     result.parse_failed = true;
     result.parse_error = analysis.parse_error();
     return result;
@@ -24,8 +40,10 @@ LintResult Linter::lint(const analysis::ScriptAnalysis& analysis) const {
   ctx.dataflow = &analysis.dataflow();
   ctx.cfgs = &analysis.cfgs();
 
-  for (const auto& rule : rules_) {
-    rule->run(ctx, &result.diagnostics);
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const std::size_t before = result.diagnostics.size();
+    rules_[i]->run(ctx, &result.diagnostics);
+    hits_[i]->add(result.diagnostics.size() - before);
   }
   return result;
 }

@@ -20,6 +20,7 @@
 #include "analysis/script_analysis.h"
 #include "lint/registry.h"
 #include "lint/rule.h"
+#include "obs/metrics.h"
 
 namespace jsrev::lint {
 
@@ -32,9 +33,8 @@ struct LintResult {
 class Linter {
  public:
   /// Default-constructs with the full built-in rule set.
-  Linter() : rules_(make_default_rules()) {}
-  explicit Linter(std::vector<std::unique_ptr<Rule>> rules)
-      : rules_(std::move(rules)) {}
+  Linter() : Linter(make_default_rules()) {}
+  explicit Linter(std::vector<std::unique_ptr<Rule>> rules);
 
   const std::vector<std::unique_ptr<Rule>>& rules() const { return rules_; }
 
@@ -58,6 +58,12 @@ class Linter {
 
  private:
   std::vector<std::unique_ptr<Rule>> rules_;
+  // Registry handles resolved once at construction (the registry lookup is
+  // mutex-guarded; lint() runs on the hot fan-out path). hits_[i] counts the
+  // diagnostics rules_[i] produced, labelled {rule=<id>}.
+  std::vector<obs::Counter*> hits_;
+  obs::Counter* scripts_ = nullptr;
+  obs::Counter* parse_failures_ = nullptr;
 };
 
 /// Width of the per-script lint summary vector appended to the detector's

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace jsrev::ml {
 namespace {
 
@@ -61,6 +64,7 @@ AttentionModel::Forward AttentionModel::forward(
 
 double AttentionModel::train(const std::vector<ScriptPaths>& scripts,
                              std::size_t vocab_size) {
+  obs::Span span("ml.attention.train", "ml");
   vocab_size_ = vocab_size;
   const auto d = static_cast<std::size_t>(cfg_.embedding_dim);
 
@@ -201,6 +205,9 @@ double AttentionModel::train(const std::vector<ScriptPaths>& scripts,
 
 EmbeddedScript AttentionModel::embed(
     const std::vector<std::int32_t>& path_ids) const {
+  static obs::Counter* embeds =
+      obs::metrics().counter("ml.attention.embed_calls");
+  embeds->add();
   Forward f = forward(path_ids);
   EmbeddedScript out;
   out.embeddings = std::move(f.e);

@@ -5,10 +5,17 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace jsrev::ml {
 namespace {
+
+obs::Counter* kmeans_iterations() {
+  static obs::Counter* c = obs::metrics().counter("ml.kmeans.iterations");
+  return c;
+}
 
 /// Runs Lloyd iterations on the subset `rows` of `points` with `k` clusters.
 /// Returns centroids (k x d), assignment per subset element, and SSE.
@@ -62,6 +69,7 @@ SubResult lloyd(const Matrix& points, const std::vector<std::size_t>& rows,
   std::vector<double> sums(static_cast<std::size_t>(k) * d);
   std::vector<std::size_t> counts(static_cast<std::size_t>(k));
   for (int iter = 0; iter < max_iters; ++iter) {
+    kmeans_iterations()->add();
     // Assignment: O(n k d), the hot step. Each point writes only its own
     // slot; the centroid update below stays serial in row order so the
     // floating-point sums are identical at any thread count.
@@ -162,6 +170,7 @@ double nearest_centroid_distance(const Matrix& centroids,
 }
 
 Clustering kmeans(const Matrix& points, const KMeansConfig& cfg) {
+  obs::Span span("ml.kmeans", "ml");
   Rng rng(cfg.seed);
   const std::size_t n = points.rows();
   const int k = std::max(1, std::min<int>(cfg.k, static_cast<int>(n)));
@@ -172,6 +181,7 @@ Clustering kmeans(const Matrix& points, const KMeansConfig& cfg) {
 }
 
 Clustering bisecting_kmeans(const Matrix& points, const KMeansConfig& cfg) {
+  obs::Span span("ml.bisecting_kmeans", "ml");
   Rng rng(cfg.seed);
   const std::size_t n = points.rows();
   const std::size_t d = points.cols();

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
 
@@ -173,6 +175,10 @@ MulticlassRandomForest::MulticlassRandomForest(MulticlassForestConfig cfg)
     : cfg_(cfg) {}
 
 void MulticlassRandomForest::fit(const Matrix& x, const std::vector<int>& y) {
+  obs::Span span("ml.forest.fit", "ml");
+  static obs::Counter* trees_trained =
+      obs::metrics().counter("ml.forest.trees_trained");
+  trees_trained->add(static_cast<std::uint64_t>(cfg_.n_trees));
   trees_.clear();
   n_classes_ = 0;
   for (const int label : y) n_classes_ = std::max(n_classes_, label + 1);

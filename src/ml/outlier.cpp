@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace jsrev::ml {
@@ -57,12 +59,17 @@ OutlierResult threshold(std::vector<double> scores, double contamination) {
                     });
   for (std::size_t i = 0; i < count; ++i) res.is_outlier[order[i]] = true;
   res.outlier_count = count;
+  static obs::Counter* scored = obs::metrics().counter("ml.outlier.scored");
+  static obs::Counter* flagged = obs::metrics().counter("ml.outlier.flagged");
+  scored->add(n);
+  flagged->add(count);
   return res;
 }
 
 }  // namespace
 
 OutlierResult fastabod(const Matrix& points, const OutlierConfig& cfg) {
+  obs::Span span("ml.fastabod", "ml");
   const std::size_t n = points.rows();
   const std::size_t d = points.cols();
   if (n < 3) {
@@ -116,6 +123,7 @@ OutlierResult fastabod(const Matrix& points, const OutlierConfig& cfg) {
 }
 
 OutlierResult knn_outlier(const Matrix& points, const OutlierConfig& cfg) {
+  obs::Span span("ml.knn_outlier", "ml");
   const std::size_t n = points.rows();
   const std::size_t d = points.cols();
   if (n < 2) {
@@ -137,6 +145,7 @@ OutlierResult knn_outlier(const Matrix& points, const OutlierConfig& cfg) {
 }
 
 OutlierResult lof(const Matrix& points, const OutlierConfig& cfg) {
+  obs::Span span("ml.lof", "ml");
   const std::size_t n = points.rows();
   const std::size_t d = points.cols();
   if (n < 3) {

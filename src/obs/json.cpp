@@ -1,0 +1,478 @@
+#include "obs/json.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+
+namespace jsrev::obs {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Prefer the shortest representation that round-trips: try increasing
+  // precision until the value survives a parse back.
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[64];
+    std::snprintf(probe, sizeof probe, "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(probe, "%lf", &back);
+    if (back == v) return probe;
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::indent() {
+  out_ += '\n';
+  out_.append(stack_.size() * 2, ' ');
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) return;  // document root
+  Frame& top = stack_.back();
+  if (top.object && !key_pending_) {
+    throw std::logic_error("JsonWriter: value inside object without key()");
+  }
+  if (!top.object) {
+    if (top.any) out_ += ',';
+    indent();
+  }
+  top.any = true;
+  key_pending_ = false;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (stack_.empty() || !stack_.back().object) {
+    throw std::logic_error("JsonWriter: key() outside object");
+  }
+  if (stack_.back().any) out_ += ',';
+  indent();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\": ";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back({true, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool any = stack_.back().any;
+  stack_.pop_back();
+  if (any) indent();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back({false, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool any = stack_.back().any;
+  stack_.pop_back();
+  if (any) indent();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  out_ += format_double(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_fixed(double v, int prec) {
+  before_value();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::null_value() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  std::unique_ptr<JsonValue> run(std::string* error) {
+    try {
+      auto v = std::make_unique<JsonValue>(parse_value(0));
+      skip_ws();
+      if (pos_ != s_.size()) fail("trailing characters after document");
+      return v;
+    } catch (const std::runtime_error& e) {
+      if (error != nullptr) *error = e.what();
+      return nullptr;
+    }
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 200;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("JSON error at byte " + std::to_string(pos_) +
+                             ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= s_.size() || s_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value(std::size_t depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    JsonValue v;
+    switch (peek()) {
+      case '{': {
+        v.kind = JsonValue::Kind::kObject;
+        ++pos_;
+        skip_ws();
+        if (peek() == '}') {
+          ++pos_;
+          return v;
+        }
+        while (true) {
+          skip_ws();
+          std::string key = parse_string();
+          skip_ws();
+          expect(':');
+          v.object.emplace_back(std::move(key), parse_value(depth + 1));
+          skip_ws();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect('}');
+          return v;
+        }
+      }
+      case '[': {
+        v.kind = JsonValue::Kind::kArray;
+        ++pos_;
+        skip_ws();
+        if (peek() == ']') {
+          ++pos_;
+          return v;
+        }
+        while (true) {
+          v.array.push_back(parse_value(depth + 1));
+          skip_ws();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect(']');
+          return v;
+        }
+      }
+      case '"':
+        v.kind = JsonValue::Kind::kString;
+        v.string = parse_string();
+        return v;
+      case 't':
+        if (!literal("true")) fail("bad literal");
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!literal("false")) fail("bad literal");
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = false;
+        return v;
+      case 'n':
+        if (!literal("null")) fail("bad literal");
+        v.kind = JsonValue::Kind::kNull;
+        return v;
+      default:
+        v.kind = JsonValue::Kind::kNumber;
+        v.number = parse_number();
+        return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are kept as two
+          // 3-byte sequences — fine for a validator).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    auto digits = [this] {
+      std::size_t n = 0;
+      while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    const std::size_t int_digits = digits();
+    if (int_digits == 0) fail("bad number");
+    // JSON forbids leading zeros on multi-digit integers.
+    if (int_digits > 1 && s_[start + (s_[start] == '-' ? 1 : 0)] == '0') {
+      fail("leading zero in number");
+    }
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) fail("bad fraction");
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (digits() == 0) fail("bad exponent");
+    }
+    double v = 0.0;
+    std::sscanf(std::string(s_.substr(start, pos_ - start)).c_str(), "%lf",
+                &v);
+    return v;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<JsonValue> json_parse(std::string_view text,
+                                      std::string* error) {
+  return Parser(text).run(error);
+}
+
+bool json_valid(std::string_view text, std::string* error) {
+  return json_parse(text, error) != nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// BENCH envelope
+
+void write_bench_header(JsonWriter& w, std::string_view bench_name) {
+  w.begin_object();
+  w.kv("schema_version", kBenchSchemaVersion);
+  w.kv("bench", bench_name);
+  w.kv("hardware_threads",
+       static_cast<std::uint64_t>(
+           std::thread::hardware_concurrency() != 0u
+               ? std::thread::hardware_concurrency()
+               : 1u));
+}
+
+namespace {
+
+bool fail_with(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+}  // namespace
+
+bool validate_bench_json(std::string_view text, std::string_view expected_bench,
+                         std::string* error) {
+  const auto doc = json_parse(text, error);
+  if (doc == nullptr) return false;
+  if (!doc->is_object()) return fail_with(error, "top level is not an object");
+  const JsonValue* ver = doc->find("schema_version");
+  if (ver == nullptr || ver->kind != JsonValue::Kind::kNumber ||
+      static_cast<int>(ver->number) != kBenchSchemaVersion) {
+    return fail_with(error, "missing or mismatched schema_version");
+  }
+  const JsonValue* bench = doc->find("bench");
+  if (bench == nullptr || bench->kind != JsonValue::Kind::kString) {
+    return fail_with(error, "missing bench name");
+  }
+  if (!expected_bench.empty() && bench->string != expected_bench) {
+    return fail_with(error, "bench name mismatch: got " + bench->string);
+  }
+  const JsonValue* hw = doc->find("hardware_threads");
+  if (hw == nullptr || hw->kind != JsonValue::Kind::kNumber) {
+    return fail_with(error, "missing hardware_threads");
+  }
+  return true;
+}
+
+bool validate_chrome_trace_json(std::string_view text, std::string* error) {
+  const auto doc = json_parse(text, error);
+  if (doc == nullptr) return false;
+  if (!doc->is_object()) return fail_with(error, "top level is not an object");
+  const JsonValue* events = doc->find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return fail_with(error, "missing traceEvents array");
+  }
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& e = events->array[i];
+    if (!e.is_object()) {
+      return fail_with(error, "traceEvents[" + std::to_string(i) +
+                                  "] is not an object");
+    }
+    for (const char* field : {"name", "ph", "ts", "pid", "tid"}) {
+      if (e.find(field) == nullptr) {
+        return fail_with(error, "traceEvents[" + std::to_string(i) +
+                                    "] missing field " + field);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace jsrev::obs

@@ -1,0 +1,125 @@
+// Minimal JSON toolkit shared by every artifact emitter in the repository.
+//
+// Three pieces, all dependency-free:
+//  * JsonWriter — a streaming writer producing deterministic, pretty-printed
+//    JSON (2-space indent, keys in caller order, fixed number formatting),
+//    so two runs that record the same values emit byte-identical text.
+//  * JsonValue / json_parse — a tiny DOM parser used by tests and the
+//    `jsr_stats --validate` gate to check that emitted artifacts are
+//    well-formed and carry the expected envelope.
+//  * The BENCH_*.json envelope helper — every bench emitter opens its object
+//    through write_bench_header() and validates through
+//    validate_bench_json(), so all BENCH artifacts share one schema:
+//    {"schema_version": N, "bench": <name>, "hardware_threads": N, ...}.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jsrev::obs {
+
+/// Schema version stamped into every BENCH_*.json envelope.
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// Streaming JSON writer with deterministic formatting. Commas and
+/// indentation are managed internally; misuse (value without a pending key
+/// inside an object) is a logic error surfaced by assert-style throw.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// States the key of the next value/container (objects only).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);  // %.17g, trimmed — round-trips exactly
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  /// Writes a double with fixed `prec` digits (bench-table style numbers).
+  JsonWriter& value_fixed(double v, int prec);
+  JsonWriter& null_value();
+
+  /// Shorthand: key(k) followed by value(v).
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+  JsonWriter& kv_fixed(std::string_view k, double v, int prec) {
+    key(k);
+    return value_fixed(v, prec);
+  }
+
+  /// The document text; valid once every container has been closed.
+  const std::string& str() const { return out_; }
+
+ private:
+  void before_value();
+  void indent();
+
+  std::string out_;
+  // Per-open-container state: is it an object, and has it seen any entry.
+  struct Frame {
+    bool object = false;
+    bool any = false;
+  };
+  std::vector<Frame> stack_;
+  bool key_pending_ = false;
+};
+
+/// Escapes `s` for inclusion between double quotes in JSON output.
+std::string json_escape(std::string_view s);
+
+/// Parsed JSON value (tiny DOM used by validators and tests).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  // Insertion order preserved; lookup is linear (documents are small).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  /// Member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses a complete JSON document. Returns nullptr and fills `error` (when
+/// non-null) on malformed input; trailing garbage is an error.
+std::unique_ptr<JsonValue> json_parse(std::string_view text,
+                                      std::string* error = nullptr);
+
+/// True when `text` is a well-formed JSON document.
+bool json_valid(std::string_view text, std::string* error = nullptr);
+
+/// Opens the shared BENCH_*.json envelope on `w` (begin_object + the common
+/// header fields). The caller appends its payload fields and end_object()s.
+void write_bench_header(JsonWriter& w, std::string_view bench_name);
+
+/// Validates a BENCH_*.json document: well-formed, top-level object, and
+/// carries the envelope fields ("schema_version" matching
+/// kBenchSchemaVersion, "bench", "hardware_threads"). `expected_bench` (when
+/// non-empty) must match the "bench" field.
+bool validate_bench_json(std::string_view text,
+                         std::string_view expected_bench = {},
+                         std::string* error = nullptr);
+
+/// Validates a Chrome trace-event document: well-formed JSON, top-level
+/// object with a "traceEvents" array whose entries carry name/ph/ts/pid/tid.
+bool validate_chrome_trace_json(std::string_view text,
+                                std::string* error = nullptr);
+
+}  // namespace jsrev::obs

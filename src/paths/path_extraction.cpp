@@ -5,6 +5,8 @@
 #include <cstdio>
 
 #include "js/visitor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace jsrev::paths {
 namespace {
@@ -111,6 +113,7 @@ std::string leaf_value(const js::Node* leaf,
 std::vector<PathContext> extract_paths(const js::Node* program,
                                        const analysis::DataFlowInfo* dataflow,
                                        const PathConfig& cfg) {
+  obs::Span span("paths.extract", "paths");
   // Collect leaves in source order together with their ancestor chains.
   std::vector<LeafInfo> leaves;
   for (const Node* leaf : js::leaves(program)) {
@@ -211,6 +214,15 @@ std::vector<PathContext> extract_paths(const js::Node* program,
       out.push_back(std::move(pc));
     }
   }
+  // Workload-invariant accounting: total path volume plus the per-script
+  // distribution (how many scripts land in each size band). Both counts are
+  // pure functions of the corpus, so they live in the deterministic export.
+  static obs::Counter* extracted = obs::metrics().counter("paths.extracted");
+  static obs::Histogram* per_script = obs::metrics().histogram(
+      "paths.per_script",
+      {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
+  extracted->add(out.size());
+  per_script->observe(static_cast<double>(out.size()));
   return out;
 }
 

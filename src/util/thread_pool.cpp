@@ -2,10 +2,50 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <string>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace jsrev {
+
+namespace {
+
+// Pool telemetry. Everything here is schedule-dependent by nature (queue
+// depths and task counts vary with the parallel width and the interleaving),
+// so it is excluded from the deterministic metrics export.
+struct PoolMetrics {
+  obs::Counter* tasks;
+  obs::Gauge* queue_depth;
+  obs::Summary* task_wait_ms;
+  obs::Summary* task_run_ms;
+
+  static PoolMetrics& get() {
+    static PoolMetrics m = [] {
+      PoolMetrics pm;
+      pm.tasks = obs::metrics().counter("threadpool.tasks", {},
+                                        obs::kScheduleDependent);
+      pm.queue_depth = obs::metrics().gauge("threadpool.queue_depth", {},
+                                            obs::kScheduleDependent);
+      pm.task_wait_ms = obs::metrics().summary(
+          "threadpool.task_wait_ms", {}, obs::kScheduleDependentMillis);
+      pm.task_run_ms = obs::metrics().summary(
+          "threadpool.task_run_ms", {}, obs::kScheduleDependentMillis);
+      return pm;
+    }();
+    return m;
+  }
+};
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -13,7 +53,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -27,10 +67,14 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  PoolMetrics& pm = PoolMetrics::get();
+  pm.tasks->add();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push(std::move(task));
+    tasks_.push(Task{std::move(task),
+                     obs::metrics_enabled() ? now_ms() : 0.0});
     ++in_flight_;
+    pm.queue_depth->set(static_cast<std::int64_t>(tasks_.size()));
   }
   task_cv_.notify_one();
 }
@@ -97,21 +141,41 @@ void ThreadPool::parallel_for(std::size_t n,
   if (state->error) std::rethrow_exception(state->error);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  // Per-worker utilization: busy milliseconds accumulated under a
+  // worker-labeled summary, so a metrics export shows how evenly the pool's
+  // load spread.
+  obs::Summary* busy_ms = obs::metrics().summary(
+      "threadpool.worker_busy_ms", {{"worker", std::to_string(worker_index)}},
+      obs::kScheduleDependentMillis);
+
   while (true) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
       if (tasks_.empty()) return;  // stopping_ and drained
       task = std::move(tasks_.front());
       tasks_.pop();
+      PoolMetrics::get().queue_depth->set(
+          static_cast<std::int64_t>(tasks_.size()));
+    }
+    const bool timed = obs::metrics_enabled() && task.enqueue_ms != 0.0;
+    double start_ms = 0.0;
+    if (timed) {
+      start_ms = now_ms();
+      PoolMetrics::get().task_wait_ms->observe(start_ms - task.enqueue_ms);
     }
     try {
-      task();
+      task.fn();
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
       if (!pending_error_) pending_error_ = std::current_exception();
+    }
+    if (timed) {
+      const double run = now_ms() - start_ms;
+      PoolMetrics::get().task_run_ms->observe(run);
+      busy_ms->observe(run);
     }
     {
       std::lock_guard<std::mutex> lock(mu_);

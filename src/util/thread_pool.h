@@ -51,10 +51,17 @@ class ThreadPool {
                     std::size_t max_workers = 0);
 
  private:
-  void worker_loop();
+  /// A queued task plus its enqueue timestamp (0 when telemetry was off at
+  /// submit time), feeding the threadpool.task_wait_ms metric.
+  struct Task {
+    std::function<void()> fn;
+    double enqueue_ms = 0.0;
+  };
+
+  void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mu_;
   std::condition_variable task_cv_;
   std::condition_variable idle_cv_;

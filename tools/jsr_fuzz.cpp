@@ -40,6 +40,8 @@
 #include "js/printer.h"
 #include "lint/linter.h"
 #include "obfuscators/obfuscator.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "util/hash.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -77,6 +79,19 @@ struct Stats {
   std::uint64_t o2_checked = 0;
   std::uint64_t o3_checked = 0;
   std::uint64_t failures = 0;
+
+  /// Mirrors the run's outcome counters into the process-wide metrics
+  /// registry (fuzz.execs / fuzz.parse.{ok,fail} / fuzz.findings), so a
+  /// metrics export taken after a fuzz run carries its iteration stats.
+  void publish() const {
+    auto& reg = jsrev::obs::metrics();
+    reg.counter("fuzz.execs")->add(execs);
+    reg.counter("fuzz.parse.ok")->add(parse_ok);
+    reg.counter("fuzz.parse.fail")->add(parse_fail);
+    reg.counter("fuzz.oracle.roundtrip_checked")->add(o2_checked);
+    reg.counter("fuzz.oracle.obfuscate_checked")->add(o3_checked);
+    reg.counter("fuzz.findings")->add(failures);
+  }
 };
 
 std::string printable(const std::string& s, std::size_t max_bytes = 100000) {
@@ -299,16 +314,24 @@ int run(const Options& opt) {
       static_cast<unsigned long long>(stats.o3_checked), secs, rate,
       static_cast<unsigned long long>(stats.failures));
 
+  stats.publish();
+
   if (opt.write_json) {
+    obs::JsonWriter w;
+    obs::write_bench_header(w, "fuzz");
+    w.kv("seed", opt.seed)
+        .kv("iters", stats.execs)
+        .kv("corpus_seeds", static_cast<std::uint64_t>(corpus.size()))
+        .kv("parse_ok", stats.parse_ok)
+        .kv("parse_fail", stats.parse_fail)
+        .kv("roundtrip_checked", stats.o2_checked)
+        .kv("obfuscate_checked", stats.o3_checked)
+        .kv_fixed("wall_s", secs, 3)
+        .kv_fixed("execs_per_sec", rate, 1)
+        .kv("findings", stats.failures)
+        .end_object();
     std::ofstream json(opt.json_path);
-    json << "{\n  \"seed\": " << opt.seed << ",\n  \"iters\": " << stats.execs
-         << ",\n  \"corpus_seeds\": " << corpus.size()
-         << ",\n  \"parse_ok\": " << stats.parse_ok
-         << ",\n  \"parse_fail\": " << stats.parse_fail
-         << ",\n  \"roundtrip_checked\": " << stats.o2_checked
-         << ",\n  \"obfuscate_checked\": " << stats.o3_checked
-         << ",\n  \"wall_s\": " << secs << ",\n  \"execs_per_sec\": " << rate
-         << ",\n  \"findings\": " << stats.failures << "\n}\n";
+    json << w.str() << "\n";
     std::printf("wrote %s\n", opt.json_path.c_str());
   }
   return stats.failures == 0 ? 0 : 1;
