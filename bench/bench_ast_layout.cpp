@@ -1,0 +1,215 @@
+// Gates the compact index-based AST layout against the recorded
+// pointer-heavy baseline (96-byte nodes, one heap child vector + string per
+// node, measured on the same 500-script recipe before the refactor):
+//
+//   * bytes/node must be >=25% below the recorded 104.86 (hard gate),
+//   * parse throughput must not collapse (soft floor; shared hardware makes
+//     a tight speedup gate flaky, so the speedup itself is reported),
+//   * fingerprints must be bit-identical across thread widths 1/2/8
+//     (hard gate — the layout must not leak schedule into results).
+//
+// Emits BENCH_ast_layout.json through the shared envelope: sizeof(Node),
+// bytes/node + reduction vs. baseline, parse/visit/path throughput, and the
+// cross-width determinism verdict.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_config.h"
+#include "dataset/generator.h"
+#include "js/ast_compare.h"
+#include "js/parser.h"
+#include "js/visitor.h"
+#include "obfuscators/obfuscator.h"
+#include "obs/json.h"
+#include "paths/path_extraction.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace jsrev;
+
+// Pre-refactor numbers, recorded with the throwaway probe on this recipe
+// (dataset seed 424242, 150+150 samples, 4 obfuscators x first 50 scripts).
+constexpr double kBaselineBytesPerNode = 104.86;
+constexpr double kBaselineParseNodesPerSec = 2829750.0;
+constexpr double kBaselineVisitNodesPerSec = 49515018.0;
+constexpr double kRequiredBytesReductionPct = 25.0;
+
+std::vector<std::string> build_sources() {
+  dataset::GeneratorConfig gc;
+  gc.seed = 424242;
+  gc.benign_count = 150;
+  gc.malicious_count = 150;
+  const dataset::Corpus corpus = dataset::generate_corpus(gc);
+
+  std::vector<std::string> sources;
+  sources.reserve(corpus.samples.size() + 4 * 50);
+  for (const auto& s : corpus.samples) sources.push_back(s.source);
+  for (auto kind : obf::kAllObfuscators) {
+    auto ob = obf::make_obfuscator(kind);
+    for (std::size_t i = 0; i < 50; ++i) {
+      sources.push_back(ob->obfuscate(corpus.samples[i].source, 99 + i));
+    }
+  }
+  return sources;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t repeats = bench::env_or("JSREV_BENCH_REPEATS", 5);
+  // Sanitizer builds (scripts/check.sh) run this bench for memory-safety and
+  // determinism coverage; their timings are instrumentation-dominated, so the
+  // throughput floors are waived. Layout gates (bytes/node, fingerprints)
+  // are timing-independent and always apply.
+  const bool relax_timing = std::getenv("JSREV_BENCH_ASAN_RELAX") != nullptr;
+  const std::vector<std::string> sources = build_sources();
+  std::printf("bench_ast_layout: %zu scripts, best of %zu repeats\n",
+              sources.size(), repeats);
+
+  // --- bytes/node + parse throughput (best-of to ride out machine noise) --
+  double best_parse_ms = 0.0;
+  std::size_t total_nodes = 0;
+  std::size_t total_bytes = 0;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    std::vector<js::Ast> asts;
+    asts.reserve(sources.size());
+    Timer t;
+    for (const auto& src : sources) asts.push_back(js::parse(src));
+    const double ms = t.elapsed_ms();
+    if (r == 0 || ms < best_parse_ms) best_parse_ms = ms;
+    if (r == 0) {
+      for (const auto& ast : asts) {
+        js::walk_all(ast.root,
+                     [&](const js::Node*) { ++total_nodes; });
+        total_bytes += ast.arena.memory_bytes();
+      }
+    }
+  }
+  const double bytes_per_node =
+      static_cast<double>(total_bytes) / static_cast<double>(total_nodes);
+  const double reduction_pct =
+      (1.0 - bytes_per_node / kBaselineBytesPerNode) * 100.0;
+  const double parse_nodes_per_s =
+      static_cast<double>(total_nodes) / (best_parse_ms / 1000.0);
+
+  // --- full-tree visit throughput over retained, compacted trees ----------
+  std::vector<js::Ast> asts;
+  asts.reserve(sources.size());
+  for (const auto& src : sources) asts.push_back(js::parse(src));
+  double best_visit_ms = 0.0;
+  std::size_t visited_per_rep = 0;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    std::size_t visited = 0;
+    Timer t;
+    for (const auto& ast : asts) {
+      js::walk_all(ast.root, [&](const js::Node*) { ++visited; });
+    }
+    const double ms = t.elapsed_ms();
+    if (r == 0 || ms < best_visit_ms) best_visit_ms = ms;
+    visited_per_rep = visited;
+  }
+  const double visit_nodes_per_s =
+      static_cast<double>(visited_per_rep) / (best_visit_ms / 1000.0);
+
+  // --- path extraction throughput (the detector's traversal hot loop) ----
+  double best_paths_ms = 0.0;
+  std::size_t total_paths = 0;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    std::size_t paths = 0;
+    Timer t;
+    for (const auto& ast : asts) {
+      paths += paths::extract_paths(ast.root, nullptr).size();
+    }
+    const double ms = t.elapsed_ms();
+    if (r == 0 || ms < best_paths_ms) best_paths_ms = ms;
+    total_paths = paths;
+  }
+  const double paths_scripts_per_s =
+      static_cast<double>(asts.size()) / (best_paths_ms / 1000.0);
+
+  // --- fingerprint determinism across thread widths -----------------------
+  const std::size_t widths[] = {1, 2, 8};
+  std::vector<std::uint64_t> reference;
+  bool widths_identical = true;
+  for (const std::size_t w : widths) {
+    std::vector<std::uint64_t> fps(sources.size());
+    parallel_for_threads(w, sources.size(), [&](std::size_t i) {
+      const js::Ast ast = js::parse(sources[i]);
+      fps[i] = js::ast_fingerprint(ast.root);
+    });
+    if (reference.empty()) {
+      reference = fps;
+    } else if (fps != reference) {
+      widths_identical = false;
+      std::fprintf(stderr, "FAIL: fingerprints diverge at width %zu\n", w);
+    }
+  }
+
+  Table table({"measure", "value", "baseline", "delta"});
+  table.add_row({"sizeof(Node)", std::to_string(sizeof(js::Node)), "96",
+                 fmt((1.0 - sizeof(js::Node) / 96.0) * 100.0, 1) + "%"});
+  table.add_row({"bytes/node", fmt(bytes_per_node, 2),
+                 fmt(kBaselineBytesPerNode, 2),
+                 "-" + fmt(reduction_pct, 1) + "%"});
+  table.add_row({"parse nodes/s", fmt(parse_nodes_per_s / 1e6, 2) + "M",
+                 fmt(kBaselineParseNodesPerSec / 1e6, 2) + "M",
+                 fmt((parse_nodes_per_s / kBaselineParseNodesPerSec - 1.0) *
+                         100.0,
+                     1) +
+                     "%"});
+  table.add_row({"visit nodes/s", fmt(visit_nodes_per_s / 1e6, 2) + "M",
+                 fmt(kBaselineVisitNodesPerSec / 1e6, 2) + "M",
+                 fmt((visit_nodes_per_s / kBaselineVisitNodesPerSec - 1.0) *
+                         100.0,
+                     1) +
+                     "%"});
+  table.add_row({"paths scripts/s", fmt(paths_scripts_per_s, 0), "-", "-"});
+  std::printf("\n%s\n", table.to_string().c_str());
+
+  obs::JsonWriter w;
+  obs::write_bench_header(w, "ast_layout");
+  w.kv("scripts", static_cast<std::uint64_t>(sources.size()))
+      .kv("repeats", static_cast<std::uint64_t>(repeats))
+      .kv("nodes", static_cast<std::uint64_t>(total_nodes))
+      .kv("paths", static_cast<std::uint64_t>(total_paths))
+      .kv("sizeof_node", static_cast<std::uint64_t>(sizeof(js::Node)))
+      .kv_fixed("bytes_per_node", bytes_per_node, 2)
+      .kv_fixed("baseline_bytes_per_node", kBaselineBytesPerNode, 2)
+      .kv_fixed("bytes_per_node_reduction_pct", reduction_pct, 1)
+      .kv_fixed("parse_nodes_per_s", parse_nodes_per_s, 0)
+      .kv_fixed("baseline_parse_nodes_per_s", kBaselineParseNodesPerSec, 0)
+      .kv_fixed("visit_nodes_per_s", visit_nodes_per_s, 0)
+      .kv_fixed("baseline_visit_nodes_per_s", kBaselineVisitNodesPerSec, 0)
+      .kv_fixed("paths_scripts_per_s", paths_scripts_per_s, 1)
+      .kv("fingerprints_identical_widths_1_2_8", widths_identical)
+      .end_object();
+  std::ofstream json("BENCH_ast_layout.json");
+  json << w.str() << "\n";
+  std::printf("wrote BENCH_ast_layout.json\n");
+
+  bool ok = true;
+  if (reduction_pct < kRequiredBytesReductionPct) {
+    std::fprintf(stderr, "FAIL: bytes/node reduction %.1f%% < %.1f%%\n",
+                 reduction_pct, kRequiredBytesReductionPct);
+    ok = false;
+  }
+  // Soft floor, not a speedup gate: CI neighbors can eat a run, but a real
+  // layout regression shows up as a collapse, not a wobble.
+  if (!relax_timing && parse_nodes_per_s < 0.8 * kBaselineParseNodesPerSec) {
+    std::fprintf(stderr, "FAIL: parse throughput fell >20%% below baseline\n");
+    ok = false;
+  }
+  if (!relax_timing && visit_nodes_per_s < 0.8 * kBaselineVisitNodesPerSec) {
+    std::fprintf(stderr, "FAIL: visit throughput fell >20%% below baseline\n");
+    ok = false;
+  }
+  if (!widths_identical) ok = false;
+  std::printf(ok ? "ast_layout gates passed\n" : "ast_layout gates FAILED\n");
+  return ok ? 0 : 1;
+}

@@ -63,11 +63,22 @@ echo "== jsr_stats smoke (ASan+UBSan)"
     --trace "${BUILD_DIR}/stats_trace.json" \
     --explain examples/samples/dropper.js
 
+# AST layout smoke under sanitizers: the full gated bench (bytes/node floor,
+# cross-width fingerprint determinism) with its hot loops — interned atoms,
+# slice child lists, preorder compaction — exercised under ASan+UBSan. One
+# repeat: sanitizer timings are meaningless, the gates we want here are
+# memory safety plus the determinism check, so the throughput floors are
+# relaxed to "not catastrophically broken".
+echo "== bench_ast_layout smoke (ASan+UBSan)"
+(cd "${BUILD_DIR}" && JSREV_BENCH_REPEATS=1 JSREV_BENCH_ASAN_RELAX=1 \
+    ./bench/bench_ast_layout)
+
 echo "== artifact schema validation"
 "${BUILD_DIR}/tools/jsr_stats" \
     --validate "${BUILD_DIR}/stats_metrics.json" \
     --validate "${BUILD_DIR}/stats_deterministic.json" \
     --validate "${BUILD_DIR}/stats_trace.json" \
-    --validate "${BUILD_DIR}/BENCH_fuzz.json"
+    --validate "${BUILD_DIR}/BENCH_fuzz.json" \
+    --validate "${BUILD_DIR}/BENCH_ast_layout.json"
 
 echo "== all checks passed"

@@ -60,7 +60,8 @@ class CfgBuilder {
 
   // Emits a statement list; `preds` are the incoming edges. Returns the set
   // of nodes whose control continues past the list.
-  std::vector<std::size_t> emit_list(const std::vector<Node*>& stmts,
+  template <typename StmtList>  // js::ChildList or std::vector<Node*>
+  std::vector<std::size_t> emit_list(const StmtList& stmts,
                                      std::vector<std::size_t> preds) {
     for (const Node* s : stmts) {
       if (preds.empty()) break;  // unreachable tail

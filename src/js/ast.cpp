@@ -1,5 +1,10 @@
 #include "js/ast.h"
 
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
 namespace jsrev::js {
 
 std::string_view node_kind_name(NodeKind k) noexcept {
@@ -64,11 +69,140 @@ int finalize_rec(Node* n, Node* parent, int next_id) {
   return next_id;
 }
 
+// Cached metric handles (registry pointers are stable for process lifetime).
+obs::Counter* nodes_total_counter() {
+  static obs::Counter* c = obs::metrics().counter(
+      "ast.nodes_total", {},
+      {obs::Unit::kCount, false, "AST nodes allocated across all arenas"});
+  return c;
+}
+obs::Gauge* arena_bytes_gauge() {
+  static obs::Gauge* g = obs::metrics().gauge(
+      "ast.arena_bytes", {},
+      {obs::Unit::kBytes, false,
+       "Live settled AST arena heap (nodes + child pool + atoms)"});
+  return g;
+}
+obs::Gauge* atom_bytes_gauge() {
+  static obs::Gauge* g = obs::metrics().gauge(
+      "ast.atom_bytes", {},
+      {obs::Unit::kBytes, false, "Live settled atom-table heap"});
+  return g;
+}
+
 }  // namespace
 
 int finalize_tree(Node* root) {
   if (root == nullptr) return 0;
   return finalize_rec(root, nullptr, 0);
+}
+
+void TreeStore::settle_gauges(bool dying) noexcept {
+  nodes_total_counter()->add(
+      static_cast<std::uint64_t>(total_allocated_ - reported_nodes_));
+  reported_nodes_ = total_allocated_;
+
+  const std::size_t bytes = dying ? 0 : memory_bytes();
+  const std::size_t atom_bytes = dying ? 0 : atoms_.memory_bytes();
+  arena_bytes_gauge()->add(static_cast<std::int64_t>(bytes) -
+                           static_cast<std::int64_t>(reported_bytes_));
+  atom_bytes_gauge()->add(static_cast<std::int64_t>(atom_bytes) -
+                          static_cast<std::int64_t>(reported_atom_bytes_));
+  reported_bytes_ = bytes;
+  reported_atom_bytes_ = atom_bytes;
+}
+
+TreeStore::~TreeStore() { settle_gauges(/*dying=*/true); }
+
+Node* TreeStore::compact(Node* root) {
+  if (root == nullptr) return nullptr;
+
+  // Pass 1: count reachable nodes and child slots (holes included) so the
+  // fresh buffers can be sized exactly — fresh never reallocates, which is
+  // what lets pass 2 hand out parent pointers as it goes.
+  std::size_t live = 0;
+  std::size_t slots = 0;
+  {
+    std::vector<Node*> stack{root};
+    while (!stack.empty()) {
+      Node* x = stack.back();
+      stack.pop_back();
+      ++live;
+      slots += x->children.size();
+      for (Node* c : x->children) {
+        if (c != nullptr) stack.push_back(c);
+      }
+    }
+  }
+
+  std::vector<Node> fresh;
+  fresh.reserve(live);
+  std::vector<NodeId> npool;
+  npool.reserve(slots);
+
+  // Pass 2: iterative preorder copy. Each emitted node gets slot == preorder
+  // id and a contiguous child slice reserved up front; the slice fills in as
+  // its children are emitted (so the pool itself is preorder-ordered too).
+  struct Frame {
+    Node* old;
+    std::uint32_t slot;   // slot of the copy in `fresh`
+    std::uint32_t slice;  // offset of the copy's child slice in `npool`
+    std::uint32_t idx;    // next child to process
+  };
+
+  const auto emit = [&](Node* old) -> std::uint32_t {
+    const std::uint32_t slot = static_cast<std::uint32_t>(fresh.size());
+    fresh.push_back(*old);
+    Node& copy = fresh.back();
+    copy.self = slot;
+    copy.id = static_cast<std::int32_t>(slot);
+    const std::uint32_t off = static_cast<std::uint32_t>(npool.size());
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(old->children.size());
+    npool.resize(npool.size() + len, kNullId);
+    copy.children.set_slice(off, len, len);
+    return slot;
+  };
+
+  std::vector<Frame> stack;
+  const std::uint32_t root_slot = emit(root);
+  fresh[root_slot].parent = nullptr;
+  stack.push_back({root, root_slot, fresh[root_slot].children.slice_offset(),
+                   0});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    if (f.idx == f.old->children.size()) {
+      stack.pop_back();
+      continue;
+    }
+    ++stack.back().idx;
+    Node* c = f.old->children[f.idx];
+    if (c == nullptr) continue;  // slice slot already kNullId
+    const std::uint32_t cs = emit(c);
+    npool[f.slice + f.idx] = cs;
+    fresh[cs].parent = &fresh[f.slot];
+    stack.push_back({c, cs, fresh[cs].children.slice_offset(), 0});
+  }
+
+  // Line propagation (same rule as finalize_tree): walk slots in reverse
+  // preorder so every node's subtree minimum has settled before its parent
+  // reads it.
+  for (std::size_t s = live; s-- > 1;) {
+    Node& x = fresh[s];
+    if (x.line != 0 &&
+        (x.parent->line == 0 || x.line < x.parent->line)) {
+      x.parent->line = x.line;
+    }
+  }
+
+  compact_ = std::move(fresh);
+  compact_count_ = static_cast<std::uint32_t>(live);
+  pool_ = std::move(npool);
+  chunks_.clear();
+  overflow_count_ = 0;
+
+  settle_gauges(/*dying=*/false);
+  return &compact_[0];
 }
 
 }  // namespace jsrev::js

@@ -58,7 +58,7 @@ std::uint64_t ast_fingerprint(const Node* root) noexcept {
     h = hash_combine(h, static_cast<std::uint64_t>(n->lit));
     h = hash_combine(h, static_cast<std::uint64_t>(n->flags));
     h = hash_combine(h, static_cast<std::uint64_t>(n->bval));
-    h = hash_combine(h, fnv1a64(n->str));
+    h = hash_combine(h, n->str.hash());  // cached fnv1a64 of the payload
     if (n->lit == LiteralType::kNumber) {
       std::uint64_t bits = 0;
       static_assert(sizeof bits == sizeof n->num);

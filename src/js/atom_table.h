@@ -1,0 +1,105 @@
+// Per-arena string interning for AST payloads.
+//
+// Every identifier name, string-literal value, and operator spelling in a
+// tree is stored once in the owning arena's AtomTable; nodes carry a 4-byte
+// AtomId instead of a std::string. Equal payloads from the same table share
+// an id, so string equality on the hot paths (path extraction, scope
+// resolution, ast_fingerprint) is an integer compare, and the table caches
+// each payload's fnv1a64 so fingerprinting never rehashes a string.
+//
+// Layout: one concatenated byte buffer plus an (offset, length, hash) entry
+// per atom, indexed by an open-addressing hash table. Ids are dense and
+// stable for the table's lifetime; id 0 is always the empty string.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace jsrev::js {
+
+using AtomId = std::uint32_t;
+
+class AtomTable {
+ public:
+  AtomTable() { intern({}); }  // id 0 = ""
+  AtomTable(const AtomTable&) = delete;
+  AtomTable& operator=(const AtomTable&) = delete;
+
+  /// Returns the id of `s`, interning it on first sight. Ids are assigned
+  /// densely in first-sight order.
+  AtomId intern(std::string_view s) {
+    const std::uint64_t h = fnv1a64(s);
+    if (entries_.size() >= (slots_.size() >> 1)) grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(h) & mask;
+    while (slots_[i] != kEmptySlot) {
+      const Entry& e = entries_[slots_[i]];
+      if (e.hash == h && view_of(e) == s) return slots_[i];
+      i = (i + 1) & mask;
+    }
+    const AtomId id = static_cast<AtomId>(entries_.size());
+    entries_.push_back(Entry{static_cast<std::uint32_t>(bytes_.size()),
+                             static_cast<std::uint32_t>(s.size()), h});
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+    slots_[i] = id;
+    return id;
+  }
+
+  std::string_view view(AtomId id) const noexcept {
+    return view_of(entries_[id]);
+  }
+
+  /// Cached fnv1a64 of the atom's payload (same value fnv1a64(view(id))
+  /// returns; ast_fingerprint relies on the equivalence).
+  std::uint64_t hash(AtomId id) const noexcept { return entries_[id].hash; }
+
+  std::uint32_t length(AtomId id) const noexcept { return entries_[id].len; }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Payload bytes held (the interned text itself, excluding index overhead).
+  std::size_t payload_bytes() const noexcept { return bytes_.size(); }
+
+  /// Total heap footprint: payloads + entry records + hash slots.
+  std::size_t memory_bytes() const noexcept {
+    return bytes_.capacity() + entries_.capacity() * sizeof(Entry) +
+           slots_.capacity() * sizeof(AtomId);
+  }
+
+  /// Pre-sizes the payload buffer (parser heuristic from source size).
+  void reserve_bytes(std::size_t n) { bytes_.reserve(n); }
+
+ private:
+  struct Entry {
+    std::uint32_t off = 0;
+    std::uint32_t len = 0;
+    std::uint64_t hash = 0;
+  };
+
+  static constexpr AtomId kEmptySlot = 0xFFFFFFFFu;
+
+  std::string_view view_of(const Entry& e) const noexcept {
+    return {bytes_.data() + e.off, e.len};
+  }
+
+  void grow() {
+    const std::size_t cap = slots_.empty() ? 64 : slots_.size() * 2;
+    std::vector<AtomId> fresh(cap, kEmptySlot);
+    const std::size_t mask = cap - 1;
+    for (AtomId id = 0; id < entries_.size(); ++id) {
+      std::size_t i = static_cast<std::size_t>(entries_[id].hash) & mask;
+      while (fresh[i] != kEmptySlot) i = (i + 1) & mask;
+      fresh[i] = id;
+    }
+    slots_ = std::move(fresh);
+  }
+
+  std::vector<char> bytes_;
+  std::vector<Entry> entries_;
+  std::vector<AtomId> slots_;
+};
+
+}  // namespace jsrev::js

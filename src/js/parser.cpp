@@ -5,6 +5,7 @@
 
 #include "js/lexer.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace jsrev::js {
 namespace {
@@ -31,7 +32,7 @@ int binary_precedence(std::string_view op, bool no_in) {
 class Parser {
  public:
   explicit Parser(std::string_view source, const ParseLimits& limits)
-      : limits_(limits) {
+      : limits_(limits), source_size_(source.size()) {
     Lexer lexer(source, limits);
     tokens_ = lexer.tokenize();
   }
@@ -39,12 +40,18 @@ class Parser {
   Ast run() {
     Ast ast;
     arena_ = &ast.arena;
+    // Pre-size the child pool and atom storage from the input size so large
+    // scripts don't pay repeated reallocation churn while building.
+    arena_->store().reserve_for_source(source_size_);
     Node* program = make(NodeKind::kProgram);
     while (!at_eof()) {
       program->children.push_back(parse_statement());
     }
     ast.root = program;
-    finalize_tree(program);
+    // Compaction subsumes finalize_tree (preorder ids, parents, lines) and
+    // additionally rewrites the tree into contiguous preorder storage, so
+    // every consumer of parse() walks cache-linear memory.
+    ast.compact();
     return ast;
   }
 
@@ -769,6 +776,7 @@ class Parser {
   ParseLimits limits_;
   std::size_t pos_ = 0;
   std::size_t depth_ = 0;
+  std::size_t source_size_ = 0;
   AstArena* arena_ = nullptr;
 };
 
@@ -786,6 +794,7 @@ obs::Counter* parse_counter() {
 
 Ast parse(std::string_view source, const ParseLimits& limits) {
   parse_counter()->add();
+  obs::Span span("js.parse", "frontend");
   return Parser(source, limits).run();
 }
 

@@ -243,7 +243,7 @@ bool caseable(const Node* s) {
 /// case-able or a hoistable function declaration, with at least `min`
 /// case-able statements. `let`/`const` declarations block the transform
 /// (hoisting them to `var` would change semantics for shadowed names).
-bool flattenable(const std::vector<Node*>& stmts, int min) {
+bool flattenable(const js::ChildList& stmts, int min) {
   int cases = 0;
   for (const Node* s : stmts) {
     if (s->kind == NodeKind::kVariableDeclaration && s->str != "var") {
@@ -265,7 +265,7 @@ bool flattenable(const std::vector<Node*>& stmts, int min) {
 ///   while (true) { switch (order[i++]) { case "k": stmt; continue; } break; }
 /// `var x = e` declarations are decomposed into a hoisted `var x;` plus an
 /// in-case assignment `x = e`, preserving execution order.
-void flatten_block(js::AstArena& arena, std::vector<Node*>& all_stmts,
+void flatten_block(js::AstArena& arena, js::ChildList& all_stmts,
                    Rng& rng) {
   std::vector<Node*> hoisted_fns;
   std::vector<std::string> hoisted_vars;
@@ -396,7 +396,7 @@ void flatten_block(js::AstArena& arena, std::vector<Node*>& all_stmts,
 
 int flatten_control_flow(Ast& ast, Rng& rng, int min_stmts) {
   int flattened = 0;
-  auto try_flatten = [&](std::vector<Node*>& stmts) {
+  auto try_flatten = [&](js::ChildList& stmts) {
     if (flattenable(stmts, min_stmts)) {
       flatten_block(ast.arena, stmts, rng);
       ++flattened;
@@ -491,7 +491,7 @@ int inject_dead_code(Ast& ast, Rng& rng, double density) {
     return true;
   });
 
-  auto inject_into = [&](std::vector<Node*>& stmts) {
+  auto inject_into = [&](js::ChildList& stmts) {
     std::vector<Node*> out;
     out.reserve(stmts.size() * 2);
     for (Node* s : stmts) {
@@ -511,7 +511,7 @@ int inject_dead_code(Ast& ast, Rng& rng, double density) {
   // Snapshot the target statement lists BEFORE mutating: injected clones can
   // themselves contain functions, and injecting into freshly inserted junk
   // would recurse without bound (clone → inject → clone → ...).
-  std::vector<std::vector<Node*>*> targets;
+  std::vector<js::ChildList*> targets;
   targets.push_back(&ast.root->children);
   js::walk(ast.root, [&targets](Node* n) {
     if (n->is_function()) targets.push_back(&n->children.back()->children);
@@ -824,7 +824,7 @@ int hoist_call_args(Ast& ast, Rng& rng, double p) {
   int hoisted = 0;
   int salt = 0;
 
-  auto process_list = [&](std::vector<Node*>& stmts) {
+  auto process_list = [&](js::ChildList& stmts) {
     std::vector<Node*> out;
     out.reserve(stmts.size());
     for (Node* s : stmts) {
