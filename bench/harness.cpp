@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "deob/deob.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 
@@ -63,9 +64,19 @@ ResultGrid run_grid(const HarnessConfig& cfg,
     const dataset::Corpus corpus = dataset::generate_corpus(gc);
 
     Rng rng(seed ^ 0xabcdef);
-    const dataset::Split split = dataset::split_corpus(
+    dataset::Split split = dataset::split_corpus(
         corpus, cfg.train_per_class, cfg.train_per_class, rng);
     const dataset::Corpus test = dataset::balance(split.test, rng);
+    if (cfg.deobfuscate) {
+      // Level the field for all five detectors: the string-trained
+      // baselines have no per-script analysis hook, so the training corpus
+      // itself is normalized (JSRevealer would also normalize internally
+      // via Config::deobfuscate; the sources it receives here are already
+      // in normal form, which makes that a no-op second pass).
+      for (auto& s : split.train.samples) {
+        s.source = deob::deobfuscate_source(s.source).source;
+      }
+    }
 
     // Pre-compute the five test-set conditions once per repeat, then build
     // each condition's shared analyses (parallel parse) exactly once — every
@@ -79,8 +90,9 @@ ResultGrid run_grid(const HarnessConfig& cfg,
     std::vector<analysis::AnalyzedCorpus> analyzed;
     analyzed.reserve(conditions.size());
     for (const dataset::Corpus& condition : conditions) {
-      analyzed.push_back(
-          detect::analyze_corpus(condition, cfg.jsrevealer.threads));
+      analyzed.push_back(detect::analyze_corpus(
+          condition, cfg.jsrevealer.threads, cfg.jsrevealer.parse_limits,
+          cfg.deobfuscate));
     }
 
     for (const auto& factory : factories) {

@@ -29,6 +29,11 @@ struct HarnessConfig {
   int repeats = 5;            // the paper repeats 5x and averages
   std::uint64_t seed = 2023;
   core::Config jsrevealer;    // pipeline config (ablations override fields)
+  // Run every detector behind the static deobfuscation pipeline: training
+  // sources are normalized up front and every test-condition analysis is
+  // built with deobfuscate on, so all five detectors see normalized inputs
+  // (bench_deob measures the robustness this recovers).
+  bool deobfuscate = false;
 };
 
 /// Test-set conditions: unobfuscated plus the four obfuscators.

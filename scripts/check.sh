@@ -2,7 +2,7 @@
 # Sanitizer CI check: build everything with ASan+UBSan (findings are fatal —
 # -fno-sanitize-recover=all), run the full test suite, smoke-test the
 # jsr_lint CLI on the bundled dropper sample, then run a fixed-seed
-# jsr_fuzz pass (lexer/parser/printer/linter oracles under sanitizers).
+# jsr_fuzz pass (lexer/parser/printer/linter/deob oracles under sanitizers).
 #
 #   $ scripts/check.sh            # build dir: build-asan
 #   $ BUILD_DIR=... scripts/check.sh
@@ -40,9 +40,18 @@ case "${json_out}" in
   *) echo "jsr_lint smoke FAILED: expected an M01 diagnostic" >&2; exit 1 ;;
 esac
 
+# Deobfuscation smoke under sanitizers: the CLI on the dropper sample (both
+# plain and --stats paths), and `jsr_lint --deob` linting the normalized
+# form of the same file.
+echo "== jsr_deob smoke (ASan+UBSan)"
+"${BUILD_DIR}/tools/jsr_deob" examples/samples/dropper.js > /dev/null
+"${BUILD_DIR}/tools/jsr_deob" --stats examples/samples/dropper.js
+"${BUILD_DIR}/tools/jsr_lint" --deob examples/samples/dropper.js
+
 # Fixed-seed mutational fuzz pass under the same sanitizer build: every
-# iteration checks the four frontend oracles (never-crash, print→reparse
-# round trip, obfuscate-still-parses, linter totality). Deterministic, so a
+# iteration checks the five frontend oracles (never-crash, print→reparse
+# round trip, obfuscate-still-parses, linter totality, deob totality +
+# idempotence — plus the up-front deob verdict sweep). Deterministic, so a
 # failure here reproduces with the same command. Throughput lands in
 # BENCH_fuzz.json.
 echo "== jsr_fuzz smoke (seed 1, 2000 iters, ASan+UBSan)"
@@ -73,12 +82,20 @@ echo "== bench_ast_layout smoke (ASan+UBSan)"
 (cd "${BUILD_DIR}" && JSREV_BENCH_REPEATS=1 JSREV_BENCH_ASAN_RELAX=1 \
     ./bench/bench_ast_layout)
 
+# Robustness-recovery bench at smoke scale: tiny corpus, one repeat — the
+# point here is memory safety across both half-grids (pipeline off/on for
+# all five detectors) plus a schema-valid BENCH_deob.json, not the numbers.
+echo "== bench_deob smoke (ASan+UBSan)"
+(cd "${BUILD_DIR}" && JSREV_BENCH_CORPUS=40 JSREV_BENCH_TRAIN=24 \
+    JSREV_BENCH_REPEATS=1 ./bench/bench_deob)
+
 echo "== artifact schema validation"
 "${BUILD_DIR}/tools/jsr_stats" \
     --validate "${BUILD_DIR}/stats_metrics.json" \
     --validate "${BUILD_DIR}/stats_deterministic.json" \
     --validate "${BUILD_DIR}/stats_trace.json" \
     --validate "${BUILD_DIR}/BENCH_fuzz.json" \
-    --validate "${BUILD_DIR}/BENCH_ast_layout.json"
+    --validate "${BUILD_DIR}/BENCH_ast_layout.json" \
+    --validate "${BUILD_DIR}/BENCH_deob.json"
 
 echo "== all checks passed"

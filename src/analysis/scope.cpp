@@ -55,9 +55,12 @@ class ScopeBuilder {
   void hoist(const Node* n, Scope* scope) {
     if (n == nullptr) return;
     switch (n->kind) {
-      case NodeKind::kFunctionDeclaration:
-        declare(scope, n->str)->is_function = true;
+      case NodeKind::kFunctionDeclaration: {
+        Symbol* sym = declare(scope, n->str);
+        sym->is_function = true;
+        sym->fn_nodes.push_back(n);
         return;  // body handled when resolving the function
+      }
       case NodeKind::kFunctionExpression:
       case NodeKind::kArrowFunctionExpression:
         return;
@@ -107,7 +110,9 @@ class ScopeBuilder {
     }
     // Named function expressions bind their own name inside the body.
     if (fn->kind == NodeKind::kFunctionExpression && !fn->str.empty()) {
-      declare(scope, fn->str)->is_function = true;
+      Symbol* sym = declare(scope, fn->str);
+      sym->is_function = true;
+      sym->fn_nodes.push_back(fn);
     }
     const Node* body = fn->children.back();
     hoist(body, scope);

@@ -30,6 +30,12 @@ struct Symbol {
   bool is_function = false;   // bound by a function declaration/expression
   bool is_global_implicit = false;  // referenced but never declared
 
+  // Function nodes whose name (`Node::str`, no Identifier node) binds this
+  // symbol: function declarations, and the self-binding of named function
+  // expressions. Usually one node; duplicate same-scope declarations all
+  // land here. Empty for non-function symbols.
+  std::vector<const js::Node*> fn_nodes;
+
   // Identifier nodes referring to this symbol, in preorder (≈source) order.
   // Includes the declaring occurrence.
   std::vector<const js::Node*> references;

@@ -3,8 +3,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "deob/deob.h"
 #include "js/lexer.h"
 #include "js/parser.h"
+#include "js/printer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/timer.h"
@@ -81,10 +83,34 @@ void ScriptAnalysis::ensure_parsed() const {
       fail_counter->add();
       if (is_limit_error(parse_error_)) limit_counter->add();
     }
+    if (parse_ok_ && deobfuscate_) normalize();
     parse_ms_ = t.elapsed_ms();
   });
   MemoCounters& memo = parse_memo();
   (computed ? memo.miss : memo.hit)->add();
+}
+
+void ScriptAnalysis::normalize() const {
+  obs::Span span("analysis.deobfuscate", "frontend");
+  static obs::Counter* normalized_counter =
+      obs::metrics().counter("analysis.deob.normalized");
+  static obs::Counter* reparse_failed_counter =
+      obs::metrics().counter("analysis.deob.reparse_failed");
+  deob::deobfuscate_ast(ast_);
+  std::string printed = js::print(ast_.root, js::PrintStyle::kPretty);
+  try {
+    // Re-parse the printed form so node line numbers index into the source
+    // text consumers will see (lint excerpts, token-level detectors).
+    ast_ = js::parse(printed, limits_);
+    source_ = std::move(printed);
+    normalized_counter->add();
+  } catch (const std::exception&) {
+    // Printed output should always round-trip; the one legitimate way here
+    // is a ParseLimits bound tripping on the pretty-printed text. Restore
+    // the original, un-normalized state (the original parse succeeded).
+    ast_ = js::parse(source_, limits_);
+    reparse_failed_counter->add();
+  }
 }
 
 void ScriptAnalysis::require_ast() const {
@@ -137,6 +163,9 @@ void ScriptAnalysis::enable_provenance() {
 }
 
 const std::vector<js::Token>* ScriptAnalysis::tokens() const {
+  // Token consumers must lex the same text the AST consumers analyze; under
+  // deobfuscate the normalized source only exists once the parse ran.
+  if (deobfuscate_) ensure_parsed();
   bool computed = false;
   std::call_once(tokens_once_, [this, &computed] {
     computed = true;

@@ -43,14 +43,30 @@ class ScriptAnalysis {
   /// `limits` bounds the frontend's resources (recursion depth, source
   /// bytes, token count); exceeding a limit lands in the same
   /// parse-failed-as-a-value state as a syntax error.
-  explicit ScriptAnalysis(std::string source, js::ParseLimits limits = {})
-      : source_(std::move(source)), limits_(limits) {}
+  ///
+  /// With `deobfuscate` set, the parse step statically normalizes the
+  /// program through the src/deob fixpoint pipeline, then re-parses the
+  /// printed result: every downstream consumer — source(), tokens(), the
+  /// AST and all derived analyses, lint excerpts with their line numbers —
+  /// observes the normalized script, consistently. Unparseable input is
+  /// unaffected (normalization needs an AST).
+  explicit ScriptAnalysis(std::string source, js::ParseLimits limits = {},
+                          bool deobfuscate = false)
+      : source_(std::move(source)),
+        limits_(limits),
+        deobfuscate_(deobfuscate) {}
 
   // Memoization state (once-flags) pins the object in place.
   ScriptAnalysis(const ScriptAnalysis&) = delete;
   ScriptAnalysis& operator=(const ScriptAnalysis&) = delete;
 
-  const std::string& source() const noexcept { return source_; }
+  /// The script's text. Under `deobfuscate` this is the normalized source
+  /// (forcing the parse+normalize on first access), so consumers that
+  /// re-lex or excerpt by line agree with the AST.
+  const std::string& source() const {
+    if (deobfuscate_) ensure_parsed();
+    return source_;
+  }
 
   /// Parses on first call; never throws — failure is a value.
   bool parse_failed() const;
@@ -104,10 +120,12 @@ class ScriptAnalysis {
 
  private:
   void ensure_parsed() const;
+  void normalize() const;    // deob pipeline + reprint + reparse
   void require_ast() const;  // throws std::logic_error on parse failure
 
-  std::string source_;
+  mutable std::string source_;  // rewritten once under deobfuscate_
   js::ParseLimits limits_;
+  bool deobfuscate_ = false;
 
   mutable std::once_flag parse_once_;
   mutable js::Ast ast_;

@@ -11,14 +11,15 @@ namespace jsrev::detect {
 
 analysis::AnalyzedCorpus analyze_corpus(const dataset::Corpus& corpus,
                                         std::size_t threads,
-                                        js::ParseLimits limits) {
+                                        js::ParseLimits limits,
+                                        bool deobfuscate) {
   obs::Span span("detect.analyze_corpus", "detect");
   analysis::AnalyzedCorpus out;
   out.scripts.reserve(corpus.samples.size());
   out.labels.reserve(corpus.samples.size());
   for (const auto& s : corpus.samples) {
-    out.scripts.push_back(
-        std::make_unique<analysis::ScriptAnalysis>(s.source, limits));
+    out.scripts.push_back(std::make_unique<analysis::ScriptAnalysis>(
+        s.source, limits, deobfuscate));
     out.labels.push_back(s.label);
   }
   // Warm the parse in parallel; failures are values, so no item can throw.

@@ -95,9 +95,13 @@ class Detector {
 /// by whichever consumer needs it first. `limits` bounds each script's
 /// frontend resources; a script that trips a limit carries a parse failure
 /// value and classifies as malicious, like any other unparseable input.
+/// With `deobfuscate` every analysis statically normalizes its script
+/// through the src/deob pipeline as part of the (parallel) parse, so all
+/// detectors sharing the corpus consume the normalized form.
 analysis::AnalyzedCorpus analyze_corpus(const dataset::Corpus& corpus,
                                         std::size_t threads = 0,
-                                        js::ParseLimits limits = {});
+                                        js::ParseLimits limits = {},
+                                        bool deobfuscate = false);
 
 enum class BaselineKind { kCujo, kZozzle, kJast, kJstap };
 

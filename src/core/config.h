@@ -57,6 +57,14 @@ struct Config {
   // models) is bit-identical with and without the lint subsystem compiled in.
   bool lint_features = false;
 
+  // Statically normalize every script through the src/deob fixpoint
+  // pipeline (constant folding, string-array inlining, unflattening,
+  // dead-code pruning, canonical renaming) before any analysis — training,
+  // feature extraction, and classification all see the normalized form.
+  // Off by default: the default pipeline stays bit-identical with the deob
+  // subsystem compiled in but unused.
+  bool deobfuscate = false;
+
   // Maximum vocabulary size; further paths are treated as unknown.
   std::size_t max_vocab = 200000;
 

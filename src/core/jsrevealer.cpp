@@ -98,7 +98,8 @@ void JsRevealer::train(const dataset::Corpus& corpus) {
     Timer t_wall;
     parallel_for_threads(cfg_.threads, n_samples, [&](std::size_t i) {
       const analysis::ScriptAnalysis a(corpus.samples[i].source,
-                                       cfg_.parse_limits);
+                                       cfg_.parse_limits,
+                                       cfg_.deobfuscate);
       try {
         extracted[i] = extract(a, /*timed=*/true);
       } catch (const std::exception&) {
@@ -392,7 +393,8 @@ std::vector<double> JsRevealer::features_from_embedding(
 }
 
 std::vector<double> JsRevealer::featurize(const std::string& source) const {
-  return featurize(analysis::ScriptAnalysis(source, cfg_.parse_limits));
+  return featurize(
+      analysis::ScriptAnalysis(source, cfg_.parse_limits, cfg_.deobfuscate));
 }
 
 std::vector<double> JsRevealer::featurize(
@@ -451,7 +453,8 @@ std::vector<double> JsRevealer::featurize(
 }
 
 int JsRevealer::classify(const std::string& source) const {
-  return classify(analysis::ScriptAnalysis(source, cfg_.parse_limits));
+  return classify(
+      analysis::ScriptAnalysis(source, cfg_.parse_limits, cfg_.deobfuscate));
 }
 
 int JsRevealer::classify(const analysis::ScriptAnalysis& analysis) const {
@@ -494,7 +497,8 @@ int JsRevealer::classify(const analysis::ScriptAnalysis& analysis) const {
 }
 
 obs::VerdictProvenance JsRevealer::explain(const std::string& source) const {
-  analysis::ScriptAnalysis analysis(source, cfg_.parse_limits);
+  analysis::ScriptAnalysis analysis(source, cfg_.parse_limits,
+                                    cfg_.deobfuscate);
   analysis.enable_provenance();
   classify(analysis);
   return *analysis.provenance();
@@ -603,7 +607,8 @@ std::vector<double> JsRevealer::sse_curve(const dataset::Corpus& corpus,
         if (s.label != label) return;
         std::vector<paths::PathContext> pcs;
         try {
-          const analysis::ScriptAnalysis a(s.source, cfg_.parse_limits);
+          const analysis::ScriptAnalysis a(s.source, cfg_.parse_limits,
+                                           cfg_.deobfuscate);
           pcs = extract(a, /*timed=*/false);
         } catch (const std::exception&) {
           return;

@@ -1,0 +1,137 @@
+// Static deobfuscation: a pipeline of independent AST-to-AST normalization
+// passes run to a fixpoint (DESIGN.md §13).
+//
+// Each pass statically reverses (or canonicalizes away) something the
+// obfuscator models in src/obfuscators emit:
+//
+//   fold-constants       numeric/string constant folding, String.fromCharCode
+//                        and unescape()/atob() literal decoding, literal
+//                        branch selection at expression level, and
+//                        computed-member → dotted-member canonicalization.
+//   inline-indirection   string-array + rotating-decoder detection and
+//                        inlining, literal/function-table array inlining
+//                        (Jfogs' fog data and dispatch tables),
+//                        f.apply(null,[...]) call un-packing, and single-use
+//                        temporary un-hoisting (inverts hoist_call_args).
+//   unflatten            control-flow-flattening unrolling: the
+//                        `while(true){switch(order[i++]){...}}` dispatcher is
+//                        matched and its cases re-serialized in execution
+//                        order.
+//   prune-dead           dead-code and opaque-predicate elimination: constant
+//                        branch tests (literals plus dataflow-const
+//                        single-write bindings), CFG-unreachable statements,
+//                        and unused side-effect-free declarations.
+//   canonicalize         normal-form cleanup keyed on scope analysis: bare
+//                        block splicing, function-declaration hoisting, var
+//                        declaration re-forming (undoing the hoist+assign
+//                        decomposition flattening performs), and
+//                        deterministic identifier renaming (v0, v1, ...).
+//
+// The pass-manager (Deobfuscator) iterates the pipeline until an iteration
+// reports zero changes or an iteration cap trips; per-pass change counts land
+// in the obs registry as deob.pass_changes{pass=...}.
+//
+// Design target: deob is a *normalizer*, not an exact inverter. Wherever an
+// obfuscation is ambiguous to invert, the same canonical form is applied to
+// both plain and obfuscated inputs, so `deob(obf(s))` converges to the same
+// tree as `deob(s)` — the property the fuzz oracle and tests/deob_property
+// assert. Semantics are preserved in the same static sense as the
+// obfuscators themselves (we never execute JS).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "js/ast.h"
+#include "js/parse_limits.h"
+#include "js/printer.h"
+
+namespace jsrev::deob {
+
+struct DeobOptions {
+  // Upper bound on pipeline iterations. Every structural pass is strictly
+  // size-reducing and the canonical forms are idempotent, so real inputs
+  // reach a fixpoint in a handful of iterations (stacked obfuscation: one or
+  // two per layer); the cap is the non-termination guard the pass-manager
+  // enforces regardless.
+  int max_iterations = 12;
+};
+
+/// One AST-to-AST normalization pass. `run` must keep the tree finalized
+/// (ids/parents assigned) and return the number of changes applied; zero
+/// means the pass is at a fixpoint for this tree.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual std::string_view name() const noexcept = 0;
+  virtual int run(js::Ast& ast) = 0;
+};
+
+std::unique_ptr<Pass> make_fold_constants_pass();
+std::unique_ptr<Pass> make_inline_indirection_pass();
+std::unique_ptr<Pass> make_unflatten_pass();
+std::unique_ptr<Pass> make_prune_dead_pass();
+std::unique_ptr<Pass> make_canonicalize_pass();
+
+/// The default pipeline, in the order the passes compose best (decode →
+/// de-indirect → unroll → prune → canonicalize).
+std::vector<std::unique_ptr<Pass>> default_passes();
+
+struct PassTotals {
+  std::string pass;
+  int changes = 0;
+};
+
+struct PipelineResult {
+  int iterations = 0;
+  bool reached_fixpoint = false;
+  int total_changes = 0;
+  std::vector<PassTotals> per_pass;  // pipeline order, summed over iterations
+};
+
+/// The fixpoint pass-manager. Thread-compatible: one Deobfuscator may be
+/// shared across threads (run() only touches the Ast it is given).
+class Deobfuscator {
+ public:
+  explicit Deobfuscator(DeobOptions opts = {});
+  Deobfuscator(std::vector<std::unique_ptr<Pass>> passes,
+               DeobOptions opts = {});
+
+  PipelineResult run(js::Ast& ast) const;
+
+  const std::vector<std::unique_ptr<Pass>>& passes() const noexcept {
+    return passes_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+  DeobOptions opts_;
+};
+
+/// Normalizes a parsed AST in place with the default pipeline and compacts
+/// the arena afterwards (ast.root is updated; outside Node* are invalidated,
+/// as with any compaction).
+PipelineResult deobfuscate_ast(js::Ast& ast, const DeobOptions& opts = {});
+
+struct SourceResult {
+  bool parse_ok = false;
+  std::string error;   // frontend message when !parse_ok
+  std::string source;  // normalized source; the input verbatim on failure
+  PipelineResult pipeline;
+  int nodes_before = 0;
+  int nodes_after = 0;
+  std::uint64_t fingerprint_before = 0;
+  std::uint64_t fingerprint_after = 0;
+};
+
+/// Parse → normalize → print. Unparseable input is returned unchanged with
+/// parse_ok=false (the caller keeps the unparseable ⇒ malicious convention).
+SourceResult deobfuscate_source(const std::string& source,
+                                const js::ParseLimits& limits = {},
+                                const DeobOptions& opts = {},
+                                js::PrintStyle style = js::PrintStyle::kPretty);
+
+}  // namespace jsrev::deob

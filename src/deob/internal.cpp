@@ -1,0 +1,176 @@
+#include "deob/internal.h"
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "js/visitor.h"
+
+namespace jsrev::deob::detail {
+
+bool is_safe_identifier_name(std::string_view name) {
+  static const std::unordered_set<std::string_view> kReserved = {
+      "break",    "case",     "catch",  "class",      "const",  "continue",
+      "debugger", "default",  "delete", "do",         "else",   "enum",
+      "export",   "extends",  "false",  "finally",    "for",    "function",
+      "if",       "import",   "in",     "instanceof", "let",    "new",
+      "null",     "of",       "return", "super",      "switch", "this",
+      "throw",    "true",     "try",    "typeof",     "var",    "void",
+      "while",    "with",     "yield"};
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == '$';
+  };
+  if (!head(name[0])) return false;
+  for (const char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return kReserved.find(name) == kReserved.end();
+}
+
+std::string number_to_string(double v) {
+  // Mirrors the printer's number_to_source so a folded "a" + 5 prints the
+  // same digits the literal 5 would have.
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "Infinity" : "-Infinity";
+  if (v == static_cast<long long>(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+namespace {
+
+// NOLINTNEXTLINE(misc-no-recursion)
+void scan_free_jumps(const Node* n, int loop_depth, int switch_depth,
+                     std::unordered_set<std::string_view>& labels,
+                     bool& found) {
+  if (n == nullptr || found) return;
+  switch (n->kind) {
+    case NodeKind::kFunctionDeclaration:
+    case NodeKind::kFunctionExpression:
+    case NodeKind::kArrowFunctionExpression:
+      return;  // jumps inside nested functions bind locally
+    case NodeKind::kBreakStatement: {
+      if (n->str.empty()) {
+        if (loop_depth == 0 && switch_depth == 0) found = true;
+      } else if (labels.find(n->str.view()) == labels.end()) {
+        found = true;
+      }
+      return;
+    }
+    case NodeKind::kContinueStatement: {
+      if (n->str.empty()) {
+        if (loop_depth == 0) found = true;
+      } else if (labels.find(n->str.view()) == labels.end()) {
+        found = true;
+      }
+      return;
+    }
+    case NodeKind::kLabeledStatement: {
+      const bool inserted = labels.insert(n->str.view()).second;
+      for (const Node* c : n->children) {
+        scan_free_jumps(c, loop_depth, switch_depth, labels, found);
+      }
+      if (inserted) labels.erase(n->str.view());
+      return;
+    }
+    case NodeKind::kWhileStatement:
+    case NodeKind::kDoWhileStatement:
+    case NodeKind::kForStatement:
+    case NodeKind::kForInStatement:
+      for (const Node* c : n->children) {
+        scan_free_jumps(c, loop_depth + 1, switch_depth, labels, found);
+      }
+      return;
+    case NodeKind::kSwitchStatement:
+      for (const Node* c : n->children) {
+        scan_free_jumps(c, loop_depth, switch_depth + 1, labels, found);
+      }
+      return;
+    default:
+      for (const Node* c : n->children) {
+        scan_free_jumps(c, loop_depth, switch_depth, labels, found);
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+bool has_free_break_or_continue(const Node* stmt) {
+  bool found = false;
+  std::unordered_set<std::string_view> labels;
+  scan_free_jumps(stmt, 0, 0, labels, found);
+  return found;
+}
+
+// NOLINTNEXTLINE(misc-no-recursion)
+bool is_pure_expression(const Node* e) {
+  if (e == nullptr) return true;  // array hole
+  switch (e->kind) {
+    case NodeKind::kLiteral:
+    case NodeKind::kIdentifier:
+    case NodeKind::kThisExpression:
+    case NodeKind::kFunctionExpression:
+    case NodeKind::kArrowFunctionExpression:
+      return true;
+    case NodeKind::kArrayExpression:
+    case NodeKind::kSequenceExpression:
+    case NodeKind::kConditionalExpression:
+      break;
+    case NodeKind::kObjectExpression:
+      break;  // Property children checked below
+    case NodeKind::kProperty:
+      // The key is a literal/identifier; computed keys could be anything but
+      // are still expressions — fall through to the child check.
+      break;
+    case NodeKind::kBinaryExpression:
+    case NodeKind::kLogicalExpression:
+      break;
+    case NodeKind::kUnaryExpression:
+      if (e->str == "delete") return false;
+      break;
+    default:
+      // Member (getters), Call, New, Assignment, Update, and anything not
+      // listed: assume effects.
+      return false;
+  }
+  for (const Node* c : e->children) {
+    if (!is_pure_expression(c)) return false;
+  }
+  return true;
+}
+
+std::vector<js::ChildList*> function_body_lists(Node* root) {
+  std::vector<js::ChildList*> lists;
+  lists.push_back(&root->children);
+  js::walk(root, [&lists](Node* n) {
+    if (n->is_function()) {
+      Node* body = n->children.back();
+      // Arrow functions may have an expression body; only block bodies hold
+      // statement lists.
+      if (body->kind == NodeKind::kBlockStatement) {
+        lists.push_back(&body->children);
+      }
+    }
+    return true;
+  });
+  return lists;
+}
+
+std::vector<js::ChildList*> all_statement_lists(Node* root) {
+  std::vector<js::ChildList*> lists;
+  lists.push_back(&root->children);
+  js::walk(root, [&lists](Node* n) {
+    if (n->kind == NodeKind::kBlockStatement) lists.push_back(&n->children);
+    return true;
+  });
+  return lists;
+}
+
+}  // namespace jsrev::deob::detail

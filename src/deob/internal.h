@@ -1,0 +1,110 @@
+// Shared helpers for the deobfuscation passes (implementation detail of
+// src/deob; not installed into the public surface).
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "js/ast.h"
+
+namespace jsrev::deob::detail {
+
+using js::LiteralType;
+using js::Node;
+using js::NodeKind;
+
+inline bool is_number_literal(const Node* n) {
+  return n != nullptr && n->kind == NodeKind::kLiteral &&
+         n->lit == LiteralType::kNumber;
+}
+
+inline bool is_string_literal(const Node* n) {
+  return n != nullptr && n->kind == NodeKind::kLiteral &&
+         n->lit == LiteralType::kString;
+}
+
+inline bool is_bool_literal(const Node* n) {
+  return n != nullptr && n->kind == NodeKind::kLiteral &&
+         n->lit == LiteralType::kBoolean;
+}
+
+inline bool is_null_literal(const Node* n) {
+  return n != nullptr && n->kind == NodeKind::kLiteral &&
+         n->lit == LiteralType::kNull;
+}
+
+inline bool is_identifier(const Node* n, std::string_view name) {
+  return n != nullptr && n->kind == NodeKind::kIdentifier && n->str == name;
+}
+
+/// Numeric value of a literal, or of the parse shape negative numbers take
+/// (`-3` parses as Unary("-", Literal(3))). Folding must understand both or
+/// its own outputs (which wrap negatives the same way, preserving the
+/// printer round-trip) would block further folding.
+inline std::optional<double> numeric_value(const Node* n) {
+  if (n == nullptr) return std::nullopt;
+  if (is_number_literal(n)) return n->num;
+  if (n->kind == NodeKind::kUnaryExpression && n->str == "-" &&
+      n->children.size() == 1 && is_number_literal(n->children[0])) {
+    return -n->children[0]->num;
+  }
+  return std::nullopt;
+}
+
+/// Static truthiness of a literal (including the unary-minus number shape);
+/// nullopt when not statically known.
+inline std::optional<bool> literal_truthiness(const Node* n) {
+  if (n == nullptr) return std::nullopt;
+  if (const std::optional<double> v = numeric_value(n)) {
+    return !(*v == 0.0 || std::isnan(*v));
+  }
+  if (n->kind != NodeKind::kLiteral) return std::nullopt;
+  switch (n->lit) {
+    case LiteralType::kString: return !n->str.empty();
+    case LiteralType::kBoolean: return n->bval;
+    case LiteralType::kNull: return false;
+    default: return std::nullopt;
+  }
+}
+
+/// True when `name` can be printed after `.` (plain identifier, not a
+/// reserved word) — the guard for computed→dotted member canonicalization.
+bool is_safe_identifier_name(std::string_view name);
+
+/// ES string coercion of a number, matching the printer's literal rendering
+/// so folded concatenations round-trip.
+std::string number_to_string(double v);
+
+/// True if `stmt` contains a break/continue that would bind OUTSIDE of it
+/// (i.e. not enclosed by a loop/switch/function within `stmt`, and not a
+/// label defined within `stmt`). Such statements cannot be moved out of the
+/// flattening dispatcher.
+bool has_free_break_or_continue(const Node* stmt);
+
+/// Side-effect-free expressions: safe to delete when their value is unused.
+/// Conservative — member accesses (getters), calls, `new`, assignments,
+/// updates and anything unknown are impure. Function expressions are pure
+/// (creating a closure has no effect).
+bool is_pure_expression(const Node* e);
+
+/// Statement lists a pass rewrites as a unit: the Program body plus every
+/// function body. Collected up front so rewrites never mutate a list while
+/// it is being discovered.
+std::vector<js::ChildList*> function_body_lists(Node* root);
+
+/// As above plus every BlockStatement (if/loop/try bodies and bare blocks).
+std::vector<js::ChildList*> all_statement_lists(Node* root);
+
+/// True when `n` is (transitively) inside `ancestor` (parent links must be
+/// finalized). `n == ancestor` counts as inside.
+inline bool is_inside(const Node* n, const Node* ancestor) {
+  for (const Node* p = n; p != nullptr; p = p->parent) {
+    if (p == ancestor) return true;
+  }
+  return false;
+}
+
+}  // namespace jsrev::deob::detail

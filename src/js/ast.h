@@ -466,6 +466,19 @@ struct Node {
   }
 };
 
+/// Replaces `dst`'s payload (kind, flags, scalars, child slice) with `src`'s
+/// while keeping dst's physical slot identity. A plain `*dst = *src` also
+/// copies `self`, so any child list later rebuilt from Node* values would
+/// silently re-point dst's tree position at the donor's slot — resurrecting
+/// whatever stale subtree the donor holds by then. The donor must be
+/// abandoned by the caller: the two nodes share one child slice afterwards,
+/// and only the node that stays in the tree may keep being mutated.
+inline void replace_node(Node* dst, const Node& src) {
+  const NodeId keep = dst->self;
+  *dst = src;
+  dst->self = keep;
+}
+
 // ---------------------------------------------------------------------------
 // TreeStore: the arena's backing storage. Heap-allocated and address-stable
 // (AstArena holds it by unique_ptr), so nodes can point to it across arena

@@ -86,22 +86,17 @@ int rename_variables(Ast& ast, NameStyle style, Rng& rng) {
   });
 
   // Function declaration/expression names live in `str`, not an Identifier
-  // node; rename them by locating the symbol of the same name in the scope
-  // where the function is declared. A simpler, faithful approach: rename by
-  // name matching against the declared symbol set.
-  std::unordered_map<std::string, std::string> fn_renames;
-  for (const auto& [sym, name] : new_names) {
-    if (sym->is_function) fn_renames[sym->name] = name;
-  }
-  js::walk(ast.root, [&](Node* n) {
-    if ((n->kind == NodeKind::kFunctionDeclaration ||
-         n->kind == NodeKind::kFunctionExpression) &&
-        !n->str.empty()) {
-      const auto it = fn_renames.find(n->str);
-      if (it != fn_renames.end()) n->str = it->second;
+  // node; scope analysis records each binding node on its symbol, so every
+  // function gets its own symbol's name (two same-named functions in
+  // different scopes must not collapse to one name — the call sites were
+  // renamed per symbol above).
+  for (const auto& sym : scopes.symbols()) {
+    const auto it = new_names.find(sym.get());
+    if (it == new_names.end()) continue;
+    for (const Node* fn : sym->fn_nodes) {
+      const_cast<Node*>(fn)->str = it->second;
     }
-    return true;
-  });
+  }
 
   js::finalize_tree(ast.root);
   return index;
@@ -156,7 +151,7 @@ int extract_string_array(Ast& ast, Rng& rng, bool encode) {
         arena.number_literal(static_cast<double>(idx + offset)));
     // Overwrite the literal node in place to avoid hunting for the parent
     // slot: turn it into the call node's content.
-    *s = *call;
+    js::replace_node(s, *call);
   }
 
   // Build `var <array> = [...];`
@@ -435,7 +430,19 @@ Node* make_junk_statement(js::AstArena& arena, Rng& rng,
       iff->children.push_back(arena.bool_literal(false));
       Node* blk = arena.make(NodeKind::kBlockStatement);
       if (!pool.empty()) {
-        blk->children.push_back(clone(rng.pick(pool), arena));
+        Node* junk = clone(rng.pick(pool), arena);
+        // A cloned `var` still binds its original name; hoisted out of the
+        // never-taken branch it would shadow (or re-declare) the live
+        // binding in whatever function it lands in. Re-bind the dead copy
+        // to fresh junk names so it cannot capture live references.
+        int k = 0;
+        js::walk(junk, [&](Node* c) {
+          if (c->kind == NodeKind::kVariableDeclarator) {
+            c->children[0]->str = name + "_" + std::to_string(k++);
+          }
+          return true;
+        });
+        blk->children.push_back(junk);
       } else {
         blk->children.push_back(arena.make(NodeKind::kDebuggerStatement));
       }
@@ -610,7 +617,7 @@ int encode_strings(Ast& ast, Rng& rng, std::size_t min_len,
       any_encoded = true;
     }
     if (any_encoded) {
-      *s = *expr;
+      js::replace_node(s, *expr);
       ++rewritten;
     }
   }
@@ -657,7 +664,7 @@ int encode_numbers(Ast& ast, Rng& rng, double p) {
       expr->children.push_back(arena.number_literal(v - delta));
       expr->children.push_back(arena.number_literal(delta));
     }
-    *t = *expr;
+    js::replace_node(t, *expr);
     ++rewritten;
   }
   js::finalize_tree(ast.root);
@@ -678,13 +685,22 @@ int fog_calls(Ast& ast, Rng& rng) {
   //    parameters" — Jfogs' signature trick). Identifier callees are
   //    additionally routed through an indirection table; method calls on
   //    simple identifier receivers become obj["m"].apply(obj, [...]).
-  std::vector<Node*> id_calls, member_calls;
+  std::vector<Node*> id_calls, local_calls, member_calls;
   std::vector<std::string> callee_names;
   std::unordered_map<std::string, std::size_t> table_index;
+  const analysis::ScopeInfo scopes = analysis::analyze_scopes(ast.root);
   js::walk(ast.root, [&](Node* n) {
     if (n->kind != NodeKind::kCallExpression) return true;
     Node* callee = n->children[0];
     if (callee->kind == NodeKind::kIdentifier) {
+      // Only callees visible from global scope may live in the global
+      // indirection table; a parameter or function-local binding hoisted
+      // into it would dangle as an implicit global.
+      const analysis::Symbol* sym = scopes.symbol_for(callee);
+      if (sym != nullptr && sym->scope != scopes.global_scope()) {
+        local_calls.push_back(n);
+        return true;
+      }
       if (table_index.emplace(callee->str, callee_names.size()).second) {
         callee_names.push_back(callee->str);
       }
@@ -696,7 +712,7 @@ int fog_calls(Ast& ast, Rng& rng) {
     }
     return true;
   });
-  if (id_calls.empty() && member_calls.empty()) {
+  if (id_calls.empty() && local_calls.empty() && member_calls.empty()) {
     js::finalize_tree(ast.root);
     return 0;
   }
@@ -728,6 +744,20 @@ int fog_calls(Ast& ast, Rng& rng) {
     call->children.push_back(args);
   }
 
+  for (Node* call : local_calls) {
+    // Locally-bound callee: keep the identifier in place (so it still
+    // resolves in its own scope) and only uniformize the call shape.
+    Node* callee = call->children[0];
+    Node* apply = arena.make(NodeKind::kMemberExpression);
+    apply->children.push_back(callee);
+    apply->children.push_back(arena.identifier("apply"));
+    Node* args = pack_args(call);
+    call->children.clear();
+    call->children.push_back(apply);
+    call->children.push_back(arena.null_literal());
+    call->children.push_back(args);
+  }
+
   for (Node* call : member_calls) {
     Node* callee = call->children[0];
     const std::string receiver = callee->children[0]->str;
@@ -745,7 +775,8 @@ int fog_calls(Ast& ast, Rng& rng) {
     call->children.push_back(arena.identifier(receiver));
     call->children.push_back(args);
   }
-  const std::size_t fogged = id_calls.size() + member_calls.size();
+  const std::size_t fogged =
+      id_calls.size() + local_calls.size() + member_calls.size();
 
   // 3. Hoist every constant (string/number/boolean literal outside property
   //    keys) into one global fog-data array and replace occurrences with
@@ -761,11 +792,16 @@ int fog_calls(Ast& ast, Rng& rng) {
     ref->children.push_back(arena.identifier(data_name));
     ref->children.push_back(
         arena.number_literal(static_cast<double>(fog_values.size())));
-    // Copy the literal into the table; rewrite the original node in place.
+    // Copy the literal's payload into the table entry — field by field, not
+    // whole-node assignment, which would also copy the arena slot id and
+    // re-point the entry at the tree node rewritten to a table read below.
     Node* stored = arena.make(NodeKind::kLiteral);
-    *stored = *literal;
+    stored->lit = literal->lit;
+    stored->num = literal->num;
+    stored->bval = literal->bval;
+    stored->str = literal->str;
     fog_values.push_back(stored);
-    *literal = *ref;
+    js::replace_node(literal, *ref);
   };
   js::walk(ast.root, [&](Node* n) {
     if (n->kind == NodeKind::kProperty && !n->has_flag(Node::kComputed)) {
@@ -923,7 +959,7 @@ int escape_encode_strings(Ast& ast, Rng& rng, std::size_t min_len,
     Node* call = arena.make(NodeKind::kCallExpression);
     call->children.push_back(arena.identifier("unescape"));
     call->children.push_back(arena.string_literal(encoded));
-    *s = *call;
+    js::replace_node(s, *call);
     ++rewritten;
   }
   js::finalize_tree(ast.root);

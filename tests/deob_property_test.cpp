@@ -1,0 +1,172 @@
+// Property tests for the deobfuscation pipeline over the generator corpus:
+//
+//   * Convergence: for every generator script s and every obfuscator model,
+//     deob(obf(s)) parses and its normalized tree equals deob(s)'s
+//     (ast_fingerprint identity). This is the normalizer design target —
+//     both sides reduce to one canonical form.
+//   * Idempotence: deob(deob(x)) == deob(x) for plain and obfuscated inputs.
+//   * Verdict identity: a JsRevealer trained and classifying behind
+//     Config::deobfuscate assigns obf(s) the same verdict as s, at thread
+//     widths 1, 2 and 8 (the per-script normalize must not break the
+//     bit-identical-parallelism guarantee).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/jsrevealer.h"
+#include "dataset/generator.h"
+#include "deob/deob.h"
+#include "js/ast_compare.h"
+#include "js/parser.h"
+#include "obfuscators/obfuscator.h"
+#include "util/rng.h"
+
+namespace {
+
+using jsrev::deob::deobfuscate_source;
+using jsrev::deob::SourceResult;
+
+constexpr std::size_t kScriptsPerClass = 100;  // 200 scripts total
+
+/// Clean (un-pre-obfuscated) generator scripts: the property compares each
+/// script against its obfuscated form, so the baseline must be the plain
+/// program.
+const std::vector<std::string>& scripts() {
+  static const std::vector<std::string> cached = [] {
+    jsrev::dataset::GeneratorConfig gc;
+    gc.seed = 20230817;
+    gc.benign_count = kScriptsPerClass;
+    gc.malicious_count = kScriptsPerClass;
+    gc.apply_wild_obfuscation = false;
+    std::vector<std::string> out;
+    for (const auto& s : jsrev::dataset::generate_corpus(gc).samples) {
+      out.push_back(s.source);
+    }
+    return out;
+  }();
+  return cached;
+}
+
+struct ObfCase {
+  jsrev::obf::ObfuscatorKind kind;
+  std::string name;
+};
+
+std::vector<ObfCase> obf_cases() {
+  std::vector<ObfCase> cases;
+  for (const jsrev::obf::ObfuscatorKind kind : jsrev::obf::kAllObfuscators) {
+    cases.push_back({kind, jsrev::obf::obfuscator_kind_name(kind)});
+  }
+  return cases;
+}
+
+TEST(DeobProperty, ObfuscatedScriptsConvergeToPlainNormalForm) {
+  const auto& corpus = scripts();
+  for (const ObfCase& oc : obf_cases()) {
+    const auto obfuscator = jsrev::obf::make_obfuscator(oc.kind);
+    int mismatches = 0;
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      const std::string& plain = corpus[i];
+      const std::string obf =
+          obfuscator->obfuscate(plain, 0x9e3779b9u + static_cast<std::uint32_t>(i));
+
+      const SourceResult d_plain = deobfuscate_source(plain);
+      const SourceResult d_obf = deobfuscate_source(obf);
+      ASSERT_TRUE(d_plain.parse_ok) << oc.name << " script " << i;
+      ASSERT_TRUE(d_obf.parse_ok)
+          << oc.name << " script " << i << ": deob(obf(s)) must parse";
+      EXPECT_TRUE(d_plain.pipeline.reached_fixpoint)
+          << oc.name << " script " << i;
+      EXPECT_TRUE(d_obf.pipeline.reached_fixpoint)
+          << oc.name << " script " << i;
+      if (d_plain.fingerprint_after != d_obf.fingerprint_after) {
+        ++mismatches;
+        EXPECT_EQ(d_plain.fingerprint_after, d_obf.fingerprint_after)
+            << oc.name << " script " << i
+            << "\n--- plain normal form ---\n" << d_plain.source
+            << "\n--- obf normal form ---\n" << d_obf.source;
+      }
+      if (mismatches >= 3) break;  // keep failure output readable
+    }
+    EXPECT_EQ(mismatches, 0) << oc.name;
+  }
+}
+
+TEST(DeobProperty, PipelineIsIdempotent) {
+  const auto& corpus = scripts();
+  const auto obfuscator =
+      jsrev::obf::make_obfuscator(jsrev::obf::ObfuscatorKind::kJavaScriptObfuscator);
+  for (std::size_t i = 0; i < corpus.size(); i += 7) {
+    for (const bool obfuscate : {false, true}) {
+      const std::string input =
+          obfuscate
+              ? obfuscator->obfuscate(corpus[i],
+                                      static_cast<std::uint32_t>(i) * 31u + 5u)
+              : corpus[i];
+      const SourceResult once = deobfuscate_source(input);
+      ASSERT_TRUE(once.parse_ok) << "script " << i;
+      const SourceResult twice = deobfuscate_source(once.source);
+      ASSERT_TRUE(twice.parse_ok) << "script " << i;
+      EXPECT_EQ(once.fingerprint_after, twice.fingerprint_after)
+          << "script " << i << " obf=" << obfuscate << "\n--- once ---\n"
+          << once.source << "\n--- twice ---\n" << twice.source;
+      EXPECT_EQ(twice.pipeline.total_changes, 0)
+          << "script " << i << " obf=" << obfuscate
+          << ": second run must be a no-op fixpoint\n--- once ---\n"
+          << once.source << "\n--- twice ---\n" << twice.source;
+    }
+  }
+}
+
+TEST(DeobProperty, VerdictIdentityUnderObfuscationAcrossThreadWidths) {
+  // Small-but-trainable pipeline (script_analysis_test idiom), deob on.
+  jsrev::dataset::GeneratorConfig gc;
+  gc.seed = 77;
+  gc.benign_count = 60;
+  gc.malicious_count = 60;
+  const jsrev::dataset::Corpus train = jsrev::dataset::generate_corpus(gc);
+
+  const auto& corpus = scripts();
+  std::vector<int> reference;  // width-1 verdicts on the plain scripts
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    jsrev::core::Config cfg;
+    cfg.threads = threads;
+    cfg.embed_epochs = 4;
+    cfg.embedding_dim = 32;
+    cfg.deobfuscate = true;
+    jsrev::core::JsRevealer detector(cfg);
+    detector.train(train);
+
+    std::vector<int> plain_verdicts(corpus.size());
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      plain_verdicts[i] = detector.classify(corpus[i]);
+    }
+    if (reference.empty()) {
+      reference = plain_verdicts;
+    } else {
+      EXPECT_EQ(reference, plain_verdicts)
+          << "verdicts must be width-invariant (threads=" << threads << ")";
+    }
+
+    for (const ObfCase& oc : obf_cases()) {
+      const auto obfuscator = jsrev::obf::make_obfuscator(oc.kind);
+      int mismatches = 0;
+      for (std::size_t i = 0; i < corpus.size(); ++i) {
+        const std::string obf = obfuscator->obfuscate(
+            corpus[i], 0x9e3779b9u + static_cast<std::uint32_t>(i));
+        const int v = detector.classify(obf);
+        if (v != plain_verdicts[i]) ++mismatches;
+        EXPECT_EQ(v, plain_verdicts[i])
+            << oc.name << " script " << i << " threads=" << threads;
+        if (mismatches >= 3) break;
+      }
+      EXPECT_EQ(mismatches, 0) << oc.name << " threads=" << threads;
+    }
+  }
+}
+
+}  // namespace

@@ -4,7 +4,7 @@
 // script through all four obfuscator models), mutations are driven by
 // util::Rng, and every run is bit-reproducible from --seed.
 //
-// Four oracles are checked per input:
+// Five oracles are checked per input:
 //   O1 never-crash: lex→parse terminates with a tree or a structured
 //      LexError/ParseError — any other exception (or a sanitizer abort,
 //      when built with JSR_SANITIZE=ON) is a finding;
@@ -14,7 +14,12 @@
 //   O3 obfuscate: obfuscating parseable input yields output that still
 //      parses (the path extractors consume obfuscator output downstream);
 //   O4 lint-total: Linter::lint never throws, parse failure included, and
-//      its parse-failed flag agrees with the direct parse outcome.
+//      its parse-failed flag agrees with the direct parse outcome;
+//   O5 deob: for input that parses, deobfuscate_source never throws, its
+//      output parses, and a second run is a no-op fixpoint (idempotence).
+//      Before the mutation loop a verdict sweep additionally checks that a
+//      small JsRevealer running behind Config::deobfuscate classifies
+//      obf(s) exactly like s for clean generator seeds.
 //
 // Usage:
 //   $ jsr_fuzz --seed 1 --iters 2000            # CI smoke configuration
@@ -33,7 +38,9 @@
 #include <vector>
 
 #include "analysis/script_analysis.h"
+#include "core/jsrevealer.h"
 #include "dataset/generator.h"
+#include "deob/deob.h"
 #include "js/ast_compare.h"
 #include "js/lexer.h"
 #include "js/parser.h"
@@ -78,6 +85,8 @@ struct Stats {
   std::uint64_t parse_fail = 0;
   std::uint64_t o2_checked = 0;
   std::uint64_t o3_checked = 0;
+  std::uint64_t o5_checked = 0;
+  std::uint64_t o5_verdicts = 0;
   std::uint64_t failures = 0;
 
   /// Mirrors the run's outcome counters into the process-wide metrics
@@ -90,6 +99,8 @@ struct Stats {
     reg.counter("fuzz.parse.fail")->add(parse_fail);
     reg.counter("fuzz.oracle.roundtrip_checked")->add(o2_checked);
     reg.counter("fuzz.oracle.obfuscate_checked")->add(o3_checked);
+    reg.counter("fuzz.oracle.deob_checked")->add(o5_checked);
+    reg.counter("fuzz.oracle.deob_verdicts_checked")->add(o5_verdicts);
     reg.counter("fuzz.findings")->add(failures);
   }
 };
@@ -201,6 +212,49 @@ std::vector<std::string> build_seed_corpus(const Options& opt) {
   return corpus;
 }
 
+/// O5 verdict sweep: a small JsRevealer trained and classifying behind
+/// Config::deobfuscate must give obf(s) the verdict of s for clean generator
+/// seeds — the end-to-end guarantee the normalizer exists to provide. Runs
+/// once up front (training a detector per iteration would swamp the fuzz
+/// loop); the per-iteration leg of O5 covers mutated inputs.
+void run_verdict_sweep(const Options& opt, Stats& stats) {
+  dataset::GeneratorConfig gc;
+  gc.seed = opt.seed ^ 0x5eedf00dULL;
+  gc.benign_count = 24;
+  gc.malicious_count = 24;
+  const dataset::Corpus train = dataset::generate_corpus(gc);
+
+  core::Config cfg;
+  cfg.embed_epochs = 4;
+  cfg.embedding_dim = 32;
+  cfg.deobfuscate = true;
+  core::JsRevealer detector(cfg);
+  detector.train(train);
+
+  gc.seed = opt.seed ^ 0xc1ea11ULL;
+  gc.benign_count = 6;
+  gc.malicious_count = 6;
+  gc.apply_wild_obfuscation = false;  // the baseline must be the plain form
+  const dataset::Corpus clean = dataset::generate_corpus(gc);
+
+  Rng rng(opt.seed ^ 0x0b5eedULL);
+  for (const auto& sample : clean.samples) {
+    const int plain = detector.classify(sample.source);
+    for (const obf::ObfuscatorKind kind : obf::kAllObfuscators) {
+      ++stats.o5_verdicts;
+      const auto obfuscator = obf::make_obfuscator(kind);
+      const int got = detector.classify(obfuscator->obfuscate(
+          sample.source, static_cast<std::uint32_t>(rng())));
+      if (got != plain) {
+        report_failure(stats, "O5-deob-verdict",
+                       obfuscator->name() + " verdict " + std::to_string(got) +
+                           " != plain verdict " + std::to_string(plain),
+                       sample.source);
+      }
+    }
+  }
+}
+
 int run(const Options& opt) {
   const std::vector<std::string> corpus = build_seed_corpus(opt);
   std::vector<std::unique_ptr<obf::Obfuscator>> obfuscators;
@@ -211,6 +265,13 @@ int run(const Options& opt) {
   const js::ParseLimits limits;  // library defaults — what production sees
   Stats stats;
   Timer wall;
+
+  run_verdict_sweep(opt, stats);
+  if (!opt.quiet) {
+    std::printf("  O5 verdict sweep: %llu checks, %llu findings\n",
+                static_cast<unsigned long long>(stats.o5_verdicts),
+                static_cast<unsigned long long>(stats.failures));
+  }
 
   for (std::uint64_t iter = 0; iter < opt.iters; ++iter) {
     // Per-iteration generator derived from (seed, iter) only, so any
@@ -275,6 +336,38 @@ int run(const Options& opt) {
         report_failure(stats, "O3-obfuscate",
                        obfuscator->name() + " threw: " + e.what(), input);
       }
+
+      // --- O5: deobfuscation is total, parseable, idempotent -----------
+      ++stats.o5_checked;
+      try {
+        const deob::SourceResult once = deob::deobfuscate_source(input, limits);
+        if (!once.parse_ok) {
+          report_failure(stats, "O5-deob",
+                         "input parses but deobfuscate_source failed: " +
+                             once.error,
+                         input);
+        } else if (!js::parses_ok(once.source, limits)) {
+          report_failure(stats, "O5-deob",
+                         "normalized source no longer parses; normalized: " +
+                             printable(once.source),
+                         input);
+        } else {
+          const deob::SourceResult twice =
+              deob::deobfuscate_source(once.source, limits);
+          if (twice.pipeline.total_changes != 0 || twice.source != once.source) {
+            report_failure(stats, "O5-deob",
+                           "second run is not a fixpoint (" +
+                               std::to_string(twice.pipeline.total_changes) +
+                               " changes); normalized: " +
+                               printable(once.source),
+                           input);
+          }
+        }
+      } catch (const std::exception& e) {
+        report_failure(stats, "O5-deob",
+                       std::string("deobfuscate_source threw: ") + e.what(),
+                       input);
+      }
     }
 
     // --- O4: lint is total, and agrees with parse on failure ----------
@@ -304,14 +397,16 @@ int run(const Options& opt) {
   const double rate = secs > 0 ? static_cast<double>(stats.execs) / secs : 0;
   std::printf(
       "jsr_fuzz: seed=%llu iters=%llu corpus=%zu | %llu parse-ok, "
-      "%llu parse-fail | O2 on %llu, O3 on %llu | %.2fs (%.0f execs/s) | "
-      "%llu findings\n",
+      "%llu parse-fail | O2 on %llu, O3 on %llu, O5 on %llu (+%llu verdicts) "
+      "| %.2fs (%.0f execs/s) | %llu findings\n",
       static_cast<unsigned long long>(opt.seed),
       static_cast<unsigned long long>(stats.execs), corpus.size(),
       static_cast<unsigned long long>(stats.parse_ok),
       static_cast<unsigned long long>(stats.parse_fail),
       static_cast<unsigned long long>(stats.o2_checked),
-      static_cast<unsigned long long>(stats.o3_checked), secs, rate,
+      static_cast<unsigned long long>(stats.o3_checked),
+      static_cast<unsigned long long>(stats.o5_checked),
+      static_cast<unsigned long long>(stats.o5_verdicts), secs, rate,
       static_cast<unsigned long long>(stats.failures));
 
   stats.publish();
@@ -326,6 +421,8 @@ int run(const Options& opt) {
         .kv("parse_fail", stats.parse_fail)
         .kv("roundtrip_checked", stats.o2_checked)
         .kv("obfuscate_checked", stats.o3_checked)
+        .kv("deob_checked", stats.o5_checked)
+        .kv("deob_verdicts_checked", stats.o5_verdicts)
         .kv_fixed("wall_s", secs, 3)
         .kv_fixed("execs_per_sec", rate, 1)
         .kv("findings", stats.failures)

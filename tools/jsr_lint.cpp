@@ -2,6 +2,7 @@
 //
 //   $ jsr_lint file.js [file2.js ...]      # human-readable report
 //   $ jsr_lint --json file.js ...          # machine-readable JSON
+//   $ jsr_lint --deob file.js ...          # lint the deobfuscated form
 //   $ jsr_lint --rules                     # print the rule catalog
 //
 // Exit status: 0 on success (diagnostics are data, not failures), 2 on
@@ -48,15 +49,19 @@ int main(int argc, char** argv) {
   using namespace jsrev::lint;
 
   bool json = false;
+  bool deob = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--deob") == 0) {
+      deob = true;
     } else if (std::strcmp(argv[i], "--rules") == 0) {
       return print_rules();
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
-      std::fprintf(stderr, "usage: %s [--json] file.js ... | --rules\n",
+      std::fprintf(stderr,
+                   "usage: %s [--json] [--deob] file.js ... | --rules\n",
                    argv[0]);
       return 2;
     } else {
@@ -64,7 +69,7 @@ int main(int argc, char** argv) {
     }
   }
   if (files.empty()) {
-    std::fprintf(stderr, "usage: %s [--json] file.js ... | --rules\n",
+    std::fprintf(stderr, "usage: %s [--json] [--deob] file.js ... | --rules\n",
                  argv[0]);
     return 2;
   }
@@ -78,7 +83,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     scripts.push_back(std::make_unique<jsrev::analysis::ScriptAnalysis>(
-        std::move(source)));
+        std::move(source), jsrev::js::ParseLimits{}, deob));
   }
 
   const Linter linter;
