@@ -51,7 +51,10 @@ echo "== jsr_deob smoke (ASan+UBSan)"
 # Fixed-seed mutational fuzz pass under the same sanitizer build: every
 # iteration checks the five frontend oracles (never-crash, print→reparse
 # round trip, obfuscate-still-parses, linter totality, deob totality +
-# idempotence — plus the up-front deob verdict sweep). Deterministic, so a
+# idempotence — plus the up-front deob verdict sweep and the artifact
+# corruption sweep O6: truncated/bit-flipped JSRM artifacts must raise
+# ModelFormatError, never crash or silently change verdicts). Deterministic,
+# so a
 # failure here reproduces with the same command. Throughput lands in
 # BENCH_fuzz.json.
 echo "== jsr_fuzz smoke (seed 1, 2000 iters, ASan+UBSan)"
@@ -82,6 +85,33 @@ echo "== bench_ast_layout smoke (ASan+UBSan)"
 (cd "${BUILD_DIR}" && JSREV_BENCH_REPEATS=1 JSREV_BENCH_ASAN_RELAX=1 \
     ./bench/bench_ast_layout)
 
+# Model-artifact lifecycle under sanitizers: train a small model, write the
+# legacy (v1) stream form, convert it to a JSRM artifact, and verify the
+# converted bytes are identical to the artifact the trainer writes directly —
+# the convert path must lose nothing. `inspect` re-reads the result (header,
+# section table, checksum pass) and `classify` exercises the mapped
+# zero-copy inference path end to end.
+echo "== jsr_model convert-and-verify (ASan+UBSan)"
+"${BUILD_DIR}/tools/jsr_model" train --scripts 16 --seed 5 \
+    --out "${BUILD_DIR}/check_model.jsrm" \
+    --legacy-stream "${BUILD_DIR}/check_model_legacy.bin"
+"${BUILD_DIR}/tools/jsr_model" convert "${BUILD_DIR}/check_model_legacy.bin" \
+    "${BUILD_DIR}/check_model_converted.jsrm"
+cmp "${BUILD_DIR}/check_model.jsrm" "${BUILD_DIR}/check_model_converted.jsrm"
+echo "jsr_model: legacy-stream conversion is byte-identical"
+"${BUILD_DIR}/tools/jsr_model" inspect "${BUILD_DIR}/check_model.jsrm" \
+    > /dev/null
+"${BUILD_DIR}/tools/jsr_model" classify "${BUILD_DIR}/check_model.jsrm" \
+    examples/samples/dropper.js
+
+# Model-IO bench at smoke scale: one repeat, timing gate relaxed — the point
+# under sanitizers is memory safety across mmap attach/validation plus the
+# always-on hard gate (mapped verdicts bit-identical to the heap detector at
+# widths 1/2/8) and a schema-valid BENCH_model_io.json.
+echo "== bench_model_io smoke (ASan+UBSan)"
+(cd "${BUILD_DIR}" && JSREV_BENCH_TRAIN=24 JSREV_BENCH_CORPUS=16 \
+    JSREV_BENCH_REPEATS=1 JSREV_BENCH_ASAN_RELAX=1 ./bench/bench_model_io)
+
 # Robustness-recovery bench at smoke scale: tiny corpus, one repeat — the
 # point here is memory safety across both half-grids (pipeline off/on for
 # all five detectors) plus a schema-valid BENCH_deob.json, not the numbers.
@@ -96,6 +126,7 @@ echo "== artifact schema validation"
     --validate "${BUILD_DIR}/stats_trace.json" \
     --validate "${BUILD_DIR}/BENCH_fuzz.json" \
     --validate "${BUILD_DIR}/BENCH_ast_layout.json" \
-    --validate "${BUILD_DIR}/BENCH_deob.json"
+    --validate "${BUILD_DIR}/BENCH_deob.json" \
+    --validate "${BUILD_DIR}/BENCH_model_io.json"
 
 echo "== all checks passed"

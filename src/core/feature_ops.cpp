@@ -1,0 +1,49 @@
+#include "core/feature_ops.h"
+
+#include <cmath>
+
+#include "ml/matrix.h"
+#include "ml/model_view_ops.h"
+
+namespace jsrev::core {
+
+std::vector<double> cluster_features(const ClusterParams& p,
+                                     const ml::EmbeddedScript& emb,
+                                     obs::VerdictProvenance* prov) {
+  std::vector<double> f(p.feature_dim, 0.0);
+  const auto d = static_cast<std::size_t>(p.dim);
+  std::size_t outside = 0;
+  for (std::size_t i = 0; i < emb.embeddings.rows(); ++i) {
+    const int c = ml::nearest_centroid_raw(p.centroids, p.feature_dim, d,
+                                           emb.embeddings.row(i));
+    // Paths far from every cluster belong to none of them.
+    const double dist = std::sqrt(ml::squared_distance(
+        emb.embeddings.row(i),
+        p.centroids + static_cast<std::size_t>(c) * d, d));
+    const double radius = p.radius[static_cast<std::size_t>(c)];
+    if (radius > 0 && dist > 4.0 * radius) {
+      ++outside;
+      continue;
+    }
+    if (p.binary_features) {
+      f[static_cast<std::size_t>(c)] = 1.0;  // ablation: occurrence only
+    } else {
+      f[static_cast<std::size_t>(c)] += emb.weights[i];
+    }
+  }
+  if (prov != nullptr) {
+    prov->paths_outside_clusters = outside;
+    prov->cluster_attention.clear();
+    for (std::size_t c = 0; c < p.feature_dim; ++c) {
+      if (f[c] == 0.0) continue;  // record only clusters the script touched
+      obs::ClusterAttention ca;
+      ca.feature_index = static_cast<int>(c);
+      ca.from_benign = benign_bit(p.benign, c);
+      ca.mass = f[c];
+      prov->cluster_attention.push_back(ca);
+    }
+  }
+  return f;
+}
+
+}  // namespace jsrev::core

@@ -279,14 +279,14 @@ void JsRevealer::train(const dataset::Corpus& corpus) {
   feature_dim_ = cb.centroids.rows() + cm.centroids.rows() -
                  clusters_removed_;
   centroids_ = ml::Matrix(feature_dim_, d);
-  centroid_benign_.assign(feature_dim_, false);
+  centroid_benign_.assign(benign_word_count(feature_dim_), 0);
   centroid_radius_.assign(feature_dim_, 0.0);
   std::size_t row = 0;
   for (std::size_t i = 0; i < cb.centroids.rows(); ++i) {
     if (drop_b[i]) continue;
     std::copy(cb.centroids.row(i), cb.centroids.row(i) + d,
               centroids_.row(row));
-    centroid_benign_[row] = true;
+    set_benign_bit(centroid_benign_.data(), row, true);
     centroid_radius_[row] = rms_radius(cb, i);
     ++row;
   }
@@ -294,7 +294,6 @@ void JsRevealer::train(const dataset::Corpus& corpus) {
     if (drop_m[j]) continue;
     std::copy(cm.centroids.row(j), cm.centroids.row(j) + d,
               centroids_.row(row));
-    centroid_benign_[row] = false;
     centroid_radius_[row] = rms_radius(cm, j);
     ++row;
   }
@@ -312,7 +311,7 @@ void JsRevealer::train(const dataset::Corpus& corpus) {
                                                  vecs.row(r), d);
         if (dist < best) {
           best = dist;
-          central_path_[f] = vocab_.key(ids[r]);
+          central_path_[f] = std::string(vocab_.key(ids[r]));
         }
       }
       centroid_nearest_d_[f] = best;
@@ -357,39 +356,16 @@ void JsRevealer::train(const dataset::Corpus& corpus) {
 
 std::vector<double> JsRevealer::features_from_embedding(
     const ml::EmbeddedScript& emb, obs::VerdictProvenance* prov) const {
-  std::vector<double> f(feature_dim_, 0.0);
-  const auto d = static_cast<std::size_t>(cfg_.embedding_dim);
-  std::size_t outside = 0;
-  for (std::size_t i = 0; i < emb.embeddings.rows(); ++i) {
-    const int c = ml::nearest_centroid(centroids_, emb.embeddings.row(i));
-    // Paths far from every cluster belong to none of them.
-    const double dist = std::sqrt(ml::squared_distance(
-        emb.embeddings.row(i), centroids_.row(static_cast<std::size_t>(c)),
-        d));
-    const double radius = centroid_radius_[static_cast<std::size_t>(c)];
-    if (radius > 0 && dist > 4.0 * radius) {
-      ++outside;
-      continue;
-    }
-    if (cfg_.binary_cluster_features) {
-      f[static_cast<std::size_t>(c)] = 1.0;  // ablation: occurrence only
-    } else {
-      f[static_cast<std::size_t>(c)] += emb.weights[i];
-    }
-  }
-  if (prov != nullptr) {
-    prov->paths_outside_clusters = outside;
-    prov->cluster_attention.clear();
-    for (std::size_t c = 0; c < feature_dim_; ++c) {
-      if (f[c] == 0.0) continue;  // record only clusters the script touched
-      obs::ClusterAttention ca;
-      ca.feature_index = static_cast<int>(c);
-      ca.from_benign = centroid_benign_[c];
-      ca.mass = f[c];
-      prov->cluster_attention.push_back(ca);
-    }
-  }
-  return f;
+  // Shared kernel over this detector's own storage — the same code a mapped
+  // ModelView runs, so heap and artifact feature vectors are bit-identical.
+  ClusterParams p;
+  p.centroids = centroids_.data().data();
+  p.radius = centroid_radius_.data();
+  p.benign = centroid_benign_.data();
+  p.feature_dim = static_cast<std::uint32_t>(feature_dim_);
+  p.dim = static_cast<std::uint32_t>(cfg_.embedding_dim);
+  p.binary_features = cfg_.binary_cluster_features;
+  return cluster_features(p, emb, prov);
 }
 
 std::vector<double> JsRevealer::featurize(const std::string& source) const {
@@ -578,7 +554,7 @@ std::vector<FeatureReportEntry> JsRevealer::feature_report(int n) const {
     e.feature_index = static_cast<int>(order[i]);
     e.importance = imp[order[i]];
     if (order[i] < feature_dim_) {
-      e.from_benign = centroid_benign_[order[i]];
+      e.from_benign = benign_bit(centroid_benign_.data(), order[i]);
       e.central_path = central_path_[order[i]];
     } else {
       // Lint-tail feature: no centroid behind it, label it by name.

@@ -11,6 +11,7 @@
 
 #include "baselines/detector.h"
 #include "core/config.h"
+#include "core/feature_ops.h"
 #include "lint/linter.h"
 #include "ml/attention_model.h"
 #include "ml/kmeans.h"
@@ -133,6 +134,18 @@ class JsRevealer final : public detect::Detector {
   void save_file(const std::string& path) const;
   void load_file(const std::string& path);
 
+  /// Legacy stream emit (v1 without lint features, v2 with): the exact
+  /// pre-v3 byte layout, kept so the tolerant reader and the artifact
+  /// conversion path stay covered by tests and `jsr_model convert`.
+  void save_legacy(std::ostream& out) const;
+
+  /// Serializes the trained model as a JSRM v3 artifact (core/model_format.h):
+  /// page-aligned sections with per-section checksums, mappable read-only by
+  /// core::ModelView. Bytes are deterministic for a deterministic model.
+  /// Same preconditions as save().
+  std::vector<std::uint8_t> save_artifact() const;
+  void save_artifact_file(const std::string& path) const;
+
  private:
   struct ScriptFeatures {
     std::vector<std::int32_t> path_ids;
@@ -153,13 +166,18 @@ class JsRevealer final : public detect::Detector {
       const ml::EmbeddedScript& emb,
       obs::VerdictProvenance* prov = nullptr) const;
 
+  /// Shared body of save()/save_legacy().
+  void save_stream(std::ostream& out, bool legacy) const;
+
   Config cfg_;
   lint::Linter linter_;
   std::size_t lint_dim_ = 0;  // kLintFeatureDim when lint features are on
   paths::PathVocab vocab_;
   ml::AttentionModel model_;
   ml::Matrix centroids_;                // feature_dim_ x d (both classes)
-  std::vector<bool> centroid_benign_;   // per centroid: from benign set?
+  // Per-centroid benign-origin bits, packed 64 per word (feature_ops.h
+  // helpers) — the exact words the v3 formats serialize.
+  std::vector<std::uint64_t> centroid_benign_;
   std::vector<double> centroid_radius_; // RMS radius per centroid
   std::vector<std::string> central_path_;      // Table VII inverse index
   std::vector<double> centroid_nearest_d_;     // scratch: best dist so far

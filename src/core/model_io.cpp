@@ -1,8 +1,20 @@
-// JsRevealer trained-model persistence.
+// JsRevealer trained-model stream persistence.
 //
 // Layout: MAGIC "JSRV" + version, the pipeline dimensions, then sections
 // for the path vocabulary, attention model, cluster geometry,
 // interpretability index, scaler, and the random-forest classifier.
+//
+// Three versions coexist. Version 1 is the original layout (no lint
+// features); version 2 adds one u64 — the lint summary-vector width — right
+// after the version field. Both encode the per-centroid benign-origin flags
+// as one double per centroid. Version 3 (the current writer) always carries
+// the lint width and packs the benign flags as u64 bitset words — the same
+// words the JSRM artifact maps. The reader accepts all three; save_legacy()
+// still emits v1/v2 so the tolerant-read and conversion paths stay covered.
+//
+// Malformed input surfaces as ser::ModelFormatError carrying the section
+// name and the byte offset where the section began (satellite of the JSRM
+// artifact work: no unchecked read reaches a std::logic_error or a crash).
 #include <fstream>
 #include <stdexcept>
 
@@ -13,15 +25,12 @@
 namespace jsrev::core {
 
 namespace {
-// Version 1: the original layout (no lint features). Version 2 adds one
-// u64 — the lint summary-vector width — right after the version field.
-// Models trained with lint features off are written as version 1, so their
-// bytes are identical to pre-lint builds.
 constexpr std::uint64_t kVersionBase = 1;
 constexpr std::uint64_t kVersionLint = 2;
+constexpr std::uint64_t kVersionPacked = 3;
 }  // namespace
 
-void JsRevealer::save(std::ostream& out) const {
+void JsRevealer::save_stream(std::ostream& out, bool legacy) const {
   if (!trained_) {
     throw std::logic_error("JsRevealer::save: detector is not trained");
   }
@@ -34,8 +43,15 @@ void JsRevealer::save(std::ostream& out) const {
   }
 
   ser::write_tag(out, "JSRV");
-  ser::write_u64(out, lint_dim_ == 0 ? kVersionBase : kVersionLint);
-  if (lint_dim_ != 0) ser::write_u64(out, lint_dim_);
+  if (legacy) {
+    // Models trained with lint features off are written as version 1, so
+    // their bytes are identical to pre-lint builds.
+    ser::write_u64(out, lint_dim_ == 0 ? kVersionBase : kVersionLint);
+    if (lint_dim_ != 0) ser::write_u64(out, lint_dim_);
+  } else {
+    ser::write_u64(out, kVersionPacked);
+    ser::write_u64(out, lint_dim_);
+  }
 
   // Pipeline dimensions needed to interpret the sections.
   ser::write_u64(out, static_cast<std::uint64_t>(cfg_.embedding_dim));
@@ -50,11 +66,16 @@ void JsRevealer::save(std::ostream& out) const {
 
   ser::write_tag(out, "CLST");
   ser::write_doubles(out, centroids_.data());
-  std::vector<double> benign_flags(feature_dim_);
-  for (std::size_t i = 0; i < feature_dim_; ++i) {
-    benign_flags[i] = centroid_benign_[i] ? 1.0 : 0.0;
+  if (legacy) {
+    std::vector<double> benign_flags(feature_dim_);
+    for (std::size_t i = 0; i < feature_dim_; ++i) {
+      benign_flags[i] = benign_bit(centroid_benign_.data(), i) ? 1.0 : 0.0;
+    }
+    ser::write_doubles(out, benign_flags);
+  } else {
+    ser::write_u64(out, centroid_benign_.size());
+    for (const std::uint64_t w : centroid_benign_) ser::write_u64(out, w);
   }
-  ser::write_doubles(out, benign_flags);
   ser::write_doubles(out, centroid_radius_);
   ser::write_u64(out, central_path_.size());
   for (const std::string& p : central_path_) ser::write_string(out, p);
@@ -63,50 +84,84 @@ void JsRevealer::save(std::ostream& out) const {
   forest->save(out);
 }
 
-void JsRevealer::load(std::istream& in) {
-  ser::expect_tag(in, "JSRV");
-  const std::uint64_t version = ser::read_u64(in);
-  if (version != kVersionBase && version != kVersionLint) {
-    throw ser::FormatError("unsupported model version " +
-                           std::to_string(version));
-  }
-  lint_dim_ = version == kVersionLint ? ser::read_u64(in) : 0;
-  if (lint_dim_ != 0 && lint_dim_ != lint::kLintFeatureDim) {
-    throw ser::FormatError("lint feature width mismatch: file has " +
-                           std::to_string(lint_dim_));
-  }
-  cfg_.lint_features = lint_dim_ != 0;
+void JsRevealer::save(std::ostream& out) const {
+  save_stream(out, /*legacy=*/false);
+}
 
-  cfg_.embedding_dim = static_cast<int>(ser::read_u64(in));
-  feature_dim_ = ser::read_u64(in);
-  clusters_removed_ = ser::read_u64(in);
-  cfg_.path.use_dataflow = ser::read_u64(in) != 0;
-  cfg_.path.max_length = static_cast<int>(ser::read_u64(in));
-  cfg_.path.max_width = static_cast<int>(ser::read_u64(in));
+void JsRevealer::save_legacy(std::ostream& out) const {
+  save_stream(out, /*legacy=*/true);
+}
+
+void JsRevealer::load(std::istream& in) {
+  std::uint64_t version = 0;
+  ser::with_section(in, "header", [&] {
+    ser::expect_tag(in, "JSRV");
+    version = ser::read_u64(in);
+    if (version != kVersionBase && version != kVersionLint &&
+        version != kVersionPacked) {
+      throw ser::FormatError("unsupported model version " +
+                             std::to_string(version));
+    }
+    lint_dim_ = version == kVersionBase ? 0 : ser::read_u64(in);
+    if (lint_dim_ != 0 && lint_dim_ != lint::kLintFeatureDim) {
+      throw ser::FormatError("lint feature width mismatch: file has " +
+                             std::to_string(lint_dim_));
+    }
+    cfg_.lint_features = lint_dim_ != 0;
+
+    cfg_.embedding_dim = static_cast<int>(ser::read_u64(in));
+    feature_dim_ = ser::read_u64(in);
+    clusters_removed_ = ser::read_u64(in);
+    cfg_.path.use_dataflow = ser::read_u64(in) != 0;
+    cfg_.path.max_length = static_cast<int>(ser::read_u64(in));
+    cfg_.path.max_width = static_cast<int>(ser::read_u64(in));
+    if (cfg_.embedding_dim <= 0 || cfg_.embedding_dim > (1 << 20) ||
+        feature_dim_ > (1ULL << 24)) {
+      throw ser::FormatError("implausible model dimensions");
+    }
+  });
 
   vocab_ = paths::PathVocab();
-  vocab_.load(in);
+  ser::with_section(in, "vocab", [&] { vocab_.load(in); });
   model_.load(in);
 
-  ser::expect_tag(in, "CLST");
-  const auto d = static_cast<std::size_t>(cfg_.embedding_dim);
-  centroids_ = ml::Matrix(feature_dim_, d);
-  centroids_.data() = ser::read_doubles(in);
-  if (centroids_.data().size() != feature_dim_ * d) {
-    throw ser::FormatError("centroid matrix size mismatch");
-  }
-  const std::vector<double> benign_flags = ser::read_doubles(in);
-  centroid_benign_.assign(feature_dim_, false);
-  for (std::size_t i = 0; i < feature_dim_ && i < benign_flags.size(); ++i) {
-    centroid_benign_[i] = benign_flags[i] != 0.0;
-  }
-  centroid_radius_ = ser::read_doubles(in);
-  const std::uint64_t n_paths = ser::read_u64(in);
-  central_path_.clear();
-  central_path_.reserve(n_paths);
-  for (std::uint64_t i = 0; i < n_paths; ++i) {
-    central_path_.push_back(ser::read_string(in));
-  }
+  ser::with_section(in, "clusters", [&] {
+    ser::expect_tag(in, "CLST");
+    const auto d = static_cast<std::size_t>(cfg_.embedding_dim);
+    centroids_ = ml::Matrix(feature_dim_, d);
+    centroids_.data() = ser::read_doubles(in);
+    if (centroids_.data().size() != feature_dim_ * d) {
+      throw ser::FormatError("centroid matrix size mismatch");
+    }
+    centroid_benign_.assign(benign_word_count(feature_dim_), 0);
+    if (version == kVersionPacked) {
+      const std::uint64_t n_words = ser::read_u64(in);
+      if (n_words != centroid_benign_.size()) {
+        throw ser::FormatError("benign bitset word count mismatch");
+      }
+      for (std::uint64_t& w : centroid_benign_) w = ser::read_u64(in);
+    } else {
+      // v1/v2 spent a full double per flag; fold into the packed words.
+      const std::vector<double> benign_flags = ser::read_doubles(in);
+      for (std::size_t i = 0;
+           i < feature_dim_ && i < benign_flags.size(); ++i) {
+        set_benign_bit(centroid_benign_.data(), i, benign_flags[i] != 0.0);
+      }
+    }
+    centroid_radius_ = ser::read_doubles(in);
+    if (centroid_radius_.size() != feature_dim_) {
+      throw ser::FormatError("centroid radius size mismatch");
+    }
+    const std::uint64_t n_paths = ser::read_u64(in);
+    if (n_paths != feature_dim_) {
+      throw ser::FormatError("central path count mismatch");
+    }
+    central_path_.clear();
+    central_path_.reserve(n_paths);
+    for (std::uint64_t i = 0; i < n_paths; ++i) {
+      central_path_.push_back(ser::read_string(in));
+    }
+  });
 
   scaler_.load(in);
   auto forest = std::make_unique<ml::RandomForest>();

@@ -1,0 +1,171 @@
+// Immutable, zero-copy inference over a mapped JSRM model artifact.
+//
+// ModelView is the read-only half of the trainer/view split: JsRevealer
+// trains and writes the artifact (core/artifact_io.cpp); ModelView maps it
+// and classifies straight out of the mapped bytes. No parameter is parsed
+// into owned storage — the vocabulary probe table, attention matrices,
+// cluster geometry, scaler bounds, and forest node pool are all borrowed
+// pointers into the mapping, so N detector processes sharing one artifact
+// share one page cache copy, and opening a model costs validation (header,
+// section table, checksums, index bounds) instead of deserialization.
+//
+// Verdicts are bit-identical to the JsRevealer that wrote the artifact: the
+// view calls the same raw-pointer kernels (ml/model_view_ops.h,
+// core/feature_ops.h) the heap detector delegates to, over the same values.
+//
+// Aliasing contract: a ModelView keeps its backing storage (the mapped file
+// or the from_buffer copy) alive through a shared_ptr, so copies of the view
+// may outlive the object they were copied from; the artifact bytes must not
+// be mutated externally while any view is live (the file is mapped
+// MAP_SHARED — treat a published artifact as immutable, write a new file
+// and swap paths to update).
+//
+// Malformed input — truncation, bit flips, inconsistent dimensions — always
+// surfaces as ser::ModelFormatError at map/attach time, never as a crash or
+// a silently wrong verdict later (fuzz oracle O6 in tools/jsr_fuzz.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "core/feature_ops.h"
+#include "core/model_format.h"
+#include "js/parse_limits.h"
+#include "lint/linter.h"
+#include "ml/model_view_ops.h"
+#include "paths/path_extraction.h"
+#include "paths/vocab.h"
+
+namespace jsrev::core {
+
+/// A read-only, shared, page-cache-backed mapping of a whole file.
+class MappedFile {
+ public:
+  /// Maps `path` read-only (PROT_READ, MAP_SHARED); throws
+  /// std::runtime_error when the file cannot be opened or mapped.
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// One row of ModelView::info() (header + section table, for inspection).
+struct ArtifactSectionInfo {
+  fmt::SectionRec rec;
+  const char* name = "";
+  bool checksum_ok = false;
+};
+
+struct ArtifactInfo {
+  fmt::ArtifactHeader header;
+  std::vector<ArtifactSectionInfo> sections;
+};
+
+class ModelView final : public detect::Detector {
+ public:
+  ModelView() = default;
+
+  /// Maps an artifact file and validates it (format, checksums, indices).
+  /// Throws ser::ModelFormatError on any malformed content.
+  /// `verify_checksums` = false skips the per-section FNV pass (touching
+  /// every page) for callers that trust the file, e.g. repeated warm opens.
+  void map_file(const std::string& path, bool verify_checksums = true);
+
+  /// Attaches to an in-memory artifact (the fuzz oracle's entry point);
+  /// takes ownership of the bytes. Same validation as map_file.
+  void from_buffer(std::vector<std::uint8_t> bytes,
+                   bool verify_checksums = true);
+
+  bool loaded() const { return data_ != nullptr; }
+
+  /// Immutable: training is the heap detector's job.
+  void train(const dataset::Corpus& corpus) override;
+
+  int classify(const std::string& source) const override;
+  int classify(const analysis::ScriptAnalysis& analysis) const override;
+  std::string name() const override { return "JSRevealer[mapped]"; }
+
+  /// Batch prediction, fanned out at `threads()` width; verdicts identical
+  /// to per-source classify() at any width.
+  std::vector<int> classify_all(const std::vector<std::string>& sources) const;
+  std::vector<int> classify_all(const analysis::AnalyzedCorpus& corpus) const;
+
+  /// Provenance-capturing classification (same record JsRevealer::explain
+  /// fills, modulo the detector name and stage timings).
+  obs::VerdictProvenance explain(const std::string& source) const;
+
+  /// Feature vector for one script — bit-identical to the writer's
+  /// JsRevealer::featurize.
+  std::vector<double> featurize(const std::string& source) const;
+  std::vector<double> featurize(const analysis::ScriptAnalysis& analysis) const;
+
+  std::size_t feature_count() const {
+    return header_.feature_dim + header_.lint_dim;
+  }
+  std::size_t vocab_size() const { return header_.vocab_size; }
+  std::size_t tree_count() const { return header_.n_trees; }
+
+  /// Parallel width for classify_all (0 = hardware concurrency).
+  std::size_t threads() const { return threads_; }
+  void set_threads(std::size_t n) { threads_ = n; }
+
+  /// Header and section table of the attached artifact (jsr_model inspect).
+  ArtifactInfo info() const;
+
+  /// Borrowed vocabulary view (tests compare it against the trainer's).
+  const paths::PathVocabView& vocab() const { return vocab_; }
+
+  /// Central path of surviving cluster `f` (the Table VII inverse index),
+  /// as a view into the mapping.
+  std::string_view central_path(std::size_t f) const {
+    return {central_blob_ + central_offsets_[f],
+            central_offsets_[f + 1] - central_offsets_[f]};
+  }
+
+ private:
+  void attach(std::shared_ptr<const void> owner, const std::uint8_t* data,
+              std::size_t size, bool verify_checksums);
+  const std::uint8_t* section_payload(fmt::SectionId id,
+                                      std::size_t* size_out) const;
+
+  // Backing storage: the mapped file or the from_buffer copy. shared_ptr so
+  // view copies keep the bytes alive (aliasing contract above).
+  std::shared_ptr<const void> owner_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+
+  fmt::ArtifactHeader header_;
+  std::vector<fmt::SectionRec> sections_;  // validated copy of the table
+
+  // Borrowed views into the mapping (valid while owner_ lives).
+  paths::PathVocabView vocab_;
+  ml::AttentionParams attn_;
+  ClusterParams cluster_;
+  ml::ForestView forest_;
+  const double* scaler_min_ = nullptr;
+  const double* scaler_max_ = nullptr;
+  const std::uint32_t* central_offsets_ = nullptr;
+  const char* central_blob_ = nullptr;
+
+  // Inference configuration reconstructed from the header.
+  paths::PathConfig path_cfg_;
+  js::ParseLimits parse_limits_;
+  bool deobfuscate_ = false;
+  std::size_t threads_ = 0;
+
+  lint::Linter linter_;
+};
+
+}  // namespace jsrev::core

@@ -4,25 +4,11 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "ml/model_view_ops.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace jsrev::ml {
-namespace {
-
-void softmax_inplace(std::vector<double>& v) {
-  if (v.empty()) return;
-  double mx = v[0];
-  for (const double x : v) mx = std::max(mx, x);
-  double sum = 0.0;
-  for (double& x : v) {
-    x = std::exp(x - mx);
-    sum += x;
-  }
-  for (double& x : v) x /= sum;
-}
-
-}  // namespace
 
 AttentionModel::AttentionModel(AttentionModelConfig cfg) : cfg_(cfg) {}
 
@@ -208,12 +194,17 @@ EmbeddedScript AttentionModel::embed(
   static obs::Counter* embeds =
       obs::metrics().counter("ml.attention.embed_calls");
   embeds->add();
-  Forward f = forward(path_ids);
-  EmbeddedScript out;
-  out.embeddings = std::move(f.e);
-  out.weights = std::move(f.alpha);
-  out.path_ids = std::move(f.ids);
-  return out;
+  // Inference goes through the shared raw-pointer kernel — the same code a
+  // mapped ModelView runs — so heap and artifact embeddings are
+  // bit-identical by construction.
+  AttentionParams p;
+  p.w = w_.data().data();
+  p.attn = attn_.data();
+  p.u = u_.data().data();
+  p.bias = bias_.data();
+  p.vocab_size = static_cast<std::uint32_t>(vocab_size_);
+  p.dim = static_cast<std::uint32_t>(cfg_.embedding_dim);
+  return embed_paths(p, path_ids);
 }
 
 double AttentionModel::predict_malicious(

@@ -76,6 +76,14 @@ class AttentionModel {
   void save(std::ostream& out) const;
   void load(std::istream& in);
 
+  // Flat parameter access for the artifact writer (serialized verbatim; the
+  // mapped ModelView reads the same layout back zero-copy).
+  std::size_t vocab_size() const { return vocab_size_; }
+  const Matrix& weight_matrix() const { return w_; }
+  const std::vector<double>& attention_vector() const { return attn_; }
+  const Matrix& head_matrix() const { return u_; }
+  const std::vector<double>& head_bias() const { return bias_; }
+
  private:
   struct Forward {
     Matrix e;                    // n x d embeddings

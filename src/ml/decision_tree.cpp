@@ -153,6 +153,18 @@ int DecisionTree::predict(const double* row) const {
   return predict_proba(row) >= 0.5 ? 1 : 0;
 }
 
+void DecisionTree::append_flat(std::vector<ForestNodeRec>* pool) const {
+  for (const TreeNode& n : nodes_) {
+    ForestNodeRec rec;
+    rec.feature = n.feature;
+    rec.left = n.left;
+    rec.right = n.right;
+    rec.threshold = n.threshold;
+    rec.p_malicious = n.p_malicious;
+    pool->push_back(rec);
+  }
+}
+
 RandomForest::RandomForest(ForestConfig cfg) : cfg_(cfg) {}
 
 void RandomForest::fit(const Matrix& x, const std::vector<int>& y) {
@@ -192,6 +204,18 @@ double RandomForest::predict_proba(const double* row) const {
 
 int RandomForest::predict(const double* row) const {
   return predict_proba(row) >= 0.5 ? 1 : 0;
+}
+
+void RandomForest::export_flat(std::vector<ForestNodeRec>* pool,
+                               std::vector<std::uint32_t>* offsets) const {
+  pool->clear();
+  offsets->clear();
+  offsets->reserve(trees_.size() + 1);
+  offsets->push_back(0);
+  for (const DecisionTree& t : trees_) {
+    t.append_flat(pool);
+    offsets->push_back(static_cast<std::uint32_t>(pool->size()));
+  }
 }
 
 std::vector<double> RandomForest::feature_importances() const {

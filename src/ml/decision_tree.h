@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ml/classifier.h"
+#include "ml/model_view_ops.h"
 #include "util/rng.h"
 
 namespace jsrev::ml {
@@ -39,6 +40,11 @@ class DecisionTree : public Classifier {
   /// Tree persistence (structure + leaf probabilities + importances).
   void save(std::ostream& out) const;
   void load(std::istream& in);
+
+  /// Appends this tree's nodes (build order, tree-relative child indices)
+  /// to a flat ForestNodeRec pool.
+  void append_flat(std::vector<ForestNodeRec>* pool) const;
+  std::size_t node_count() const { return nodes_.size(); }
 
  private:
   struct TreeNode {
@@ -86,6 +92,15 @@ class RandomForest : public Classifier {
   /// Forest persistence.
   void save(std::ostream& out) const;
   void load(std::istream& in);
+
+  std::size_t tree_count() const { return trees_.size(); }
+  std::size_t feature_count() const { return n_features_; }
+
+  /// Flattens the forest into one preorder node pool plus a prefix-offset
+  /// table (tree t owns nodes [offsets[t], offsets[t+1])) — the layout the
+  /// JSRM artifact serializes and ForestView walks zero-copy.
+  void export_flat(std::vector<ForestNodeRec>* pool,
+                   std::vector<std::uint32_t>* offsets) const;
 
  private:
   ForestConfig cfg_;

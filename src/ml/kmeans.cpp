@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "ml/model_view_ops.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
@@ -146,17 +147,10 @@ Clustering finalize(const Matrix& points, const Matrix& centroids,
 }  // namespace
 
 int nearest_centroid(const Matrix& centroids, const double* point) {
-  int best = 0;
-  double best_d = std::numeric_limits<double>::max();
-  for (std::size_t c = 0; c < centroids.rows(); ++c) {
-    const double d2 = squared_distance(centroids.row(c), point,
-                                       centroids.cols());
-    if (d2 < best_d) {
-      best_d = d2;
-      best = static_cast<int>(c);
-    }
-  }
-  return best;
+  // Shared with the mmap-backed ModelView so heap and mapped inference run
+  // the identical scan.
+  return nearest_centroid_raw(centroids.data().data(), centroids.rows(),
+                              centroids.cols(), point);
 }
 
 double nearest_centroid_distance(const Matrix& centroids,

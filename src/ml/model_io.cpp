@@ -33,20 +33,22 @@ void AttentionModel::save(std::ostream& out) const {
 }
 
 void AttentionModel::load(std::istream& in) {
-  expect_tag(in, "ATTN");
-  cfg_.embedding_dim = static_cast<int>(read_u64(in));
-  vocab_size_ = read_u64(in);
-  trained_ = read_u64(in) != 0;
-  const auto d = static_cast<std::size_t>(cfg_.embedding_dim);
-  w_ = Matrix(vocab_size_, d);
-  w_.data() = read_doubles(in);
-  if (w_.data().size() != vocab_size_ * d) {
-    throw ser::FormatError("attention W size mismatch");
-  }
-  attn_ = read_doubles(in);
-  u_ = Matrix(2, d);
-  u_.data() = read_doubles(in);
-  bias_ = read_doubles(in);
+  ser::with_section(in, "attention", [&] {
+    expect_tag(in, "ATTN");
+    cfg_.embedding_dim = static_cast<int>(read_u64(in));
+    vocab_size_ = read_u64(in);
+    trained_ = read_u64(in) != 0;
+    const auto d = static_cast<std::size_t>(cfg_.embedding_dim);
+    w_ = Matrix(vocab_size_, d);
+    w_.data() = read_doubles(in);
+    if (w_.data().size() != vocab_size_ * d) {
+      throw ser::FormatError("attention W size mismatch");
+    }
+    attn_ = read_doubles(in);
+    u_ = Matrix(2, d);
+    u_.data() = read_doubles(in);
+    bias_ = read_doubles(in);
+  });
 }
 
 void DecisionTree::save(std::ostream& out) const {
@@ -64,17 +66,27 @@ void DecisionTree::save(std::ostream& out) const {
 }
 
 void DecisionTree::load(std::istream& in) {
-  expect_tag(in, "TREE");
-  n_features_ = read_u64(in);
-  nodes_.resize(read_u64(in));
-  for (TreeNode& n : nodes_) {
-    n.feature = static_cast<int>(read_i64(in));
-    n.threshold = read_f64(in);
-    n.left = static_cast<int>(read_i64(in));
-    n.right = static_cast<int>(read_i64(in));
-    n.p_malicious = read_f64(in);
-  }
-  importance_ = read_doubles(in);
+  ser::with_section(in, "forest.tree", [&] {
+    expect_tag(in, "TREE");
+    n_features_ = read_u64(in);
+    const std::uint64_t n_nodes = read_u64(in);
+    if (n_nodes > (1ULL << 28)) {
+      throw ser::FormatError("implausible tree node count");
+    }
+    nodes_.resize(n_nodes);
+    for (TreeNode& n : nodes_) {
+      n.feature = static_cast<int>(read_i64(in));
+      n.threshold = read_f64(in);
+      n.left = static_cast<int>(read_i64(in));
+      n.right = static_cast<int>(read_i64(in));
+      n.p_malicious = read_f64(in);
+      const auto bound = static_cast<std::int64_t>(n_nodes);
+      if (n.left >= bound || n.right >= bound) {
+        throw ser::FormatError("tree child index out of bounds");
+      }
+    }
+    importance_ = read_doubles(in);
+  });
 }
 
 void RandomForest::save(std::ostream& out) const {
@@ -85,9 +97,15 @@ void RandomForest::save(std::ostream& out) const {
 }
 
 void RandomForest::load(std::istream& in) {
-  expect_tag(in, "FRST");
-  n_features_ = read_u64(in);
-  trees_.assign(read_u64(in), DecisionTree{});
+  ser::with_section(in, "forest", [&] {
+    expect_tag(in, "FRST");
+    n_features_ = read_u64(in);
+    const std::uint64_t n_trees = read_u64(in);
+    if (n_trees > (1ULL << 20)) {
+      throw ser::FormatError("implausible forest tree count");
+    }
+    trees_.assign(n_trees, DecisionTree{});
+  });
   for (DecisionTree& t : trees_) t.load(in);
 }
 
@@ -98,12 +116,14 @@ void MinMaxScaler::save(std::ostream& out) const {
 }
 
 void MinMaxScaler::load(std::istream& in) {
-  expect_tag(in, "SCAL");
-  min_ = read_doubles(in);
-  max_ = read_doubles(in);
-  if (min_.size() != max_.size()) {
-    throw ser::FormatError("scaler min/max size mismatch");
-  }
+  ser::with_section(in, "scaler", [&] {
+    expect_tag(in, "SCAL");
+    min_ = read_doubles(in);
+    max_ = read_doubles(in);
+    if (min_.size() != max_.size()) {
+      throw ser::FormatError("scaler min/max size mismatch");
+    }
+  });
 }
 
 }  // namespace jsrev::ml

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ml/matrix.h"
+#include "ml/model_view_ops.h"
 
 namespace jsrev::ml {
 
@@ -29,13 +30,11 @@ class MinMaxScaler {
     }
   }
 
+  /// Scales through the shared raw-pointer kernel (the same code a mapped
+  /// ModelView runs); unseen values may exceed the fit range and are
+  /// clamped to [0, 1].
   void transform_row(double* row) const {
-    for (std::size_t f = 0; f < min_.size(); ++f) {
-      const double range = max_[f] - min_[f];
-      row[f] = range > 0 ? (row[f] - min_[f]) / range
-                         : 0.0;
-      row[f] = std::clamp(row[f], 0.0, 1.0);  // unseen values may exceed fit
-    }
+    scale_row(row, min_.data(), max_.data(), min_.size());
   }
 
   void transform(Matrix& x) const {
@@ -51,6 +50,10 @@ class MinMaxScaler {
   /// Scaler persistence (per-feature min/max).
   void save(std::ostream& out) const;
   void load(std::istream& in);
+
+  // Flat parameter access for the artifact writer.
+  const std::vector<double>& fitted_min() const { return min_; }
+  const std::vector<double>& fitted_max() const { return max_; }
 
  private:
   std::vector<double> min_;

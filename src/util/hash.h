@@ -6,14 +6,25 @@
 
 namespace jsrev {
 
-/// 64-bit FNV-1a hash of a byte string. Deterministic across platforms.
-constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
+/// FNV-1a basis for incremental hashing (fnv1a64_begin/fnv1a64_step chains
+/// produce the hash fnv1a64 would give over the concatenated bytes).
+constexpr std::uint64_t fnv1a64_begin() noexcept {
+  return 0xcbf29ce484222325ULL;
+}
+
+/// Folds more bytes into a running FNV-1a hash.
+constexpr std::uint64_t fnv1a64_step(std::uint64_t h,
+                                     std::string_view s) noexcept {
   for (const char c : s) {
     h ^= static_cast<std::uint8_t>(c);
     h *= 0x100000001b3ULL;
   }
   return h;
+}
+
+/// 64-bit FNV-1a hash of a byte string. Deterministic across platforms.
+constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  return fnv1a64_step(fnv1a64_begin(), s);
 }
 
 /// Mixes an existing hash with another value (for hashing tuples).

@@ -21,6 +21,45 @@ class FormatError : public std::runtime_error {
   explicit FormatError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A model-persistence failure localized to a named section of the trained
+/// model — thrown by both the legacy stream loader (offset = where the
+/// section started in the stream) and the JSRM artifact loader (offset =
+/// exact byte offset in the mapped file). Derives from FormatError so
+/// callers that only care about "malformed model" keep working.
+class ModelFormatError : public FormatError {
+ public:
+  ModelFormatError(std::string section, std::uint64_t offset,
+                   const std::string& detail)
+      : FormatError("model section '" + section + "' at byte " +
+                    std::to_string(offset) + ": " + detail),
+        section_(std::move(section)),
+        offset_(offset) {}
+
+  const std::string& section() const noexcept { return section_; }
+  std::uint64_t offset() const noexcept { return offset_; }
+
+ private:
+  std::string section_;
+  std::uint64_t offset_;
+};
+
+/// Runs `fn` with section context: any FormatError escaping it is rethrown
+/// as a ModelFormatError carrying `section` and the stream position captured
+/// on entry (after a failed read the stream's own position is unusable).
+template <typename Fn>
+auto with_section(std::istream& in, const char* section, Fn&& fn) {
+  const auto pos = in.tellg();
+  const std::uint64_t offset =
+      pos == std::istream::pos_type(-1) ? 0 : static_cast<std::uint64_t>(pos);
+  try {
+    return std::forward<Fn>(fn)();
+  } catch (const ModelFormatError&) {
+    throw;
+  } catch (const FormatError& e) {
+    throw ModelFormatError(section, offset, e.what());
+  }
+}
+
 inline void write_u64(std::ostream& out, std::uint64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof v);
 }

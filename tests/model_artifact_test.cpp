@@ -1,0 +1,281 @@
+// Tests for the JSRM v3 model artifact: the trainer must emit byte-identical
+// artifacts at any parallel width, a mapped ModelView must reproduce the
+// writing detector bit-for-bit (verdicts and feature vectors) across the
+// whole obfuscated evaluation grid, legacy stream models must convert to the
+// same bytes, and malformed artifacts must fail with ser::ModelFormatError —
+// never a crash or a silently different verdict.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/jsrevealer.h"
+#include "core/model_view.h"
+#include "dataset/generator.h"
+#include "obfuscators/obfuscator.h"
+#include "util/serialize.h"
+
+namespace jsrev {
+namespace {
+
+core::Config small_config(std::size_t threads) {
+  core::Config cfg;
+  cfg.seed = 91;
+  cfg.threads = threads;
+  cfg.embed_epochs = 4;
+  cfg.cluster_sample_per_class = 400;
+  return cfg;
+}
+
+dataset::Corpus train_corpus() {
+  dataset::GeneratorConfig gc;
+  gc.seed = 91;
+  gc.benign_count = 40;
+  gc.malicious_count = 40;
+  return dataset::generate_corpus(gc);
+}
+
+/// >= 200 generator scripts, each additionally pushed through all four
+/// obfuscator models — the robustness grid the paper evaluates against.
+std::vector<std::string> evaluation_scripts() {
+  dataset::GeneratorConfig gc;
+  gc.seed = 1907;
+  gc.benign_count = 100;
+  gc.malicious_count = 100;
+  const dataset::Corpus corpus = dataset::generate_corpus(gc);
+  std::vector<std::string> scripts;
+  scripts.reserve(corpus.samples.size() * 5);
+  for (const auto& s : corpus.samples) scripts.push_back(s.source);
+  for (const obf::ObfuscatorKind kind : obf::kAllObfuscators) {
+    const auto ob = obf::make_obfuscator(kind);
+    for (std::size_t i = 0; i < corpus.samples.size(); ++i) {
+      scripts.push_back(ob->obfuscate(corpus.samples[i].source, 7000 + i));
+    }
+  }
+  return scripts;
+}
+
+class ArtifactFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trainer_ = new core::JsRevealer(small_config(2));
+    trainer_->train(train_corpus());
+    artifact_ = new std::vector<std::uint8_t>(trainer_->save_artifact());
+    view_ = new core::ModelView();
+    view_->from_buffer(*artifact_);
+  }
+
+  static void TearDownTestSuite() {
+    delete view_;
+    delete artifact_;
+    delete trainer_;
+    view_ = nullptr;
+    artifact_ = nullptr;
+    trainer_ = nullptr;
+  }
+
+  static core::JsRevealer* trainer_;
+  static std::vector<std::uint8_t>* artifact_;
+  static core::ModelView* view_;
+};
+
+core::JsRevealer* ArtifactFixture::trainer_ = nullptr;
+std::vector<std::uint8_t>* ArtifactFixture::artifact_ = nullptr;
+core::ModelView* ArtifactFixture::view_ = nullptr;
+
+TEST_F(ArtifactFixture, ArtifactBytesIdenticalAcrossThreadWidths) {
+  for (const std::size_t threads : {std::size_t(1), std::size_t(8)}) {
+    core::JsRevealer det(small_config(threads));
+    det.train(train_corpus());
+    EXPECT_EQ(det.save_artifact(), *artifact_) << "threads=" << threads;
+  }
+}
+
+TEST_F(ArtifactFixture, SaveArtifactIsDeterministic) {
+  EXPECT_EQ(trainer_->save_artifact(), *artifact_);
+}
+
+TEST_F(ArtifactFixture, VerdictsBitIdenticalOverObfuscatedGrid) {
+  const std::vector<std::string> scripts = evaluation_scripts();
+  ASSERT_GE(scripts.size(), 1000u);
+  const std::vector<int> heap = trainer_->classify_all(scripts);
+  const std::vector<int> mapped = view_->classify_all(scripts);
+  ASSERT_EQ(heap.size(), mapped.size());
+  for (std::size_t i = 0; i < heap.size(); ++i) {
+    ASSERT_EQ(heap[i], mapped[i]) << "script " << i;
+  }
+}
+
+TEST_F(ArtifactFixture, ViewBatchMatchesSerialAtEveryWidth) {
+  std::vector<std::string> scripts = evaluation_scripts();
+  scripts.resize(60);
+  std::vector<int> serial;
+  serial.reserve(scripts.size());
+  for (const auto& s : scripts) serial.push_back(view_->classify(s));
+  for (const std::size_t threads :
+       {std::size_t(1), std::size_t(2), std::size_t(8)}) {
+    core::ModelView view;
+    view.from_buffer(*artifact_);
+    view.set_threads(threads);
+    EXPECT_EQ(view.classify_all(scripts), serial) << "threads=" << threads;
+  }
+}
+
+TEST_F(ArtifactFixture, FeatureVectorsBitIdentical) {
+  const std::vector<std::string> scripts = evaluation_scripts();
+  for (std::size_t i = 0; i < scripts.size(); i += 37) {
+    EXPECT_EQ(trainer_->featurize(scripts[i]), view_->featurize(scripts[i]))
+        << "script " << i;
+  }
+}
+
+TEST_F(ArtifactFixture, MapFileMatchesFromBuffer) {
+  const std::string path = "/tmp/jsrev_artifact_test.jsrm";
+  trainer_->save_artifact_file(path);
+  core::ModelView mapped;
+  mapped.map_file(path);
+  EXPECT_EQ(mapped.feature_count(), view_->feature_count());
+  EXPECT_EQ(mapped.vocab_size(), view_->vocab_size());
+  const std::vector<std::string> scripts = evaluation_scripts();
+  for (std::size_t i = 0; i < scripts.size(); i += 101) {
+    EXPECT_EQ(mapped.classify(scripts[i]), view_->classify(scripts[i]));
+  }
+  // Trusted warm open: skipping the checksum pass must not change behavior.
+  core::ModelView trusted;
+  trusted.map_file(path, /*verify_checksums=*/false);
+  EXPECT_EQ(trusted.classify(scripts[0]), view_->classify(scripts[0]));
+}
+
+TEST_F(ArtifactFixture, InfoReportsValidatedSections) {
+  const core::ArtifactInfo info = view_->info();
+  EXPECT_EQ(info.header.version, core::fmt::kFormatVersion);
+  EXPECT_EQ(info.header.file_size, artifact_->size());
+  EXPECT_EQ(info.sections.size(), std::size_t(core::fmt::kSectionCount));
+  for (const core::ArtifactSectionInfo& s : info.sections) {
+    EXPECT_TRUE(s.checksum_ok) << s.name;
+    EXPECT_EQ(s.rec.offset % core::fmt::kSectionAlign, 0u) << s.name;
+  }
+}
+
+TEST_F(ArtifactFixture, CentralPathParity) {
+  const auto report = trainer_->feature_report(10);
+  const std::uint32_t feature_dim = view_->info().header.feature_dim;
+  for (const auto& entry : report) {
+    const auto f = static_cast<std::uint32_t>(entry.feature_index);
+    if (f >= feature_dim) continue;  // lint features have no central path
+    EXPECT_EQ(view_->central_path(f), entry.central_path);
+  }
+}
+
+TEST_F(ArtifactFixture, MappedVocabProbeTableIsConsistent) {
+  const paths::PathVocabView& vocab = view_->vocab();
+  ASSERT_GT(vocab.size(), 0u);
+  const std::uint32_t stride = std::max<std::uint32_t>(1, vocab.size() / 256);
+  for (std::uint32_t id = 0; id < vocab.size(); id += stride) {
+    paths::PathContext pc;
+    pc.source_value = std::string(vocab.source_value(id));
+    pc.path = std::string(vocab.path_value(id));
+    pc.target_value = std::string(vocab.target_value(id));
+    EXPECT_EQ(vocab.lookup(pc), static_cast<std::int32_t>(id));
+  }
+}
+
+TEST_F(ArtifactFixture, TruncationThrowsModelFormatError) {
+  for (const std::size_t cut :
+       {std::size_t(0), std::size_t(3), std::size_t(79),
+        artifact_->size() / 2, artifact_->size() - 1}) {
+    core::ModelView view;
+    std::vector<std::uint8_t> bytes(artifact_->begin(),
+                                    artifact_->begin() + cut);
+    EXPECT_THROW(view.from_buffer(std::move(bytes)), ser::ModelFormatError)
+        << "cut=" << cut;
+  }
+}
+
+TEST_F(ArtifactFixture, PayloadBitFlipThrowsModelFormatError) {
+  // Flip a byte inside each section's payload: the per-section checksum must
+  // catch every one of them.
+  const core::ArtifactInfo info = view_->info();
+  for (const core::ArtifactSectionInfo& s : info.sections) {
+    if (s.rec.size == 0) continue;
+    std::vector<std::uint8_t> bytes = *artifact_;
+    bytes[s.rec.offset + s.rec.size / 2] ^= 0x40;
+    core::ModelView view;
+    EXPECT_THROW(view.from_buffer(std::move(bytes)), ser::ModelFormatError)
+        << s.name;
+  }
+}
+
+TEST_F(ArtifactFixture, CorruptHeaderThrowsModelFormatError) {
+  {
+    std::vector<std::uint8_t> bytes = *artifact_;
+    bytes[0] = 'X';  // magic
+    core::ModelView view;
+    EXPECT_THROW(view.from_buffer(std::move(bytes)), ser::ModelFormatError);
+  }
+  {
+    std::vector<std::uint8_t> bytes = *artifact_;
+    bytes[4] = 99;  // version
+    core::ModelView view;
+    EXPECT_THROW(view.from_buffer(std::move(bytes)), ser::ModelFormatError);
+  }
+}
+
+TEST_F(ArtifactFixture, FormatErrorCarriesSectionAndOffset) {
+  std::vector<std::uint8_t> bytes = *artifact_;
+  const core::ArtifactInfo info = view_->info();
+  const auto& first = info.sections.front();
+  bytes[first.rec.offset] ^= 0x01;
+  core::ModelView view;
+  try {
+    view.from_buffer(std::move(bytes));
+    FAIL() << "corrupt artifact attached";
+  } catch (const ser::ModelFormatError& e) {
+    EXPECT_EQ(e.section(), first.name);
+    EXPECT_NE(std::string(e.what()).find(first.name), std::string::npos);
+  }
+}
+
+TEST_F(ArtifactFixture, LegacyStreamConvertsToIdenticalArtifact) {
+  std::stringstream legacy;
+  trainer_->save_legacy(legacy);
+  core::JsRevealer restored(core::Config{});
+  restored.load(legacy);
+  EXPECT_EQ(restored.save_artifact(), *artifact_);
+}
+
+TEST_F(ArtifactFixture, V3StreamConvertsToIdenticalArtifact) {
+  std::stringstream stream;
+  trainer_->save(stream);
+  core::JsRevealer restored(core::Config{});
+  restored.load(stream);
+  EXPECT_EQ(restored.save_artifact(), *artifact_);
+}
+
+TEST(ModelViewApi, UnloadedViewIsSafe) {
+  core::ModelView view;
+  EXPECT_FALSE(view.loaded());
+  EXPECT_EQ(view.classify("var x = 1;"), 1);  // fail-closed convention
+}
+
+TEST(ModelViewApi, TrainThrowsLogicError) {
+  core::ModelView view;
+  EXPECT_THROW(view.train(train_corpus()), std::logic_error);
+}
+
+TEST(ModelViewApi, UntrainedSaveArtifactThrows) {
+  core::JsRevealer det(core::Config{});
+  EXPECT_THROW(det.save_artifact(), std::logic_error);
+}
+
+TEST(ModelViewApi, MissingFileThrows) {
+  core::ModelView view;
+  EXPECT_THROW(view.map_file("/tmp/jsrev_no_such_artifact.jsrm"),
+               std::exception);
+}
+
+}  // namespace
+}  // namespace jsrev

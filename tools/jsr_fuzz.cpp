@@ -20,6 +20,12 @@
 //      Before the mutation loop a verdict sweep additionally checks that a
 //      small JsRevealer running behind Config::deobfuscate classifies
 //      obf(s) exactly like s for clean generator seeds.
+//   O6 artifact-robust: truncations and bit flips over a valid JSRM model
+//      artifact must surface as ser::ModelFormatError from
+//      ModelView::from_buffer — never a crash — and a mutant that still
+//      loads (mutation landed in padding) must classify probe scripts
+//      exactly like the pristine artifact, never silently differently.
+//      Runs once up front, like the O5 verdict sweep.
 //
 // Usage:
 //   $ jsr_fuzz --seed 1 --iters 2000            # CI smoke configuration
@@ -39,6 +45,7 @@
 
 #include "analysis/script_analysis.h"
 #include "core/jsrevealer.h"
+#include "core/model_view.h"
 #include "dataset/generator.h"
 #include "deob/deob.h"
 #include "js/ast_compare.h"
@@ -50,6 +57,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "util/hash.h"
+#include "util/serialize.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -87,6 +95,7 @@ struct Stats {
   std::uint64_t o3_checked = 0;
   std::uint64_t o5_checked = 0;
   std::uint64_t o5_verdicts = 0;
+  std::uint64_t o6_checked = 0;
   std::uint64_t failures = 0;
 
   /// Mirrors the run's outcome counters into the process-wide metrics
@@ -101,6 +110,7 @@ struct Stats {
     reg.counter("fuzz.oracle.obfuscate_checked")->add(o3_checked);
     reg.counter("fuzz.oracle.deob_checked")->add(o5_checked);
     reg.counter("fuzz.oracle.deob_verdicts_checked")->add(o5_verdicts);
+    reg.counter("fuzz.oracle.artifact_checked")->add(o6_checked);
     reg.counter("fuzz.findings")->add(failures);
   }
 };
@@ -255,6 +265,104 @@ void run_verdict_sweep(const Options& opt, Stats& stats) {
   }
 }
 
+/// O6 artifact-robustness sweep: mutate a valid JSRM artifact and require
+/// ModelView::from_buffer to either reject it with ser::ModelFormatError or
+/// keep classifying exactly like the pristine artifact (a mutation that only
+/// touches alignment padding changes nothing observable). Any other
+/// exception, a crash, or a silent verdict change is a finding.
+void run_artifact_sweep(const Options& opt, Stats& stats) {
+  dataset::GeneratorConfig gc;
+  gc.seed = opt.seed ^ 0xa271f0ULL;
+  gc.benign_count = 20;
+  gc.malicious_count = 20;
+  const dataset::Corpus train = dataset::generate_corpus(gc);
+
+  core::Config cfg;
+  cfg.embed_epochs = 4;
+  cfg.embedding_dim = 32;
+  core::JsRevealer detector(cfg);
+  detector.train(train);
+  const std::vector<std::uint8_t> artifact = detector.save_artifact();
+
+  // Probe scripts + the heap detector's verdicts as the baseline.
+  gc.seed = opt.seed ^ 0x9e0be5ULL;
+  gc.benign_count = 3;
+  gc.malicious_count = 3;
+  const dataset::Corpus probes = dataset::generate_corpus(gc);
+  std::vector<int> baseline;
+  for (const auto& s : probes.samples) {
+    baseline.push_back(detector.classify(s.source));
+  }
+
+  // The pristine artifact itself must load and agree with the heap path.
+  {
+    ++stats.o6_checked;
+    core::ModelView view;
+    bool ok = true;
+    try {
+      view.from_buffer(artifact);
+    } catch (const std::exception& e) {
+      ok = false;
+      report_failure(stats, "O6-artifact",
+                     std::string("pristine artifact rejected: ") + e.what(),
+                     "<artifact>");
+    }
+    if (ok) {
+      for (std::size_t i = 0; i < probes.samples.size(); ++i) {
+        if (view.classify(probes.samples[i].source) != baseline[i]) {
+          report_failure(stats, "O6-artifact",
+                         "mapped verdict differs from heap verdict on probe " +
+                             std::to_string(i),
+                         probes.samples[i].source);
+        }
+      }
+    }
+  }
+
+  Rng rng(opt.seed ^ 0x6a57ULL);
+  const auto check_mutant = [&](std::vector<std::uint8_t> mutant,
+                                const char* what) {
+    ++stats.o6_checked;
+    core::ModelView view;
+    try {
+      view.from_buffer(std::move(mutant));
+    } catch (const ser::ModelFormatError&) {
+      return;  // structured rejection: exactly the contract
+    } catch (const std::exception& e) {
+      report_failure(stats, "O6-artifact",
+                     std::string(what) + " raised a non-ModelFormatError: " +
+                         e.what(),
+                     "<artifact>");
+      return;
+    }
+    // Still loads: the mutation must be behaviorally invisible.
+    for (std::size_t i = 0; i < probes.samples.size(); ++i) {
+      if (view.classify(probes.samples[i].source) != baseline[i]) {
+        report_failure(stats, "O6-artifact",
+                       std::string(what) +
+                           " loaded but silently changed the verdict of "
+                           "probe " +
+                           std::to_string(i),
+                       probes.samples[i].source);
+        return;
+      }
+    }
+  };
+
+  for (int round = 0; round < 48; ++round) {
+    // Truncation (mid-transfer cutoff): every prefix length is fair game.
+    std::vector<std::uint8_t> cut = artifact;
+    cut.resize(rng.below(artifact.size()));
+    check_mutant(std::move(cut), "truncation");
+
+    // Single bit flip anywhere in the file.
+    std::vector<std::uint8_t> flipped = artifact;
+    const std::size_t at = rng.below(flipped.size());
+    flipped[at] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+    check_mutant(std::move(flipped), "bit flip");
+  }
+}
+
 int run(const Options& opt) {
   const std::vector<std::string> corpus = build_seed_corpus(opt);
   std::vector<std::unique_ptr<obf::Obfuscator>> obfuscators;
@@ -270,6 +378,12 @@ int run(const Options& opt) {
   if (!opt.quiet) {
     std::printf("  O5 verdict sweep: %llu checks, %llu findings\n",
                 static_cast<unsigned long long>(stats.o5_verdicts),
+                static_cast<unsigned long long>(stats.failures));
+  }
+  run_artifact_sweep(opt, stats);
+  if (!opt.quiet) {
+    std::printf("  O6 artifact sweep: %llu checks, %llu findings\n",
+                static_cast<unsigned long long>(stats.o6_checked),
                 static_cast<unsigned long long>(stats.failures));
   }
 
@@ -398,7 +512,7 @@ int run(const Options& opt) {
   std::printf(
       "jsr_fuzz: seed=%llu iters=%llu corpus=%zu | %llu parse-ok, "
       "%llu parse-fail | O2 on %llu, O3 on %llu, O5 on %llu (+%llu verdicts) "
-      "| %.2fs (%.0f execs/s) | %llu findings\n",
+      "| O6 on %llu | %.2fs (%.0f execs/s) | %llu findings\n",
       static_cast<unsigned long long>(opt.seed),
       static_cast<unsigned long long>(stats.execs), corpus.size(),
       static_cast<unsigned long long>(stats.parse_ok),
@@ -406,7 +520,8 @@ int run(const Options& opt) {
       static_cast<unsigned long long>(stats.o2_checked),
       static_cast<unsigned long long>(stats.o3_checked),
       static_cast<unsigned long long>(stats.o5_checked),
-      static_cast<unsigned long long>(stats.o5_verdicts), secs, rate,
+      static_cast<unsigned long long>(stats.o5_verdicts),
+      static_cast<unsigned long long>(stats.o6_checked), secs, rate,
       static_cast<unsigned long long>(stats.failures));
 
   stats.publish();
@@ -423,6 +538,7 @@ int run(const Options& opt) {
         .kv("obfuscate_checked", stats.o3_checked)
         .kv("deob_checked", stats.o5_checked)
         .kv("deob_verdicts_checked", stats.o5_verdicts)
+        .kv("artifact_checked", stats.o6_checked)
         .kv_fixed("wall_s", secs, 3)
         .kv_fixed("execs_per_sec", rate, 1)
         .kv("findings", stats.failures)

@@ -1,0 +1,236 @@
+// jsr_model: model-artifact lifecycle CLI for the JSRM v3 format.
+//
+// Subcommands:
+//   train --out M.jsrm [--scripts N] [--seed N] [--threads N] [--lint]
+//         [--stream M.bin] [--legacy-stream M.bin]
+//       trains a JsRevealer on a generated corpus and writes the mmap-able
+//       artifact; optionally also the stream form (v3, or the v1/v2 legacy
+//       layout) for conversion tests.
+//   inspect M.jsrm
+//       prints the header, the section table (name, offset, size, checksum,
+//       verification state), and per-section share of the file.
+//   convert IN.bin OUT.jsrm
+//       loads a stream model (any version: v1, v2, or v3) and rewrites it
+//       as a v3 artifact.
+//   classify M.jsrm FILE.JS...
+//       maps the artifact and classifies each file (0 = benign,
+//       1 = malicious), exercising the exact zero-copy path a serving
+//       process would run.
+//
+// Exit status: 0 = ok, 1 = operation failed, 2 = usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/jsrevealer.h"
+#include "core/model_view.h"
+#include "dataset/generator.h"
+#include "util/serialize.h"
+
+namespace {
+
+using namespace jsrev;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s train --out M.jsrm [--scripts N] [--seed N] [--threads N]\n"
+      "          [--lint] [--stream M.bin] [--legacy-stream M.bin]\n"
+      "       %s inspect M.jsrm\n"
+      "       %s convert IN.bin OUT.jsrm\n"
+      "       %s classify M.jsrm FILE.JS...\n",
+      argv0, argv0, argv0, argv0);
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+int cmd_train(int argc, char** argv) {
+  std::string out_path, stream_path, legacy_path;
+  std::uint64_t seed = 42;
+  std::size_t scripts = 60, threads = 0;
+  bool lint = false;
+  for (int i = 2; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--out") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      out_path = v;
+    } else if (std::strcmp(argv[i], "--stream") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      stream_path = v;
+    } else if (std::strcmp(argv[i], "--legacy-stream") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      legacy_path = v;
+    } else if (std::strcmp(argv[i], "--scripts") == 0) {
+      const char* v = next();
+      if (v == nullptr || std::strtoull(v, nullptr, 10) == 0) {
+        return usage(argv[0]);
+      }
+      scripts = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      threads = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--lint") == 0) {
+      lint = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (out_path.empty() && stream_path.empty() && legacy_path.empty()) {
+    return usage(argv[0]);
+  }
+
+  dataset::GeneratorConfig gc;
+  gc.seed = seed;
+  gc.benign_count = scripts;
+  gc.malicious_count = scripts;
+  const dataset::Corpus corpus = dataset::generate_corpus(gc);
+
+  core::Config cfg;
+  cfg.seed = seed;
+  cfg.threads = threads;
+  cfg.lint_features = lint;
+  core::JsRevealer det(cfg);
+  det.train(corpus);
+
+  if (!out_path.empty()) {
+    det.save_artifact_file(out_path);
+    std::printf("jsr_model: wrote artifact %s (%zu features)\n",
+                out_path.c_str(), det.feature_count());
+  }
+  if (!stream_path.empty()) {
+    det.save_file(stream_path);
+    std::printf("jsr_model: wrote stream model %s\n", stream_path.c_str());
+  }
+  if (!legacy_path.empty()) {
+    std::ofstream out(legacy_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "jsr_model: cannot write %s\n",
+                   legacy_path.c_str());
+      return 1;
+    }
+    det.save_legacy(out);
+    std::printf("jsr_model: wrote legacy stream model %s\n",
+                legacy_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_inspect(const std::string& path) {
+  core::ModelView view;
+  try {
+    view.map_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "jsr_model: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  const core::ArtifactInfo info = view.info();
+  const auto& h = info.header;
+  std::printf("artifact %s\n", path.c_str());
+  std::printf("  version %u, %llu bytes, %u sections\n", h.version,
+              static_cast<unsigned long long>(h.file_size), h.section_count);
+  std::printf(
+      "  embedding_dim=%u feature_dim=%u lint_dim=%u clusters_removed=%u\n",
+      h.embedding_dim, h.feature_dim, h.lint_dim, h.clusters_removed);
+  std::printf("  vocab_size=%u table_size=%u n_trees=%u path=%u/%u flags=%#x\n",
+              h.vocab_size, h.vocab_table_size, h.n_trees, h.path_max_length,
+              h.path_max_width, h.flags);
+  std::printf("  %-26s %10s %12s %18s  %s\n", "section", "offset", "bytes",
+              "fnv1a64", "state");
+  for (const core::ArtifactSectionInfo& s : info.sections) {
+    std::printf("  %-26s %10llu %12llu %018llx  %s\n", s.name,
+                static_cast<unsigned long long>(s.rec.offset),
+                static_cast<unsigned long long>(s.rec.size),
+                static_cast<unsigned long long>(s.rec.checksum),
+                s.checksum_ok ? "ok" : "CORRUPT");
+  }
+  return 0;
+}
+
+int cmd_convert(const std::string& in_path, const std::string& out_path) {
+  core::JsRevealer det{core::Config{}};
+  try {
+    det.load_file(in_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "jsr_model: cannot load %s: %s\n", in_path.c_str(),
+                 e.what());
+    return 1;
+  }
+  try {
+    det.save_artifact_file(out_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "jsr_model: cannot write %s: %s\n", out_path.c_str(),
+                 e.what());
+    return 1;
+  }
+  std::printf("jsr_model: converted %s -> %s\n", in_path.c_str(),
+              out_path.c_str());
+  return 0;
+}
+
+int cmd_classify(const std::string& model_path,
+                 const std::vector<std::string>& files) {
+  core::ModelView view;
+  try {
+    view.map_file(model_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "jsr_model: %s: %s\n", model_path.c_str(), e.what());
+    return 1;
+  }
+  int rc = 0;
+  for (const std::string& file : files) {
+    std::string source;
+    if (!read_file(file, &source)) {
+      std::fprintf(stderr, "jsr_model: cannot read %s\n", file.c_str());
+      rc = 1;
+      continue;
+    }
+    std::printf("%d\t%s\n", view.classify(source), file.c_str());
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const char* cmd = argv[1];
+  if (std::strcmp(cmd, "train") == 0) {
+    return cmd_train(argc, argv);
+  }
+  if (std::strcmp(cmd, "inspect") == 0) {
+    if (argc != 3) return usage(argv[0]);
+    return cmd_inspect(argv[2]);
+  }
+  if (std::strcmp(cmd, "convert") == 0) {
+    if (argc != 4) return usage(argv[0]);
+    return cmd_convert(argv[2], argv[3]);
+  }
+  if (std::strcmp(cmd, "classify") == 0) {
+    if (argc < 4) return usage(argv[0]);
+    return cmd_classify(argv[2],
+                        std::vector<std::string>(argv + 3, argv + argc));
+  }
+  return usage(argv[0]);
+}
