@@ -104,6 +104,58 @@ echo "jsr_model: legacy-stream conversion is byte-identical"
 "${BUILD_DIR}/tools/jsr_model" classify "${BUILD_DIR}/check_model.jsrm" \
     examples/samples/dropper.js
 
+# Serving smoke: the artifact trained above, served end to end through the
+# jsr_serve daemon in --stdio mode. Three probes:
+#   1. verdict parity — the daemon's verdicts for the sample scripts must
+#      match `jsr_model classify` over the same model, byte for byte,
+#   2. failure containment — garbage on the wire must draw an error frame
+#      and a clean exit 0, never a crash or sanitizer report,
+#   3. graceful drain — a QUIT frame after the classifies still answers
+#      every request before the BYE.
+echo "== jsr_serve stdio smoke (ASan+UBSan)"
+serve_in="${BUILD_DIR}/serve_smoke_inputs"
+rm -rf "${serve_in}" && mkdir -p "${serve_in}"
+cp examples/samples/dropper.js "${serve_in}/dropper.js"
+printf 'var x = 1 + 2;\nconsole.log(x);\n' > "${serve_in}/benign.js"
+printf 'function broken( {\n' > "${serve_in}/broken.js"
+serve_files=("${serve_in}/benign.js" "${serve_in}/dropper.js" "${serve_in}/broken.js")
+"${BUILD_DIR}/tools/jsr_serve" --encode "${serve_files[@]}" --quit \
+    | "${BUILD_DIR}/tools/jsr_serve" --model "${BUILD_DIR}/check_model.jsrm" --stdio \
+    | "${BUILD_DIR}/tools/jsr_serve" --decode > "${BUILD_DIR}/serve_smoke.out"
+daemon_verdicts="$(awk -F'\t' '$2 ~ /^[01]$/ { print $2 }' "${BUILD_DIR}/serve_smoke.out")"
+library_verdicts="$("${BUILD_DIR}/tools/jsr_model" classify \
+    "${BUILD_DIR}/check_model.jsrm" "${serve_files[@]}" | cut -f1)"
+if [ "${daemon_verdicts}" != "${library_verdicts}" ]; then
+  echo "jsr_serve smoke FAILED: daemon verdicts diverge from jsr_model classify" >&2
+  echo "daemon:  ${daemon_verdicts}" >&2
+  echo "library: ${library_verdicts}" >&2
+  exit 1
+fi
+grep -q 'BYE' "${BUILD_DIR}/serve_smoke.out" \
+    || { echo "jsr_serve smoke FAILED: no BYE after QUIT drain" >&2; exit 1; }
+echo "jsr_serve: daemon verdicts match jsr_model classify; QUIT drained"
+# Deterministic malformed-frame sweep: plain garbage, a truncated header,
+# and an oversized length field — the daemon must answer with an error
+# frame (or wait out the truncation) and exit 0 on every one.
+printf 'this is definitely not a frame' \
+    | "${BUILD_DIR}/tools/jsr_serve" --model "${BUILD_DIR}/check_model.jsrm" \
+        --stdio > /dev/null
+printf 'JR\x01\x00\x01\x00\x00' \
+    | "${BUILD_DIR}/tools/jsr_serve" --model "${BUILD_DIR}/check_model.jsrm" \
+        --stdio > /dev/null
+printf 'JR\x01\x00\x01\x00\x00\x00\xff\xff\xff\xff' \
+    | "${BUILD_DIR}/tools/jsr_serve" --model "${BUILD_DIR}/check_model.jsrm" \
+        --stdio > /dev/null
+echo "jsr_serve: malformed-frame sweep survived (exit 0 on all three)"
+
+# Serving bench at smoke scale: one repeat, tiny corpus — the point under
+# sanitizers is memory safety across the socketpair + framing + batching
+# stack plus the always-on hard gate (daemon verdicts bit-identical to the
+# library) and a schema-valid BENCH_serve.json.
+echo "== bench_serve smoke (ASan+UBSan)"
+(cd "${BUILD_DIR}" && JSREV_BENCH_TRAIN=24 JSREV_BENCH_CORPUS=8 \
+    JSREV_BENCH_REPEATS=1 JSREV_BENCH_ASAN_RELAX=1 ./bench/bench_serve)
+
 # Model-IO bench at smoke scale: one repeat, timing gate relaxed — the point
 # under sanitizers is memory safety across mmap attach/validation plus the
 # always-on hard gate (mapped verdicts bit-identical to the heap detector at
@@ -127,6 +179,7 @@ echo "== artifact schema validation"
     --validate "${BUILD_DIR}/BENCH_fuzz.json" \
     --validate "${BUILD_DIR}/BENCH_ast_layout.json" \
     --validate "${BUILD_DIR}/BENCH_deob.json" \
-    --validate "${BUILD_DIR}/BENCH_model_io.json"
+    --validate "${BUILD_DIR}/BENCH_model_io.json" \
+    --validate "${BUILD_DIR}/BENCH_serve.json"
 
 echo "== all checks passed"

@@ -100,6 +100,10 @@ class JsRevealer final : public detect::Detector {
   /// cfg.run_outlier_selection is set).
   ml::OutlierMethod outlier_method() const { return outlier_method_; }
 
+  /// The pipeline configuration this detector runs with (serving layers
+  /// mirror its parse limits / deobfuscate flag into their own analyses).
+  const Config& config() const { return cfg_; }
+
   /// Top-`n` features by random-forest importance, with their central paths
   /// (Table VII). Only valid after train() with the random-forest classifier.
   std::vector<FeatureReportEntry> feature_report(int n = 5) const;

@@ -121,6 +121,12 @@ class ModelView final : public detect::Detector {
   std::size_t threads() const { return threads_; }
   void set_threads(std::size_t n) { threads_ = n; }
 
+  /// Inference configuration reconstructed from the artifact header —
+  /// serving layers build their ScriptAnalysis with exactly these values so
+  /// externally-built analyses classify bit-identically to classify(source).
+  const js::ParseLimits& parse_limits() const { return parse_limits_; }
+  bool deobfuscate() const { return deobfuscate_; }
+
   /// Header and section table of the attached artifact (jsr_model inspect).
   ArtifactInfo info() const;
 

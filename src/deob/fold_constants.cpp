@@ -71,24 +71,6 @@ bool decode_unescape(std::string_view s, std::string& out) {
   return true;
 }
 
-bool is_valid_base64(std::string_view s) {
-  if (s.size() % 4 != 0) return false;
-  std::size_t pad = 0;
-  for (std::size_t i = 0; i < s.size(); ++i) {
-    const char c = s[i];
-    if (c == '=') {
-      ++pad;
-      if (i + 2 < s.size() || pad > 2) return false;
-      continue;
-    }
-    if (pad > 0) return false;
-    const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
-                    (c >= '0' && c <= '9') || c == '+' || c == '/';
-    if (!ok) return false;
-  }
-  return true;
-}
-
 class FoldConstantsPass final : public Pass {
  public:
   std::string_view name() const noexcept override { return "fold-constants"; }
@@ -233,9 +215,12 @@ class FoldConstantsPass final : public Pass {
       return;
     }
     if (is_identifier(callee, "atob")) {
+      // Strict decode or no fold: a real engine throws InvalidCharacterError
+      // on malformed input, so folding through the lenient decoder would
+      // rewrite a reachable throw into a silently truncated string.
       const std::string_view enc = n->children[1]->str.view();
-      if (is_valid_base64(enc)) {
-        replace(n, arena_->string_literal(base64_decode(enc)));
+      if (const std::optional<std::string> dec = base64_decode_strict(enc)) {
+        replace(n, arena_->string_literal(*dec));
       }
       return;
     }

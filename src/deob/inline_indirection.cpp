@@ -21,6 +21,7 @@
 // Declarations emptied by these rewrites are left for prune-dead; the
 // fixpoint driver re-runs the pipeline until nothing changes.
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -354,17 +355,29 @@ int inline_decoders(js::Ast& ast) {
     if (!sites_clean || sites.empty()) continue;
 
     const long long shift = rot != nullptr ? rot->count % len : 0;
+    bool all_inlined = true;
     for (const auto& [call, raw] : sites) {
       const std::string& stored =
           arr.values[static_cast<std::size_t>((raw + shift) % len)];
-      const std::string value =
-          dec.base64 ? base64_decode(stored) : stored;
+      std::string value = stored;
+      if (dec.base64) {
+        // Strict decode or skip the site: the script's decoder runs atob,
+        // which throws on malformed entries — inlining the lenient decode's
+        // truncation would change behavior (see fold-constants).
+        std::optional<std::string> decoded = base64_decode_strict(stored);
+        if (!decoded) {
+          all_inlined = false;
+          continue;
+        }
+        value = std::move(*decoded);
+      }
       js::replace_node(call, *arena.string_literal(value));
       ++changes;
     }
     // With every call inlined the rotation's only observable effect is gone;
-    // dropping it frees the table for unused-declaration pruning.
-    if (rot != nullptr) dead_rotations.insert(rot->stmt);
+    // dropping it frees the table for unused-declaration pruning. Any site
+    // left behind (undecodable entry) still reads the rotated table.
+    if (rot != nullptr && all_inlined) dead_rotations.insert(rot->stmt);
   }
 
   if (!dead_rotations.empty()) {

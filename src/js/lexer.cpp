@@ -276,22 +276,47 @@ Token Lexer::lex_string(char quote) {
           break;
         }
         case 'u': {
-          // \uXXXX — store the code point UTF-8 encoded (BMP only).
+          // \uXXXX — store the code point UTF-8 encoded. A high surrogate
+          // immediately followed by an escaped low surrogate pairs into one
+          // supplementary-plane code point, as UTF-16 string semantics
+          // demand; a lone surrogate keeps its raw 3-byte encoding (CESU-8)
+          // so such strings still round-trip byte-for-byte.
           char buf[5] = {};
           for (int i = 0; i < 4; ++i) {
             if (eof() || !std::isxdigit(static_cast<unsigned char>(peek())))
               fail("bad \\u escape");
             buf[i] = advance();
           }
-          const unsigned cp =
-              static_cast<unsigned>(std::strtoul(buf, nullptr, 16));
+          unsigned cp = static_cast<unsigned>(std::strtoul(buf, nullptr, 16));
+          if (cp >= 0xd800 && cp <= 0xdbff && pos_ + 6 <= src_.size() &&
+              src_[pos_] == '\\' && src_[pos_ + 1] == 'u') {
+            char lo_buf[5] = {};
+            bool lo_hex = true;
+            for (int i = 0; i < 4 && lo_hex; ++i) {
+              lo_buf[i] = src_[pos_ + 2 + static_cast<std::size_t>(i)];
+              lo_hex = std::isxdigit(static_cast<unsigned char>(lo_buf[i]));
+            }
+            if (lo_hex) {
+              const unsigned lo =
+                  static_cast<unsigned>(std::strtoul(lo_buf, nullptr, 16));
+              if (lo >= 0xdc00 && lo <= 0xdfff) {
+                pos_ += 6;
+                cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+              }
+            }
+          }
           if (cp < 0x80) {
             value += static_cast<char>(cp);
           } else if (cp < 0x800) {
             value += static_cast<char>(0xc0 | (cp >> 6));
             value += static_cast<char>(0x80 | (cp & 0x3f));
-          } else {
+          } else if (cp < 0x10000) {
             value += static_cast<char>(0xe0 | (cp >> 12));
+            value += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            value += static_cast<char>(0x80 | (cp & 0x3f));
+          } else {
+            value += static_cast<char>(0xf0 | (cp >> 18));
+            value += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
             value += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
             value += static_cast<char>(0x80 | (cp & 0x3f));
           }

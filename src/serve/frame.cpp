@@ -1,0 +1,97 @@
+#include "serve/frame.h"
+
+namespace jsrev::serve {
+namespace {
+
+void put_u32(std::uint32_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t get_u32(std::string_view buf, std::size_t off) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(buf[off])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(buf[off + 1]))
+          << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(buf[off + 2]))
+          << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(buf[off + 3]))
+          << 24);
+}
+
+bool known_type(std::uint8_t t) {
+  switch (static_cast<FrameType>(t)) {
+    case FrameType::kClassify:
+    case FrameType::kPing:
+    case FrameType::kStats:
+    case FrameType::kQuit:
+    case FrameType::kVerdict:
+    case FrameType::kPong:
+    case FrameType::kStatsJson:
+    case FrameType::kBye:
+    case FrameType::kError:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void append_frame(const Frame& f, std::string* out) {
+  out->reserve(out->size() + kFrameHeaderBytes + f.payload.size());
+  out->push_back(kMagic0);
+  out->push_back(kMagic1);
+  out->push_back(static_cast<char>(f.type));
+  out->push_back(static_cast<char>(f.flags));
+  put_u32(f.id, out);
+  put_u32(static_cast<std::uint32_t>(f.payload.size()), out);
+  out->append(f.payload);
+}
+
+std::string encode_frame(const Frame& f) {
+  std::string out;
+  append_frame(f, &out);
+  return out;
+}
+
+std::string_view decode_status_name(DecodeStatus s) noexcept {
+  switch (s) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kNeedMore: return "need-more";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kBadType: return "bad-type";
+    case DecodeStatus::kTooLarge: return "too-large";
+  }
+  return "?";
+}
+
+DecodeStatus decode_frame(std::string_view buf, std::size_t max_payload,
+                          Frame* out, std::size_t* consumed) {
+  *consumed = 0;
+  // Magic is checked as soon as it can be, so garbage fails fast instead of
+  // waiting for 12 bytes that will never parse.
+  if (!buf.empty() && buf[0] != kMagic0) return DecodeStatus::kBadMagic;
+  if (buf.size() >= 2 && buf[1] != kMagic1) return DecodeStatus::kBadMagic;
+  if (buf.size() < kFrameHeaderBytes) return DecodeStatus::kNeedMore;
+
+  const auto type_byte = static_cast<std::uint8_t>(buf[2]);
+  const auto flags = static_cast<std::uint8_t>(buf[3]);
+  const std::uint32_t id = get_u32(buf, 4);
+  const std::uint32_t length = get_u32(buf, 8);
+
+  out->type = static_cast<FrameType>(type_byte);
+  out->flags = flags;
+  out->id = id;
+  out->payload.clear();
+
+  if (length > max_payload) return DecodeStatus::kTooLarge;
+  if (!known_type(type_byte)) return DecodeStatus::kBadType;
+  if (buf.size() < kFrameHeaderBytes + length) return DecodeStatus::kNeedMore;
+
+  out->payload.assign(buf.substr(kFrameHeaderBytes, length));
+  *consumed = kFrameHeaderBytes + length;
+  return DecodeStatus::kOk;
+}
+
+}  // namespace jsrev::serve

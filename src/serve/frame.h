@@ -1,0 +1,92 @@
+// Length-prefixed framing for the jsr_serve classification protocol.
+//
+// Wire format (all integers little-endian):
+//
+//   offset  size  field
+//   0       2     magic bytes 'J' 'R'
+//   2       1     frame type (FrameType)
+//   3       1     flags (FrameFlags bit set)
+//   4       4     request id, echoed verbatim in the matching response
+//   8       4     payload length in bytes
+//   12      N     payload
+//
+// The codec is pure (no I/O): encode_frame serializes one frame,
+// decode_frame consumes the longest well-formed prefix of a byte buffer.
+// Malformed input is a value, never an exception — the server turns every
+// non-kOk status except kNeedMore into an error response on that one
+// connection and closes it; the daemon itself never dies on wire garbage.
+//
+// Request frames: kClassify (payload = script source, flags may set
+// kWantProvenance), kPing, kStats (drains the obs metrics registry as JSON),
+// kQuit (graceful drain + shutdown). Response frames: kVerdict (payload "0"
+// or "1", or the provenance JSON when requested; kParseFailed flag marks the
+// unparseable⇒malicious convention verdict), kPong, kStatsJson, kBye (sent
+// after a drain completes), kError (payload = reason text).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace jsrev::serve {
+
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+inline constexpr char kMagic0 = 'J';
+inline constexpr char kMagic1 = 'R';
+
+enum class FrameType : std::uint8_t {
+  // Requests.
+  kClassify = 0x01,
+  kPing = 0x02,
+  kStats = 0x03,
+  kQuit = 0x04,
+  // Responses.
+  kVerdict = 0x81,
+  kPong = 0x82,
+  kStatsJson = 0x83,
+  kBye = 0x84,
+  kError = 0xee,
+};
+
+enum FrameFlags : std::uint8_t {
+  /// kClassify: answer with the full provenance JSON instead of one byte.
+  kWantProvenance = 0x01,
+  /// kVerdict: the script did not parse; the verdict is the repository-wide
+  /// unparseable ⇒ malicious convention, not a model decision.
+  kParseFailed = 0x02,
+};
+
+struct Frame {
+  FrameType type = FrameType::kClassify;
+  std::uint8_t flags = 0;
+  std::uint32_t id = 0;
+  std::string payload;
+};
+
+/// Serializes `f` (header + payload) into a fresh buffer.
+std::string encode_frame(const Frame& f);
+
+/// Serializes `f` appending to `*out` (batched writes).
+void append_frame(const Frame& f, std::string* out);
+
+enum class DecodeStatus {
+  kOk,        // one frame decoded, `*consumed` bytes eaten
+  kNeedMore,  // prefix is consistent but incomplete; read more bytes
+  kBadMagic,  // stream does not start with 'J''R' — cannot resync
+  kBadType,   // header intact but the type byte is not a known frame type
+  kTooLarge,  // header intact but payload length exceeds `max_payload`
+};
+
+std::string_view decode_status_name(DecodeStatus s) noexcept;
+
+/// Decodes the first frame of `buf`. On kOk fills `*out` and sets
+/// `*consumed` to the frame's full size. On kBadType/kTooLarge the header
+/// fields (type byte as-is, flags, id) are copied into `*out` with an empty
+/// payload so the caller can address its error response; `*consumed` stays 0.
+/// `max_payload` bounds the accepted payload length (admission control —
+/// callers pass their ParseLimits::max_source_bytes).
+DecodeStatus decode_frame(std::string_view buf, std::size_t max_payload,
+                          Frame* out, std::size_t* consumed);
+
+}  // namespace jsrev::serve

@@ -71,4 +71,37 @@ std::string base64_decode(std::string_view data) {
   return out;
 }
 
+std::optional<std::string> base64_decode_strict(std::string_view data) {
+  static const std::array<std::int8_t, 256> table = make_decode_table();
+  // Split off final-quantum padding; '=' is legal nowhere else.
+  std::size_t len = data.size();
+  std::size_t pad = 0;
+  while (len > 0 && data[len - 1] == '=' && pad < 2) {
+    --len;
+    ++pad;
+  }
+  if (pad > 0 && (len + pad) % 4 != 0) return std::nullopt;
+  const std::size_t rem = len % 4;
+  if (rem == 1) return std::nullopt;  // a lone 6-bit char encodes nothing
+  if (pad > 0 && rem != 0 && rem + pad != 4) return std::nullopt;
+  std::string out;
+  out.reserve(len / 4 * 3 + 2);
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::int8_t v = table[static_cast<unsigned char>(data[i])];
+    if (v < 0) return std::nullopt;  // '=' mid-stream lands here too
+    buffer = (buffer << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out += static_cast<char>((buffer >> bits) & 0xff);
+    }
+  }
+  // A partial final quantum leaves 2 or 4 unused bits; they must be zero or
+  // the input does not round-trip (atob would keep them, we would drop them).
+  if (bits > 0 && (buffer & ((1u << bits) - 1)) != 0) return std::nullopt;
+  return out;
+}
+
 }  // namespace jsrev

@@ -1,6 +1,8 @@
-// Base64 encoding/decoding, used by the string-array obfuscator model.
+// Base64 encoding/decoding, used by the string-array obfuscator model and
+// the deobfuscator's atob() constant folding.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -9,7 +11,19 @@ namespace jsrev {
 /// Standard (RFC 4648) base64 with padding.
 std::string base64_encode(std::string_view data);
 
-/// Decodes base64; ignores whitespace. Invalid characters terminate decoding.
+/// Lenient decode: ignores whitespace and '=' anywhere, stops silently at
+/// the first invalid character, drops trailing bits. Intentionally tolerant
+/// — only for inputs this library encoded itself (round-trip tests, known
+/// well-formed tables). Anything that models a JS runtime's atob() must use
+/// base64_decode_strict: a real engine throws InvalidCharacterError where
+/// this function quietly truncates.
 std::string base64_decode(std::string_view data);
+
+/// Strict decode: the whole input must be well-formed base64 or the result
+/// is nullopt. Rejected inputs: any character outside the RFC 4648 alphabet
+/// (whitespace included), '=' anywhere but as final-quantum padding, a final
+/// quantum of one encoded character, and non-zero unused bits in the final
+/// quantum. Unpadded final quanta of 2 or 3 characters are accepted.
+std::optional<std::string> base64_decode_strict(std::string_view data);
 
 }  // namespace jsrev

@@ -1,6 +1,7 @@
 #include "util/string_util.h"
 
 #include <cctype>
+#include <climits>
 #include <cstdio>
 
 namespace jsrev {
@@ -97,6 +98,36 @@ std::string js_escape(std::string_view s) {
     }
   }
   return out;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return false;  // would overflow
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_size(std::string_view s, std::size_t* out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(s, &v)) return false;
+  if constexpr (sizeof(std::size_t) < sizeof(std::uint64_t)) {
+    if (v > static_cast<std::uint64_t>(SIZE_MAX)) return false;
+  }
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool parse_positive_int(std::string_view s, int* out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(s, &v) || v == 0 || v > INT_MAX) return false;
+  *out = static_cast<int>(v);
+  return true;
 }
 
 }  // namespace jsrev

@@ -184,6 +184,58 @@ TEST(DeobUnflatten, LoopInsideCaseBodyKeepsItsOwnJumps) {
 // Pinned per-pass normal forms (fingerprint regressions).
 // ---------------------------------------------------------------------------
 
+TEST(DeobFold, AtobFoldsOnlyStrictBase64) {
+  // Valid canonical base64 folds to the decoded string ("aGk=" is "hi").
+  expect_pass_normal_form(jsrev::deob::make_fold_constants_pass(),
+                          "f(atob(\"aGk=\"));", "f(\"hi\");");
+
+  // atob() on malformed input THROWS at runtime (InvalidCharacterError);
+  // folding it to a string would change program behavior, so the pass must
+  // leave every call intact: misplaced padding, a lone final char, and a
+  // final quantum with nonzero stray bits ("QR==" — 'R' leaves 0b0001).
+  for (const std::string bad : {"AB==CD", "TWFuT", "QR==", "T===", "a b"}) {
+    const PassRun run = run_pass(jsrev::deob::make_fold_constants_pass(),
+                                 "f(atob(\"" + bad + "\"));");
+    EXPECT_NE(run.printed.find("atob"), std::string::npos)
+        << "folded atob(\"" << bad << "\") to:\n" << run.printed;
+  }
+}
+
+TEST(DeobInline, DecoderTableSkipsMalformedEntries) {
+  // A decoder table mixing valid and malformed base64: the valid entry
+  // inlines, the malformed one ("QR==" has nonzero stray bits — the
+  // script's atob would throw there at runtime) keeps its call site.
+  const std::string source =
+      "var A = [\"aGk=\", \"QR==\"];\n"
+      "function g(i) { return atob(A[i - 0]); }\n"
+      "f(g(0));\n"
+      "h(g(1));\n";
+  const PassRun run =
+      run_pass(jsrev::deob::make_inline_indirection_pass(), source);
+  EXPECT_EQ(run.changes, 1) << run.printed;
+  EXPECT_NE(run.printed.find("\"hi\""), std::string::npos) << run.printed;
+  EXPECT_NE(run.printed.find("g(1)"), std::string::npos) << run.printed;
+}
+
+TEST(DeobInline, MalformedEntryKeepsRotationAlive) {
+  // One undecodable entry leaves a live call site behind, so the rotation
+  // loop (which that site still observes) must NOT be pruned.
+  const std::string source =
+      "var A = [\"aGk=\", \"QR==\", \"eW8=\"];\n"
+      "for (var k = 0; k < 1; k++) A.push(A.shift());\n"
+      "function g(i) { return atob(A[i - 0]); }\n"
+      "use(g(0), g(1), g(2));\n";
+  const PassRun run =
+      run_pass(jsrev::deob::make_inline_indirection_pass(), source);
+  // Rotation 1 over 3: g(0)->"QR==" (skipped), g(1)->"eW8=" ("yo"),
+  // g(2)->"aGk=" ("hi").
+  EXPECT_EQ(run.changes, 2) << run.printed;
+  EXPECT_NE(run.printed.find("\"yo\""), std::string::npos) << run.printed;
+  EXPECT_NE(run.printed.find("\"hi\""), std::string::npos) << run.printed;
+  EXPECT_NE(run.printed.find("g(0)"), std::string::npos) << run.printed;
+  EXPECT_NE(run.printed.find("push"), std::string::npos) << run.printed;
+}
+
 TEST(DeobNormalForm, FoldConstants) {
   expect_pass_normal_form(
       jsrev::deob::make_fold_constants_pass(),

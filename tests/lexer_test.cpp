@@ -83,6 +83,37 @@ TEST(Lexer, UnicodeEscapeNonAscii) {
   EXPECT_EQ(toks[0].string_value, "\xe4\xb8\xad");  // UTF-8 for U+4E2D
 }
 
+TEST(Lexer, SurrogatePairCombinesToOneCodePoint) {
+  // \uD83D\uDE00 is U+1F600 (the emoji grinning face): one astral code
+  // point, 4-byte UTF-8 — not two 3-byte CESU-8 sequences.
+  const auto toks = lex(R"("\uD83D\uDE00")");
+  EXPECT_EQ(toks[0].string_value, "\xf0\x9f\x98\x80");
+  // Case-insensitive hex digits pair up too.
+  const auto lower = lex(R"("\ud83d\ude00")");
+  EXPECT_EQ(lower[0].string_value, "\xf0\x9f\x98\x80");
+  // U+10000, the first astral code point (minimal pair).
+  const auto min_pair = lex(R"("\uD800\uDC00")");
+  EXPECT_EQ(min_pair[0].string_value, "\xf0\x90\x80\x80");
+  // U+10FFFF, the last one (maximal pair).
+  const auto max_pair = lex(R"("\uDBFF\uDFFF")");
+  EXPECT_EQ(max_pair[0].string_value, "\xf4\x8f\xbf\xbf");
+}
+
+TEST(Lexer, LoneSurrogatesStayCesu8) {
+  // A high surrogate not followed by a low one (and vice versa) keeps the
+  // pre-pairing behavior: each escape encodes independently as 3 bytes.
+  const auto high = lex(R"("\uD83Dx")");
+  EXPECT_EQ(high[0].string_value, "\xed\xa0\xbdx");
+  const auto low = lex(R"("\uDE00")");
+  EXPECT_EQ(low[0].string_value, "\xed\xb8\x80");
+  // High followed by a non-surrogate escape: no pairing either.
+  const auto high_bmp = lex(R"("\uD83DA")");
+  EXPECT_EQ(high_bmp[0].string_value, "\xed\xa0\xbd" "A");
+  // Two high surrogates in a row: both stay unpaired.
+  const auto two_high = lex(R"("\uD83D\uD83D")");
+  EXPECT_EQ(two_high[0].string_value, "\xed\xa0\xbd\xed\xa0\xbd");
+}
+
 TEST(Lexer, TemplateLiteral) {
   const auto toks = lex("`hello world`");
   EXPECT_EQ(toks[0].type, TokenType::kTemplateString);

@@ -26,6 +26,19 @@ void expect_roundtrip(const std::string& src) {
       << "\nprinted: " << mini;
 }
 
+TEST(Printer, SurrogatePairStringsRoundTrip) {
+  // Astral code points entered as \uXXXX surrogate pairs must survive
+  // print -> reparse with the same tree: the lexer pairs them into one
+  // code point, and whatever spelling the printer chooses must decode
+  // back to that code point.
+  expect_roundtrip(R"(var emoji = "\uD83D\uDE00";)");
+  expect_roundtrip(R"(var first = "\uD800\uDC00";)");
+  expect_roundtrip(R"(var last = "\uDBFF\uDFFF";)");
+  expect_roundtrip(R"(var mixed = "a\uD83D\uDE00b\u4E2Dc";)");
+  // Lone surrogates (CESU-8 payloads) round-trip unchanged too.
+  expect_roundtrip(R"(var lone = "\uD83Dx";)");
+}
+
 TEST(Printer, SimpleStatements) {
   expect_roundtrip("var x = 1;");
   expect_roundtrip("let y = \"s\";");

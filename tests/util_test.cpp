@@ -102,6 +102,75 @@ TEST(Base64, KnownVector) {
   EXPECT_EQ(base64_decode("TWFu"), "Man");
 }
 
+TEST(Base64, StrictAcceptsCanonicalForms) {
+  // Padded canonical encodings, plus the unpadded final quanta the strict
+  // decoder still accepts (2- and 3-char remainders with zero stray bits).
+  EXPECT_EQ(base64_decode_strict("TWFu"), "Man");
+  EXPECT_EQ(base64_decode_strict("TWE="), "Ma");
+  EXPECT_EQ(base64_decode_strict("TQ=="), "M");
+  EXPECT_EQ(base64_decode_strict("TWE"), "Ma");
+  EXPECT_EQ(base64_decode_strict("TQ"), "M");
+  EXPECT_EQ(base64_decode_strict(""), "");
+  for (const std::string s : {"", "a", "ab", "abc", "hello world"}) {
+    EXPECT_EQ(base64_decode_strict(base64_encode(s)), s) << s;
+  }
+}
+
+TEST(Base64, StrictRejectsMalformedInput) {
+  // Invalid characters anywhere (the lenient decoder skips these).
+  EXPECT_FALSE(base64_decode_strict("TW Fu").has_value());
+  EXPECT_FALSE(base64_decode_strict("TW\nFu").has_value());
+  EXPECT_FALSE(base64_decode_strict("TW$u").has_value());
+  // Padding anywhere but the end, or the wrong amount of it.
+  EXPECT_FALSE(base64_decode_strict("AB==CD").has_value());
+  EXPECT_FALSE(base64_decode_strict("T===").has_value());
+  EXPECT_FALSE(base64_decode_strict("TQ=").has_value());
+  EXPECT_FALSE(base64_decode_strict("TWFu=").has_value());
+  // A final quantum of one character can never carry a whole byte.
+  EXPECT_FALSE(base64_decode_strict("TWFuT").has_value());
+  EXPECT_FALSE(base64_decode_strict("=").has_value());
+  // Nonzero stray bits in the final quantum: atob("QR==") throws in
+  // browsers ('R' leaves 0b0001 unconsumed), the lenient decoder shrugs.
+  EXPECT_FALSE(base64_decode_strict("QR==").has_value());
+  EXPECT_FALSE(base64_decode_strict("QUJDRR==").has_value());
+}
+
+TEST(StringUtil, ParseU64) {
+  std::uint64_t v = 99;
+  EXPECT_TRUE(parse_u64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", &v));  // UINT64_MAX
+  EXPECT_EQ(v, 18446744073709551615ull);
+  // Rejections leave *out untouched.
+  v = 7;
+  EXPECT_FALSE(parse_u64("", &v));
+  EXPECT_FALSE(parse_u64("18446744073709551616", &v));  // UINT64_MAX + 1
+  EXPECT_FALSE(parse_u64("-1", &v));
+  EXPECT_FALSE(parse_u64("+1", &v));
+  EXPECT_FALSE(parse_u64(" 1", &v));
+  EXPECT_FALSE(parse_u64("1 ", &v));
+  EXPECT_FALSE(parse_u64("12x", &v));
+  EXPECT_FALSE(parse_u64("0x10", &v));
+  EXPECT_EQ(v, 7u);
+}
+
+TEST(StringUtil, ParseSizeAndPositiveInt) {
+  std::size_t n = 0;
+  EXPECT_TRUE(parse_size("4096", &n));
+  EXPECT_EQ(n, 4096u);
+  EXPECT_FALSE(parse_size("4096q", &n));
+  EXPECT_FALSE(parse_size("", &n));
+
+  int i = 0;
+  EXPECT_TRUE(parse_positive_int("17", &i));
+  EXPECT_EQ(i, 17);
+  EXPECT_FALSE(parse_positive_int("0", &i));  // positive means > 0
+  EXPECT_FALSE(parse_positive_int("-3", &i));
+  EXPECT_FALSE(parse_positive_int("2147483648", &i));  // INT_MAX + 1
+  EXPECT_TRUE(parse_positive_int("2147483647", &i));
+  EXPECT_EQ(i, 2147483647);
+}
+
 TEST(StringUtil, Split) {
   const auto parts = split("a,b,,c", ',');
   ASSERT_EQ(parts.size(), 4u);

@@ -21,6 +21,7 @@
 
 #include "deob/deob.h"
 #include "obs/json.h"
+#include "util/string_util.h"
 
 namespace {
 
@@ -105,9 +106,11 @@ int main(int argc, char** argv) {
       stats = true;
     } else if (std::strcmp(argv[i], "--minify") == 0) {
       style = jsrev::js::PrintStyle::kMinified;
-    } else if (std::strcmp(argv[i], "--max-iters") == 0 && i + 1 < argc) {
-      opts.max_iterations = std::atoi(argv[++i]);
-      if (opts.max_iterations <= 0) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--max-iters") == 0) {
+      if (i + 1 >= argc ||
+          !jsrev::parse_positive_int(argv[++i], &opts.max_iterations)) {
+        return usage(argv[0]);
+      }
     } else if (std::strcmp(argv[i], "-") == 0) {
       files.emplace_back("-");
     } else if (argv[i][0] == '-') {

@@ -59,6 +59,7 @@
 #include "util/hash.h"
 #include "util/serialize.h"
 #include "util/rng.h"
+#include "util/string_util.h"
 #include "util/timer.h"
 
 namespace {
@@ -568,18 +569,15 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--seed") == 0) {
       const char* v = next();
-      if (v == nullptr) return usage(argv[0]);
-      opt.seed = std::strtoull(v, nullptr, 10);
+      if (v == nullptr || !parse_u64(v, &opt.seed)) return usage(argv[0]);
     } else if (std::strcmp(argv[i], "--iters") == 0) {
       const char* v = next();
-      if (v == nullptr) return usage(argv[0]);
-      opt.iters = std::strtoull(v, nullptr, 10);
+      if (v == nullptr || !parse_u64(v, &opt.iters)) return usage(argv[0]);
     } else if (std::strcmp(argv[i], "--corpus") == 0) {
       const char* v = next();
-      if (v == nullptr || std::strtoull(v, nullptr, 10) == 0) {
+      if (v == nullptr || !parse_size(v, &opt.corpus) || opt.corpus == 0) {
         return usage(argv[0]);
       }
-      opt.corpus = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
     } else if (std::strcmp(argv[i], "--json") == 0) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);

@@ -3,6 +3,7 @@
 //   $ jsr_lint file.js [file2.js ...]      # human-readable report
 //   $ jsr_lint --json file.js ...          # machine-readable JSON
 //   $ jsr_lint --deob file.js ...          # lint the deobfuscated form
+//   $ jsr_lint --threads N file.js ...     # parallel width (0 = hardware)
 //   $ jsr_lint --rules                     # print the rule catalog
 //
 // Exit status: 0 on success (diagnostics are data, not failures), 2 on
@@ -19,6 +20,7 @@
 #include "lint/linter.h"
 #include "lint/registry.h"
 #include "lint/report.h"
+#include "util/string_util.h"
 
 namespace {
 
@@ -50,29 +52,34 @@ int main(int argc, char** argv) {
 
   bool json = false;
   bool deob = false;
+  std::size_t threads = 0;
   std::vector<std::string> files;
+  const auto usage = [&]() {
+    std::fprintf(
+        stderr,
+        "usage: %s [--json] [--deob] [--threads N] file.js ... | --rules\n",
+        argv[0]);
+    return 2;
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--deob") == 0) {
       deob = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc || !jsrev::parse_size(argv[++i], &threads)) {
+        return usage();
+      }
     } else if (std::strcmp(argv[i], "--rules") == 0) {
       return print_rules();
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
-      std::fprintf(stderr,
-                   "usage: %s [--json] [--deob] file.js ... | --rules\n",
-                   argv[0]);
-      return 2;
+      return usage();
     } else {
       files.emplace_back(argv[i]);
     }
   }
-  if (files.empty()) {
-    std::fprintf(stderr, "usage: %s [--json] [--deob] file.js ... | --rules\n",
-                 argv[0]);
-    return 2;
-  }
+  if (files.empty()) return usage();
 
   std::vector<std::unique_ptr<jsrev::analysis::ScriptAnalysis>> scripts;
   scripts.reserve(files.size());
@@ -87,7 +94,7 @@ int main(int argc, char** argv) {
   }
 
   const Linter linter;
-  const std::vector<LintResult> results = linter.lint_all(scripts);
+  const std::vector<LintResult> results = linter.lint_all(scripts, threads);
   std::vector<NamedResult> named(files.size());
   for (std::size_t i = 0; i < files.size(); ++i) {
     named[i] = NamedResult{files[i], results[i]};

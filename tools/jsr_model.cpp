@@ -30,6 +30,7 @@
 #include "core/model_view.h"
 #include "dataset/generator.h"
 #include "util/serialize.h"
+#include "util/string_util.h"
 
 namespace {
 
@@ -79,18 +80,15 @@ int cmd_train(int argc, char** argv) {
       legacy_path = v;
     } else if (std::strcmp(argv[i], "--scripts") == 0) {
       const char* v = next();
-      if (v == nullptr || std::strtoull(v, nullptr, 10) == 0) {
+      if (v == nullptr || !parse_size(v, &scripts) || scripts == 0) {
         return usage(argv[0]);
       }
-      scripts = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       const char* v = next();
-      if (v == nullptr) return usage(argv[0]);
-      threads = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+      if (v == nullptr || !parse_size(v, &threads)) return usage(argv[0]);
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       const char* v = next();
-      if (v == nullptr) return usage(argv[0]);
-      seed = std::strtoull(v, nullptr, 10);
+      if (v == nullptr || !parse_u64(v, &seed)) return usage(argv[0]);
     } else if (std::strcmp(argv[i], "--lint") == 0) {
       lint = true;
     } else {

@@ -35,6 +35,7 @@
 #include "obs/metrics.h"
 #include "obs/provenance.h"
 #include "obs/trace.h"
+#include "util/string_util.h"
 
 namespace {
 
@@ -185,18 +186,15 @@ int main(int argc, char** argv) {
       opt.validate_paths.push_back(v);
     } else if (std::strcmp(arg, "--scripts") == 0) {
       const char* v = next();
-      if (v == nullptr || std::strtoull(v, nullptr, 10) == 0) {
+      if (v == nullptr || !parse_size(v, &opt.scripts) || opt.scripts == 0) {
         return usage(argv[0]);
       }
-      opt.scripts = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
     } else if (std::strcmp(arg, "--threads") == 0) {
       const char* v = next();
-      if (v == nullptr) return usage(argv[0]);
-      opt.threads = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+      if (v == nullptr || !parse_size(v, &opt.threads)) return usage(argv[0]);
     } else if (std::strcmp(arg, "--seed") == 0) {
       const char* v = next();
-      if (v == nullptr) return usage(argv[0]);
-      opt.seed = std::strtoull(v, nullptr, 10);
+      if (v == nullptr || !parse_u64(v, &opt.seed)) return usage(argv[0]);
     } else {
       return usage(argv[0]);
     }
