@@ -73,7 +73,14 @@ echo "== jsr_stats smoke (ASan+UBSan)"
     --metrics "${BUILD_DIR}/stats_metrics.json" \
     --deterministic "${BUILD_DIR}/stats_deterministic.json" \
     --trace "${BUILD_DIR}/stats_trace.json" \
+    --prom "${BUILD_DIR}/stats_metrics.prom" \
     --explain examples/samples/dropper.js
+# The offline converter must agree with the live --prom path byte for byte:
+# both are the same snapshot through the same exposition writer.
+"${BUILD_DIR}/tools/jsr_stats" --prom-from "${BUILD_DIR}/stats_metrics.json" \
+    > "${BUILD_DIR}/stats_metrics_from.prom"
+cmp "${BUILD_DIR}/stats_metrics.prom" "${BUILD_DIR}/stats_metrics_from.prom"
+echo "jsr_stats: --prom and --prom-from render byte-identical expositions"
 
 # AST layout smoke under sanitizers: the full gated bench (bytes/node floor,
 # cross-width fingerprint determinism) with its hot loops — interned atoms,
@@ -148,6 +155,49 @@ printf 'JR\x01\x00\x01\x00\x00\x00\xff\xff\xff\xff' \
         --stdio > /dev/null
 echo "jsr_serve: malformed-frame sweep survived (exit 0 on all three)"
 
+# Admin telemetry plane smoke: the daemon on a Unix socket with --admin 0
+# (ephemeral port, announced on stdout), probed through the built-in test
+# client. /healthz must answer, /statusz must be valid JSON, and the
+# /metrics exposition must pass jsr_stats's Prometheus validator and carry
+# the build/model info gauges. SIGTERM must still shut the pair down
+# cleanly (exit 0) with both listeners draining.
+echo "== jsr_serve admin plane smoke (ASan+UBSan)"
+admin_sock="${BUILD_DIR}/admin_smoke.sock"
+admin_log="${BUILD_DIR}/admin_smoke.log"
+rm -f "${admin_sock}"
+"${BUILD_DIR}/tools/jsr_serve" --model "${BUILD_DIR}/check_model.jsrm" \
+    --unix "${admin_sock}" --admin 0 \
+    > "${admin_log}" 2> "${BUILD_DIR}/admin_smoke.err" &
+admin_pid=$!
+admin_ep=""
+for _ in $(seq 1 100); do
+  admin_ep="$(awk '/^admin /{print $2; exit}' "${admin_log}")"
+  [ -n "${admin_ep}" ] && break
+  sleep 0.1
+done
+if [ -z "${admin_ep}" ]; then
+  echo "admin smoke FAILED: no 'admin HOST:PORT' announcement" >&2
+  kill "${admin_pid}" 2> /dev/null || true
+  exit 1
+fi
+"${BUILD_DIR}/tools/jsr_serve" --admin-get "${admin_ep}" /healthz
+"${BUILD_DIR}/tools/jsr_serve" --admin-get "${admin_ep}" /statusz \
+    > "${BUILD_DIR}/admin_statusz.json"
+if command -v python3 > /dev/null; then
+  python3 -m json.tool "${BUILD_DIR}/admin_statusz.json" > /dev/null
+  echo "admin /statusz is valid JSON"
+fi
+"${BUILD_DIR}/tools/jsr_serve" --admin-get "${admin_ep}" /metrics \
+    > "${BUILD_DIR}/admin_metrics.prom"
+"${BUILD_DIR}/tools/jsr_stats" --validate "${BUILD_DIR}/admin_metrics.prom"
+grep -q '^jsr_build_info{' "${BUILD_DIR}/admin_metrics.prom" \
+    || { echo "admin smoke FAILED: jsr_build_info gauge missing" >&2; exit 1; }
+grep -q '^jsr_model_info{' "${BUILD_DIR}/admin_metrics.prom" \
+    || { echo "admin smoke FAILED: jsr_model_info gauge missing" >&2; exit 1; }
+kill -TERM "${admin_pid}"
+wait "${admin_pid}"
+echo "jsr_serve admin plane: /healthz, /statusz, /metrics served and valid"
+
 # Serving bench at smoke scale: one repeat, tiny corpus — the point under
 # sanitizers is memory safety across the socketpair + framing + batching
 # stack plus the always-on hard gate (daemon verdicts bit-identical to the
@@ -155,6 +205,14 @@ echo "jsr_serve: malformed-frame sweep survived (exit 0 on all three)"
 echo "== bench_serve smoke (ASan+UBSan)"
 (cd "${BUILD_DIR}" && JSREV_BENCH_TRAIN=24 JSREV_BENCH_CORPUS=8 \
     JSREV_BENCH_REPEATS=1 JSREV_BENCH_ASAN_RELAX=1 ./bench/bench_serve)
+
+# Admin-overhead bench at smoke scale: timing waived under sanitizers; the
+# always-on gates here are verdict bit-identity with the admin plane armed,
+# a clean /metrics exposition on every scrape, /readyz flipping to 503 on
+# drain, and a schema-valid BENCH_admin.json.
+echo "== bench_admin smoke (ASan+UBSan)"
+(cd "${BUILD_DIR}" && JSREV_BENCH_TRAIN=24 JSREV_BENCH_CORPUS=8 \
+    JSREV_BENCH_REPEATS=1 JSREV_BENCH_ASAN_RELAX=1 ./bench/bench_admin)
 
 # Model-IO bench at smoke scale: one repeat, timing gate relaxed — the point
 # under sanitizers is memory safety across mmap attach/validation plus the
@@ -180,6 +238,9 @@ echo "== artifact schema validation"
     --validate "${BUILD_DIR}/BENCH_ast_layout.json" \
     --validate "${BUILD_DIR}/BENCH_deob.json" \
     --validate "${BUILD_DIR}/BENCH_model_io.json" \
-    --validate "${BUILD_DIR}/BENCH_serve.json"
+    --validate "${BUILD_DIR}/BENCH_serve.json" \
+    --validate "${BUILD_DIR}/BENCH_admin.json" \
+    --validate "${BUILD_DIR}/stats_metrics.prom" \
+    --validate "${BUILD_DIR}/admin_metrics.prom"
 
 echo "== all checks passed"

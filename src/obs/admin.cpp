@@ -1,0 +1,417 @@
+#include "obs/admin.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/trace.h"
+#include "util/version.h"
+
+namespace jsrev::obs {
+namespace {
+
+void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+std::int64_t mono_us() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000 +
+         ts.tv_nsec / 1'000;
+}
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    reason_phrase(status) + "\r\n";
+  out += "Content-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size()) +
+         "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string plain(int status, std::string_view body) {
+  return http_response(status, "text/plain; charset=utf-8", body);
+}
+
+}  // namespace
+
+AdminServer::AdminServer() : start_us_(mono_us()) {
+  if (::pipe(wake_pipe_) != 0) throw_errno("pipe");
+  set_cloexec(wake_pipe_[0]);
+  set_cloexec(wake_pipe_[1]);
+}
+
+AdminServer::~AdminServer() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+}
+
+void AdminServer::listen_tcp(std::uint16_t port, const std::string& bind_addr) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_INET)");
+  set_cloexec(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (!bind_addr.empty() &&
+      ::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("bad admin bind address: " + bind_addr);
+  }
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    throw_errno("bind(admin port " + std::to_string(port) + ")");
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    throw_errno("listen(admin)");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+  listen_fd_ = fd;
+}
+
+void AdminServer::listen_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("admin unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  set_cloexec(fd);
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    throw_errno("bind(" + path + ")");
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    throw_errno("listen(" + path + ")");
+  }
+  listen_fd_ = fd;
+  unix_path_ = path;
+}
+
+void AdminServer::set_ready_check(std::function<bool()> check) {
+  ready_check_ = std::move(check);
+}
+
+void AdminServer::set_status_fields(std::function<void(JsonWriter&)> fields) {
+  status_fields_ = std::move(fields);
+}
+
+void AdminServer::request_shutdown() noexcept {
+  shutdown_.store(true, std::memory_order_relaxed);
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+void AdminServer::start() {
+  run_thread_ = std::thread([this] { run(); });
+}
+
+void AdminServer::stop() {
+  request_shutdown();
+  if (run_thread_.joinable()) run_thread_.join();
+}
+
+void AdminServer::run() {
+  if (listen_fd_ < 0) {
+    throw std::logic_error("AdminServer::run without listen_tcp/listen_unix");
+  }
+  while (!shutdown_requested()) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0 || shutdown_requested()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    set_cloexec(client);
+
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    conn_threads_.emplace_back([this, client] {
+      handle_connection(client);
+      ::close(client);
+    });
+  }
+
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+void AdminServer::handle_connection(int fd) {
+  // One request per connection. Read until the blank line ending the head,
+  // bounded by kMaxRequestBytes (→ 431) and a 5 s overall deadline (→ 408);
+  // every wait also watches the self-pipe so shutdown unsticks us.
+  std::string buf;
+  const std::int64_t deadline_us = mono_us() + 5'000'000;
+  std::string response;
+  while (true) {
+    if (buf.find("\r\n\r\n") != std::string::npos ||
+        buf.find("\n\n") != std::string::npos) {
+      response = respond(buf);
+      break;
+    }
+    if (buf.size() > kMaxRequestBytes) {
+      response = plain(431, "request head too large\n");
+      break;
+    }
+    const std::int64_t left_ms = (deadline_us - mono_us()) / 1'000;
+    if (left_ms <= 0) {
+      response = plain(408, "timed out reading request\n");
+      break;
+    }
+    pollfd fds[2] = {{fd, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, static_cast<int>(left_ms));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0 || shutdown_requested()) return;
+    if (rc == 0) continue;  // recheck deadline
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // peer vanished before finishing the request
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  write_all(fd, response);
+}
+
+std::string AdminServer::respond(std::string_view head) {
+  // Request line: METHOD SP TARGET SP HTTP/x.y
+  const std::size_t eol = head.find_first_of("\r\n");
+  const std::string_view line = head.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.substr(sp2 + 1).rfind("HTTP/", 0) != 0) {
+    LogRecord(LogLevel::kWarn, "admin_bad_request")
+        .kv("line", line.substr(0, 120));
+    return plain(400, "malformed request line\n");
+  }
+  const std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") return plain(405, "only GET is supported\n");
+
+  std::string_view query;
+  if (const std::size_t q = target.find('?'); q != std::string_view::npos) {
+    query = target.substr(q + 1);
+    target = target.substr(0, q);
+  }
+
+  if (target == "/metrics") {
+    return http_response(200, "text/plain; version=0.0.4; charset=utf-8",
+                         render_prometheus(metrics()));
+  }
+  if (target == "/healthz") return plain(200, "ok\n");
+  if (target == "/readyz") {
+    const bool ready = !ready_check_ || ready_check_();
+    return ready ? plain(200, "ready\n") : plain(503, "draining\n");
+  }
+  if (target == "/statusz") {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("version", kVersionString);
+    w.kv("uptime_s",
+         static_cast<double>(mono_us() - start_us_) / 1'000'000.0);
+    if (status_fields_) status_fields_(w);
+    w.end_object();
+    return http_response(200, "application/json", w.str() + "\n");
+  }
+  if (target == "/tracez") return handle_tracez(query);
+  return plain(404, "unknown admin path\n");
+}
+
+std::string AdminServer::handle_tracez(std::string_view query) {
+  long window_ms = 100;
+  if (query.rfind("ms=", 0) == 0) {
+    const std::string value(query.substr(3));
+    char* end = nullptr;
+    const long v = std::strtol(value.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || end == value.c_str() || v < 0) {
+      return plain(400, "bad ms= value\n");
+    }
+    window_ms = v;
+  } else if (!query.empty()) {
+    return plain(400, "unknown query (want ms=N)\n");
+  }
+  if (window_ms > kMaxTraceMs) window_ms = kMaxTraceMs;
+
+  // One capture at a time; concurrent requests queue here rather than
+  // fighting over the tracer's enabled flag.
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  Tracer& tracer = Tracer::global();
+  const bool was_enabled = Tracer::enabled();
+  tracer.clear();
+  tracer.set_enabled(true);
+  const std::int64_t until_us = mono_us() + window_ms * 1'000;
+  while (!shutdown_requested()) {
+    const std::int64_t left_ms = (until_us - mono_us()) / 1'000;
+    if (left_ms <= 0) break;
+    pollfd p{wake_pipe_[0], POLLIN, 0};
+    ::poll(&p, 1, static_cast<int>(left_ms));
+    if ((p.revents & POLLIN) != 0) break;
+  }
+  tracer.set_enabled(was_enabled);
+  std::string trace = tracer.export_chrome_json(/*clear_after=*/true);
+  LogRecord(LogLevel::kInfo, "admin_trace_capture")
+      .kv("window_ms", static_cast<std::int64_t>(window_ms))
+      .kv("bytes", static_cast<std::uint64_t>(trace.size()));
+  return http_response(200, "application/json", trace);
+}
+
+// ---------------------------------------------------------------------------
+// Client side
+
+int admin_http_get(const std::string& endpoint, const std::string& path,
+                   std::string* body, std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return -1;
+  };
+
+  int fd = -1;
+  if (endpoint.rfind("unix:", 0) == 0) {
+    const std::string sock_path = endpoint.substr(5);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (sock_path.size() >= sizeof(addr.sun_path)) {
+      return fail("unix socket path too long");
+    }
+    std::memcpy(addr.sun_path, sock_path.c_str(), sock_path.size() + 1);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return fail(std::string("socket: ") + std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      const std::string e = std::strerror(errno);
+      ::close(fd);
+      return fail("connect(" + sock_path + "): " + e);
+    }
+  } else {
+    const std::size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos) {
+      return fail("endpoint must be host:port or unix:/path");
+    }
+    const std::string host = endpoint.substr(0, colon);
+    const int port = std::atoi(endpoint.c_str() + colon + 1);
+    if (port <= 0 || port > 65535) return fail("bad port in endpoint");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    const std::string ip = host.empty() || host == "localhost"
+                               ? std::string("127.0.0.1")
+                               : host;
+    if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+      return fail("bad host (want a dotted-quad IPv4 address): " + host);
+    }
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return fail(std::string("socket: ") + std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      const std::string e = std::strerror(errno);
+      ::close(fd);
+      return fail("connect(" + endpoint + "): " + e);
+    }
+  }
+
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: admin\r\nConnection: close\r\n\r\n";
+  if (!write_all(fd, request)) {
+    ::close(fd);
+    return fail("short write sending request");
+  }
+
+  std::string response;
+  char chunk[8192];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  if (response.rfind("HTTP/", 0) != 0) return fail("not an HTTP response");
+  const std::size_t sp = response.find(' ');
+  if (sp == std::string::npos) return fail("malformed status line");
+  const int status = std::atoi(response.c_str() + sp + 1);
+  if (status < 100 || status > 599) return fail("malformed status code");
+  std::size_t body_at = response.find("\r\n\r\n");
+  body_at = body_at == std::string::npos ? response.size() : body_at + 4;
+  if (body != nullptr) *body = response.substr(body_at);
+  return status;
+}
+
+}  // namespace jsrev::obs

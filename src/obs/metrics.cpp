@@ -214,7 +214,8 @@ Registry& Registry::global() {
 }
 
 Registry::Entry* Registry::find_or_create(std::string_view name,
-                                          const Labels& labels, Kind kind,
+                                          const Labels& labels,
+                                          MetricKind kind,
                                           const MetricOptions& opts,
                                           std::vector<double> bounds) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -233,10 +234,10 @@ Registry::Entry* Registry::find_or_create(std::string_view name,
   e->kind = kind;
   e->opts = opts;
   switch (kind) {
-    case Kind::kCounter: e->counter = std::make_unique<Counter>(); break;
-    case Kind::kGauge: e->gauge = std::make_unique<Gauge>(); break;
-    case Kind::kSummary: e->summary = std::make_unique<Summary>(); break;
-    case Kind::kHistogram:
+    case MetricKind::kCounter: e->counter = std::make_unique<Counter>(); break;
+    case MetricKind::kGauge: e->gauge = std::make_unique<Gauge>(); break;
+    case MetricKind::kSummary: e->summary = std::make_unique<Summary>(); break;
+    case MetricKind::kHistogram:
       e->histogram = std::make_unique<Histogram>(std::move(bounds));
       break;
   }
@@ -246,24 +247,24 @@ Registry::Entry* Registry::find_or_create(std::string_view name,
 
 Counter* Registry::counter(std::string_view name, const Labels& labels,
                            const MetricOptions& opts) {
-  return find_or_create(name, labels, Kind::kCounter, opts)->counter.get();
+  return find_or_create(name, labels, MetricKind::kCounter, opts)->counter.get();
 }
 
 Gauge* Registry::gauge(std::string_view name, const Labels& labels,
                        const MetricOptions& opts) {
-  return find_or_create(name, labels, Kind::kGauge, opts)->gauge.get();
+  return find_or_create(name, labels, MetricKind::kGauge, opts)->gauge.get();
 }
 
 Summary* Registry::summary(std::string_view name, const Labels& labels,
                            const MetricOptions& opts) {
-  return find_or_create(name, labels, Kind::kSummary, opts)->summary.get();
+  return find_or_create(name, labels, MetricKind::kSummary, opts)->summary.get();
 }
 
 Histogram* Registry::histogram(std::string_view name,
                                std::vector<double> bounds,
                                const Labels& labels,
                                const MetricOptions& opts) {
-  return find_or_create(name, labels, Kind::kHistogram, opts,
+  return find_or_create(name, labels, MetricKind::kHistogram, opts,
                         std::move(bounds))
       ->histogram.get();
 }
@@ -295,6 +296,39 @@ const char* unit_name(Unit u) {
 
 }  // namespace
 
+std::vector<MetricSample> Registry::samples() const {
+  std::vector<MetricSample> out;
+  for (const Entry* e : sorted_entries()) {
+    MetricSample s;
+    s.name = e->name;
+    s.labels = e->labels;
+    s.kind = e->kind;
+    s.unit = e->opts.unit;
+    s.schedule_dependent = e->opts.schedule_dependent;
+    s.help = e->opts.help;
+    switch (e->kind) {
+      case MetricKind::kCounter:
+        s.value = static_cast<double>(e->counter->value());
+        break;
+      case MetricKind::kGauge:
+        s.value = static_cast<double>(e->gauge->value());
+        break;
+      case MetricKind::kSummary:
+        s.count = e->summary->count();
+        s.sum = e->summary->sum();
+        break;
+      case MetricKind::kHistogram:
+        s.count = e->histogram->count();
+        s.sum = e->histogram->sum();
+        s.bounds = e->histogram->bounds();
+        s.buckets = e->histogram->bucket_counts();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 std::string Registry::export_json(bool deterministic_only) const {
   JsonWriter w;
   w.begin_object();
@@ -315,15 +349,15 @@ std::string Registry::export_json(bool deterministic_only) const {
     }
     w.kv("unit", unit_name(e->opts.unit));
     switch (e->kind) {
-      case Kind::kCounter:
+      case MetricKind::kCounter:
         w.kv("type", "counter");
         w.kv("value", e->counter->value());
         break;
-      case Kind::kGauge:
+      case MetricKind::kGauge:
         w.kv("type", "gauge");
         w.kv("value", e->gauge->value());
         break;
-      case Kind::kSummary: {
+      case MetricKind::kSummary: {
         w.kv("type", "summary");
         const Summary& s = *e->summary;
         w.kv("count", s.count());
@@ -336,7 +370,7 @@ std::string Registry::export_json(bool deterministic_only) const {
         }
         break;
       }
-      case Kind::kHistogram: {
+      case MetricKind::kHistogram: {
         w.kv("type", "histogram");
         const Histogram& h = *e->histogram;
         w.kv("count", h.count());
@@ -376,15 +410,15 @@ std::string Registry::to_table() const {
   for (const Entry* e : sorted_entries()) {
     char value[160];
     switch (e->kind) {
-      case Kind::kCounter:
+      case MetricKind::kCounter:
         std::snprintf(value, sizeof value, "%llu",
                       static_cast<unsigned long long>(e->counter->value()));
         break;
-      case Kind::kGauge:
+      case MetricKind::kGauge:
         std::snprintf(value, sizeof value, "%lld",
                       static_cast<long long>(e->gauge->value()));
         break;
-      case Kind::kSummary:
+      case MetricKind::kSummary:
         std::snprintf(value, sizeof value,
                       "n=%llu mean=%.3f%s stddev=%.3f min=%.3f max=%.3f",
                       static_cast<unsigned long long>(e->summary->count()),
@@ -392,7 +426,7 @@ std::string Registry::to_table() const {
                       e->summary->stddev(), e->summary->min(),
                       e->summary->max());
         break;
-      case Kind::kHistogram:
+      case MetricKind::kHistogram:
         std::snprintf(value, sizeof value, "n=%llu sum=%.1f buckets=%zu",
                       static_cast<unsigned long long>(e->histogram->count()),
                       e->histogram->sum(),
@@ -408,10 +442,10 @@ void Registry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& e : entries_) {
     switch (e->kind) {
-      case Kind::kCounter: e->counter->reset(); break;
-      case Kind::kGauge: e->gauge->reset(); break;
-      case Kind::kSummary: e->summary->reset(); break;
-      case Kind::kHistogram: e->histogram->reset(); break;
+      case MetricKind::kCounter: e->counter->reset(); break;
+      case MetricKind::kGauge: e->gauge->reset(); break;
+      case MetricKind::kSummary: e->summary->reset(); break;
+      case MetricKind::kHistogram: e->histogram->reset(); break;
     }
   }
 }

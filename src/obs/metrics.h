@@ -158,6 +158,25 @@ class Histogram {
 /// Sorted key=value labels attached to a metric instance.
 using Labels = std::map<std::string, std::string>;
 
+enum class MetricKind { kCounter, kGauge, kSummary, kHistogram };
+
+/// One metric's identity and merged value(s) at a point in time — the
+/// exporter-neutral snapshot row behind to_json() and the Prometheus
+/// exposition (obs/prometheus.h).
+struct MetricSample {
+  std::string name;
+  Labels labels;
+  MetricKind kind = MetricKind::kCounter;
+  Unit unit = Unit::kCount;
+  bool schedule_dependent = false;
+  std::string help;
+  double value = 0.0;       // counter / gauge
+  std::uint64_t count = 0;  // summary / histogram
+  double sum = 0.0;         // summary / histogram
+  std::vector<double> bounds;          // histogram upper bounds
+  std::vector<std::uint64_t> buckets;  // per-bucket counts, last = overflow
+};
+
 /// Options given at metric creation.
 struct MetricOptions {
   Unit unit = Unit::kCount;
@@ -197,6 +216,11 @@ class Registry {
                        const Labels& labels = {},
                        const MetricOptions& opts = {});
 
+  /// Snapshot of every registered metric with its merged current value(s),
+  /// sorted by (name, labels). The exporter-neutral feed for to_json() and
+  /// the Prometheus exposition writer.
+  std::vector<MetricSample> samples() const;
+
   /// Deterministic full export: every metric with its current value(s),
   /// sorted by (name, labels).
   std::string to_json() const;
@@ -211,12 +235,10 @@ class Registry {
   void reset();
 
  private:
-  enum class Kind { kCounter, kGauge, kSummary, kHistogram };
-
   struct Entry {
     std::string name;
     Labels labels;
-    Kind kind;
+    MetricKind kind;
     MetricOptions opts;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
@@ -225,7 +247,7 @@ class Registry {
   };
 
   Entry* find_or_create(std::string_view name, const Labels& labels,
-                        Kind kind, const MetricOptions& opts,
+                        MetricKind kind, const MetricOptions& opts,
                         std::vector<double> bounds = {});
   std::vector<const Entry*> sorted_entries() const;
   std::string export_json(bool deterministic_only) const;

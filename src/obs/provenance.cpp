@@ -8,6 +8,9 @@ std::string VerdictProvenance::to_json() const {
   JsonWriter w;
   w.begin_object();
   w.kv("detector", detector);
+  if (request_id != 0) {
+    w.kv("request_id", static_cast<std::uint64_t>(request_id));
+  }
   w.kv("verdict", verdict);
   w.kv("verdict_label", verdict == 1   ? "malicious"
                         : verdict == 0 ? "benign"

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,11 @@ struct ClusterAttention {
 struct VerdictProvenance {
   std::string detector;
   int verdict = -1;  // 1 = malicious, 0 = benign, -1 = not classified yet
+
+  /// Wire correlation handle: the serving layer stamps the kClassify frame's
+  /// id here, so a provenance record joins against the daemon's structured
+  /// logs and trace spans for the same request. 0 = not serving a frame.
+  std::uint32_t request_id = 0;
 
   // Frontend.
   std::size_t source_bytes = 0;

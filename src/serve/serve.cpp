@@ -6,10 +6,15 @@
 #include <utility>
 #include <vector>
 
+#include <cstdio>
+
 #include "analysis/script_analysis.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "util/serialize.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/version.h"
 
 namespace jsrev::serve {
 
@@ -58,6 +63,41 @@ ServeOptions ServeModel::options() const {
   opts.limits = parse_limits();
   opts.deobfuscate = deobfuscate();
   return opts;
+}
+
+std::string ServeModel::format() const {
+  return view_ != nullptr ? "jsrm-mapped" : "stream";
+}
+
+std::uint32_t ServeModel::format_version() const {
+  return view_ != nullptr ? view_->info().header.version : 0;
+}
+
+std::size_t ServeModel::lint_dim() const {
+  return view_ != nullptr ? view_->info().header.lint_dim
+                          : heap_->lint_feature_count();
+}
+
+std::size_t ServeModel::feature_count() const {
+  return view_ != nullptr ? view_->feature_count() : heap_->feature_count();
+}
+
+void register_build_info(const ServeModel& model,
+                         const std::string& model_path) {
+  auto& reg = obs::metrics();
+  reg.gauge("build_info", {{"version", kVersionString}},
+            {obs::Unit::kCount, false,
+             "Build identity; value is always 1, identity in labels"})
+      ->set(1);
+  reg.gauge("model_info",
+            {{"path", model_path},
+             {"format", model.format()},
+             {"format_version", std::to_string(model.format_version())},
+             {"lint_dim", std::to_string(model.lint_dim())},
+             {"deobfuscate", model.deobfuscate() ? "on" : "off"}},
+            {obs::Unit::kCount, false,
+             "Served model identity; value is always 1, identity in labels"})
+      ->set(1);
 }
 
 // ---------------------------------------------------------------------------
@@ -116,6 +156,7 @@ void Batcher::submit(ServeRequest req, Completion done) {
     } else {
       Pending p;
       p.enqueued = std::chrono::steady_clock::now();
+      if (obs::Tracer::enabled()) p.trace_enqueue_us = obs::Tracer::now_us();
       p.req = std::move(req);
       p.done = std::move(done);
       queue_.push_back(std::move(p));
@@ -123,6 +164,12 @@ void Batcher::submit(ServeRequest req, Completion done) {
     }
   }
   if (reject != nullptr) {
+    // Rejections are the overload signal operators grep for; bounded so a
+    // saturated daemon logs a trickle, not one line per turned-away request.
+    static obs::LogRateLimit rl(/*per_sec=*/2.0, /*burst=*/10.0);
+    obs::LogRecord(obs::LogLevel::kWarn, "serve.rejected", rl)
+        .kv("request_id", req.id)
+        .kv("reason", reject);
     ServeResponse resp;
     resp.id = req.id;
     resp.rejected = true;
@@ -183,6 +230,20 @@ void Batcher::run_batch(std::vector<Pending> batch) {
   const std::size_t n = batch.size();
   batch_size_->observe(static_cast<double>(n));
 
+  // Request-correlated queue-wait spans: the gap between enqueue and the
+  // moment the worker picked the request up. Recorded retroactively from the
+  // stamp submit() took, so tracing must have been live at enqueue time.
+  if (obs::Tracer::enabled()) {
+    const std::int64_t picked_us = obs::Tracer::now_us();
+    for (const Pending& p : batch) {
+      if (p.trace_enqueue_us < 0) continue;
+      char name[32];
+      std::snprintf(name, sizeof name, "req %u queue", p.req.id);
+      obs::Tracer::global().record(name, "serve", p.trace_enqueue_us,
+                                   picked_us);
+    }
+  }
+
   // Stage 1: build + warm one ScriptAnalysis per request in parallel, with
   // the model's exact frontend configuration (the bit-identity contract).
   std::vector<std::unique_ptr<analysis::ScriptAnalysis>> analyses(n);
@@ -194,6 +255,9 @@ void Batcher::run_batch(std::vector<Pending> batch) {
       if (batch[i].req.want_provenance) analyses[i]->enable_provenance();
     }
     parallel_for_threads(opts_.threads, n, [&](std::size_t i) {
+      char name[32];
+      std::snprintf(name, sizeof name, "req %u analyze", batch[i].req.id);
+      obs::Span span(name, "serve");
       analyses[i]->parse_failed();  // forces the parse (failure is a value)
     });
     stage_analyze_ms_->observe(t.elapsed_ms());
@@ -205,12 +269,16 @@ void Batcher::run_batch(std::vector<Pending> batch) {
   {
     const Timer t;
     parallel_for_threads(opts_.threads, n, [&](std::size_t i) {
+      char name[32];
+      std::snprintf(name, sizeof name, "req %u classify", batch[i].req.id);
+      obs::Span span(name, "serve");
       ServeResponse& resp = responses[i];
       resp.id = batch[i].req.id;
       resp.parse_failed = analyses[i]->parse_failed();
       resp.verdict = model_.classify(*analyses[i]);
       if (batch[i].req.want_provenance &&
           analyses[i]->provenance() != nullptr) {
+        analyses[i]->provenance()->request_id = batch[i].req.id;
         resp.provenance_json = analyses[i]->provenance()->to_json();
       }
     });
@@ -219,9 +287,19 @@ void Batcher::run_batch(std::vector<Pending> batch) {
 
   const auto now = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < n; ++i) {
-    latency_ms_->observe(
+    const double latency_ms =
         std::chrono::duration<double, std::milli>(now - batch[i].enqueued)
-            .count());
+            .count();
+    latency_ms_->observe(latency_ms);
+    if (opts_.slow_ms > 0.0 && latency_ms >= opts_.slow_ms) {
+      static obs::LogRateLimit rl(/*per_sec=*/5.0, /*burst=*/20.0);
+      obs::LogRecord(obs::LogLevel::kWarn, "serve.slow_request", rl)
+          .kv("request_id", batch[i].req.id)
+          .kv("latency_ms", latency_ms)
+          .kv("batch_size", static_cast<std::uint64_t>(n))
+          .kv("parse_failed", responses[i].parse_failed)
+          .kv("verdict", responses[i].verdict);
+    }
     batch[i].done(std::move(responses[i]));
   }
 }

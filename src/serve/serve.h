@@ -62,6 +62,10 @@ struct ServeOptions {
   /// Normalize scripts through src/deob before classification (defaulted
   /// from the model).
   bool deobfuscate = false;
+  /// Requests whose enqueue→completion latency reaches this many
+  /// milliseconds draw a structured serve.slow_request log record carrying
+  /// the request id. 0 disables the check.
+  double slow_ms = 0.0;
 };
 
 /// One serving handle over a mapped artifact or a legacy stream model.
@@ -89,10 +93,29 @@ class ServeModel {
   /// ServeOptions pre-filled from this model's configuration.
   ServeOptions options() const;
 
+  /// Serving format tag: "jsrm-mapped" for the zero-copy artifact path,
+  /// "stream" for the legacy loader (telemetry label, /statusz field).
+  std::string format() const;
+  /// Artifact format version (mapped path); 0 for stream models.
+  std::uint32_t format_version() const;
+  /// Width of the lint summary tail in the feature vector (0 = lint off).
+  std::size_t lint_dim() const;
+  std::size_t feature_count() const;
+
+  /// The mapped artifact behind this model; nullptr on the stream path
+  /// (callers wanting section tables / checksums, e.g. /statusz).
+  const core::ModelView* view() const { return view_.get(); }
+
  private:
   std::unique_ptr<core::ModelView> view_;
   std::unique_ptr<core::JsRevealer> heap_;
 };
+
+/// Registers the jsr_build_info / jsr_model_info identity gauges (value 1,
+/// identity in labels — the Prometheus idiom for exposing build metadata)
+/// in the global obs registry. Called once at daemon startup.
+void register_build_info(const ServeModel& model,
+                         const std::string& model_path);
 
 struct ServeRequest {
   std::uint32_t id = 0;
@@ -149,6 +172,9 @@ class Batcher {
     // Enqueue stamp; serve.latency_ms = completion - enqueue, so queue wait
     // under overload is part of the reported latency, not hidden by it.
     std::chrono::steady_clock::time_point enqueued;
+    // Tracer timestamp at enqueue, when tracing was live then; -1 otherwise.
+    // Lets run_batch emit a "req N queue" span covering the coalescing wait.
+    std::int64_t trace_enqueue_us = -1;
   };
 
   void worker_loop();

@@ -2,8 +2,11 @@
 
 #include <csignal>
 #include <cstring>
+#include <exception>
 #include <stdexcept>
 #include <utility>
+
+#include "obs/log.h"
 
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -65,6 +68,8 @@ Server::Server(const ServeModel& model, ServeOptions opts)
   connections_ = obs::metrics().counter("serve.connections");
   frame_errors_ = obs::metrics().counter("serve.errors",
                                          {{"kind", "frame"}});
+  internal_errors_ = obs::metrics().counter("serve.errors",
+                                            {{"kind", "internal"}});
 }
 
 Server::~Server() {
@@ -77,6 +82,9 @@ Server::~Server() {
 }
 
 void Server::request_shutdown() noexcept {
+  // Readiness drops first (both stores are async-signal-safe): any /readyz
+  // probe racing the shutdown sees "draining" before connections do.
+  ready_.store(false, std::memory_order_relaxed);
   shutdown_.store(true, std::memory_order_relaxed);
   const char byte = 1;
   // Best-effort, async-signal-safe: one write to the self-pipe wakes every
@@ -163,7 +171,17 @@ void Server::run() {
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns_.push_back(conn);
     conn_threads_.emplace_back([this, conn] {
-      const bool quit = conn_loop(conn);
+      // Backstop containment: an exception escaping the connection loop
+      // must cost one connection, never the process (an uncaught exception
+      // on a thread is std::terminate).
+      bool quit = false;
+      try {
+        quit = conn_loop(conn);
+      } catch (const std::exception& e) {
+        internal_errors_->add();
+        obs::LogRecord(obs::LogLevel::kError, "serve.conn_thread_error")
+            .kv("what", e.what());
+      }
       conn->open.store(false, std::memory_order_relaxed);
       ::close(conn->in_fd);  // == out_fd for accepted sockets
       if (quit) request_shutdown();
@@ -187,7 +205,14 @@ void Server::serve_fd(int in_fd, int out_fd) {
   conn->in_fd = in_fd;
   conn->out_fd = out_fd;
   conn->own_fds = false;
-  const bool quit = conn_loop(conn);
+  bool quit = false;
+  try {
+    quit = conn_loop(conn);
+  } catch (const std::exception& e) {
+    internal_errors_->add();
+    obs::LogRecord(obs::LogLevel::kError, "serve.conn_thread_error")
+        .kv("what", e.what());
+  }
   conn->open.store(false, std::memory_order_relaxed);
   if (quit) request_shutdown();
 }
@@ -224,6 +249,10 @@ bool Server::conn_loop(const std::shared_ptr<Conn>& conn) {
         // keep the daemon alive. The stream cannot be resynced, so closing
         // is the only safe recovery.
         frame_errors_->add();
+        static obs::LogRateLimit rl(/*per_sec=*/2.0, /*burst=*/10.0);
+        obs::LogRecord(obs::LogLevel::kWarn, "serve.frame_error", rl)
+            .kv("request_id", frame.id)
+            .kv("reason", decode_status_name(st));
         Frame err;
         err.type = FrameType::kError;
         err.id = frame.id;  // header id when it was readable, else 0
@@ -234,7 +263,25 @@ bool Server::conn_loop(const std::shared_ptr<Conn>& conn) {
         break;
       }
       buf.erase(0, consumed);
-      const Disposition d = handle_frame(conn, std::move(frame));
+      const std::uint32_t frame_id = frame.id;
+      Disposition d;
+      try {
+        d = handle_frame(conn, std::move(frame));
+      } catch (const std::exception& e) {
+        // An unexpected serving-path failure used to close the connection
+        // silently; now it answers, counts, and logs with the request id so
+        // the client-side timeout has a server-side record to join against.
+        internal_errors_->add();
+        obs::LogRecord(obs::LogLevel::kError, "serve.internal_error")
+            .kv("request_id", frame_id)
+            .kv("what", e.what());
+        Frame err;
+        err.type = FrameType::kError;
+        err.id = frame_id;
+        err.payload = std::string("internal error: ") + e.what();
+        write_frame(conn, err);
+        d = Disposition::kClose;
+      }
       if (d == Disposition::kClose) {
         reading = false;
         break;
@@ -307,6 +354,11 @@ Server::Disposition Server::handle_frame(const std::shared_ptr<Conn>& conn,
       return Disposition::kContinue;
     }
     case FrameType::kQuit:
+      // Readiness flips before the drain starts, so /readyz reports 503
+      // strictly before this connection's kBye confirms the drain finished.
+      ready_.store(false, std::memory_order_relaxed);
+      obs::LogRecord(obs::LogLevel::kInfo, "serve.quit")
+          .kv("request_id", frame.id);
       return Disposition::kQuit;
     default: {
       // A response-type frame from a client is a protocol violation, same

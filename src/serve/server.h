@@ -71,6 +71,12 @@ class Server {
     return shutdown_.load(std::memory_order_relaxed);
   }
 
+  /// Readiness for the admin plane's /readyz: true from construction until
+  /// the daemon starts draining — request_shutdown() and a received kQuit
+  /// both clear it *before* the drain begins, so a load balancer watching
+  /// /readyz sees 503 strictly before the frame plane's kBye goes out.
+  bool ready() const noexcept { return ready_.load(std::memory_order_relaxed); }
+
   /// The batcher behind this server (tests inspect queue depth).
   Batcher& batcher() { return batcher_; }
 
@@ -114,6 +120,7 @@ class Server {
 
   int wake_pipe_[2] = {-1, -1};  // self-pipe; [1] written by request_shutdown
   std::atomic<bool> shutdown_{false};
+  std::atomic<bool> ready_{true};
 
   std::mutex conns_mu_;
   std::vector<std::shared_ptr<Conn>> conns_;
@@ -121,6 +128,7 @@ class Server {
 
   obs::Counter* connections_ = nullptr;
   obs::Counter* frame_errors_ = nullptr;
+  obs::Counter* internal_errors_ = nullptr;
 };
 
 }  // namespace jsrev::serve

@@ -1,0 +1,10 @@
+// Repository-wide version string, surfaced by the admin plane
+// (jsr_build_info, /statusz) so every scrape self-describes the replica.
+// Bump the minor component once per landed growth step.
+#pragma once
+
+namespace jsrev {
+
+inline constexpr const char* kVersionString = "0.10.0";
+
+}  // namespace jsrev

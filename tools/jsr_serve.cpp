@@ -40,6 +40,9 @@
 
 #include <unistd.h>
 
+#include "obs/admin.h"
+#include "obs/json.h"
+#include "obs/log.h"
 #include "serve/frame.h"
 #include "serve/serve.h"
 #include "serve/server.h"
@@ -55,9 +58,12 @@ int usage(const char* argv0) {
       "usage: %s --model M [--stdio | --unix PATH | --tcp PORT]\n"
       "          [--threads N] [--max-batch N] [--max-queue N]\n"
       "          [--deob | --no-deob]\n"
+      "          [--admin [ADDR:]PORT | --admin-unix PATH]\n"
+      "          [--log-level debug|info|warn|error] [--slow-ms N]\n"
       "       %s --encode FILE.JS... [--provenance] [--quit]\n"
-      "       %s --decode\n",
-      argv0, argv0, argv0);
+      "       %s --decode\n"
+      "       %s --admin-get HOST:PORT|unix:PATH /path\n",
+      argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -144,9 +150,26 @@ int cmd_decode() {
 }
 
 serve::Server* g_server = nullptr;
+obs::AdminServer* g_admin = nullptr;
 
 void on_signal(int) {
   if (g_server != nullptr) g_server->request_shutdown();
+  if (g_admin != nullptr) g_admin->request_shutdown();
+}
+
+int cmd_admin_get(const std::string& endpoint, const std::string& path) {
+  std::string body, error;
+  const int status = obs::admin_http_get(endpoint, path, &body, &error);
+  if (status < 0) {
+    std::fprintf(stderr, "jsr_serve: --admin-get: %s\n", error.c_str());
+    return 1;
+  }
+  std::fwrite(body.data(), 1, body.size(), stdout);
+  if (status != 200) {
+    std::fprintf(stderr, "jsr_serve: --admin-get: HTTP %d\n", status);
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -158,6 +181,9 @@ int main(int argc, char** argv) {
   std::size_t threads = 0, max_batch = 0, max_queue = 0;
   int deob_override = -1;  // -1 model default, 0 off, 1 on
   bool encode = false, decode = false, provenance = false, quit = false;
+  std::string admin_spec, admin_unix;
+  bool admin_get = false;
+  std::uint64_t slow_ms = 0;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -197,6 +223,26 @@ int main(int argc, char** argv) {
       deob_override = 1;
     } else if (std::strcmp(argv[i], "--no-deob") == 0) {
       deob_override = 0;
+    } else if (std::strcmp(argv[i], "--admin") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      admin_spec = v;
+    } else if (std::strcmp(argv[i], "--admin-unix") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      admin_unix = v;
+    } else if (std::strcmp(argv[i], "--admin-get") == 0) {
+      admin_get = true;
+    } else if (std::strcmp(argv[i], "--log-level") == 0) {
+      const char* v = next();
+      obs::LogLevel level{};
+      if (v == nullptr || !obs::log_level_from_name(v, &level)) {
+        return usage(argv[0]);
+      }
+      obs::set_log_level(level);
+    } else if (std::strcmp(argv[i], "--slow-ms") == 0) {
+      const char* v = next();
+      if (v == nullptr || !parse_u64(v, &slow_ms)) return usage(argv[0]);
     } else if (std::strcmp(argv[i], "--encode") == 0) {
       encode = true;
     } else if (std::strcmp(argv[i], "--decode") == 0) {
@@ -212,6 +258,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (admin_get) {
+    // `--admin-get ENDPOINT PATH`: the two bare operands.
+    if (encode || decode || files.size() != 2) return usage(argv[0]);
+    return cmd_admin_get(files[0], files[1]);
+  }
   if (encode) {
     if (decode || files.empty()) return usage(argv[0]);
     return cmd_encode(files, provenance, quit);
@@ -222,6 +273,7 @@ int main(int argc, char** argv) {
   const int modes = (stdio ? 1 : 0) + (unix_path.empty() ? 0 : 1) +
                     (want_tcp ? 1 : 0);
   if (modes != 1) return usage(argv[0]);
+  if (!admin_spec.empty() && !admin_unix.empty()) return usage(argv[0]);
 
   try {
     const serve::ServeModel model(model_path);
@@ -230,29 +282,88 @@ int main(int argc, char** argv) {
     if (max_batch != 0) opts.max_batch = max_batch;
     if (max_queue != 0) opts.max_queue = max_queue;
     if (deob_override >= 0) opts.deobfuscate = deob_override == 1;
+    opts.slow_ms = static_cast<double>(slow_ms);
+
+    serve::register_build_info(model, model_path);
 
     serve::Server server(model, opts);
+
+    // Admin telemetry plane, when asked for: /metrics, /healthz, /readyz,
+    // /statusz, /tracez on its own listener, never sharing the frame fds.
+    std::unique_ptr<obs::AdminServer> admin;
+    if (!admin_spec.empty() || !admin_unix.empty()) {
+      admin = std::make_unique<obs::AdminServer>();
+      if (!admin_unix.empty()) {
+        admin->listen_unix(admin_unix);
+      } else {
+        std::string addr, port_str = admin_spec;
+        if (const std::size_t colon = admin_spec.rfind(':');
+            colon != std::string::npos) {
+          addr = admin_spec.substr(0, colon);
+          port_str = admin_spec.substr(colon + 1);
+        }
+        std::uint64_t port = 0;
+        if (!parse_u64(port_str, &port) || port > 65535) return usage(argv[0]);
+        admin->listen_tcp(static_cast<std::uint16_t>(port), addr);
+      }
+      admin->set_ready_check([&server] { return server.ready(); });
+      admin->set_status_fields([&server, &model, &model_path,
+                                &opts](obs::JsonWriter& w) {
+        w.kv("model_path", model_path);
+        w.kv("model_name", model.name());
+        w.kv("model_format", model.format());
+        w.kv("model_format_version",
+             static_cast<std::uint64_t>(model.format_version()));
+        w.kv("lint_dim", static_cast<std::uint64_t>(model.lint_dim()));
+        w.kv("deobfuscate", opts.deobfuscate);
+        w.kv("queue_depth",
+             static_cast<std::uint64_t>(server.batcher().queue_depth()));
+        if (model.view() != nullptr) {
+          w.key("sections");
+          w.begin_array();
+          for (const auto& s : model.view()->info().sections) w.value(s.name);
+          w.end_array();
+        }
+      });
+      admin->start();
+      // Port discovery for scripts (ephemeral --admin 0): stdout in socket
+      // modes; stderr under --stdio, where stdout carries frames.
+      if (admin->bound_port() != 0) {
+        std::fprintf(stdio ? stderr : stdout, "admin 127.0.0.1:%u\n",
+                     admin->bound_port());
+        std::fflush(stdio ? stderr : stdout);
+      }
+      g_admin = admin.get();
+    }
+
     g_server = &server;
     std::signal(SIGTERM, on_signal);
     std::signal(SIGINT, on_signal);
 
+    const auto announce = [&](const std::string& endpoint) {
+      obs::LogRecord(obs::LogLevel::kInfo, "serve.listening")
+          .kv("endpoint", endpoint)
+          .kv("model", model_path)
+          .kv("format", model.format())
+          .kv("deobfuscate", opts.deobfuscate);
+    };
     if (stdio) {
+      announce("stdio");
       server.serve_fd(STDIN_FILENO, STDOUT_FILENO);
     } else if (!unix_path.empty()) {
       server.listen_unix(unix_path);
-      std::fprintf(stderr, "jsr_serve: %s model %s on unix:%s\n",
-                   model.mapped() ? "mapped" : "loaded", model_path.c_str(),
-                   unix_path.c_str());
+      announce("unix:" + unix_path);
       server.run();
     } else {
       server.listen_tcp(static_cast<std::uint16_t>(tcp_port));
-      std::fprintf(stderr, "jsr_serve: %s model %s on 127.0.0.1:%u\n",
-                   model.mapped() ? "mapped" : "loaded", model_path.c_str(),
-                   server.bound_port());
+      announce("tcp:127.0.0.1:" + std::to_string(server.bound_port()));
       server.run();
     }
     g_server = nullptr;
+    g_admin = nullptr;
+    if (admin != nullptr) admin->stop();
   } catch (const std::exception& e) {
+    obs::LogRecord(obs::LogLevel::kError, "serve.fatal").kv("what", e.what());
     std::fprintf(stderr, "jsr_serve: %s\n", e.what());
     return 1;
   }

@@ -10,10 +10,17 @@
 //                        Perfetto / chrome://tracing)
 //   --explain FILE.JS    classify FILE.JS with provenance capture and print
 //                        the VerdictProvenance record as JSON
+//   --prom PATH|-        Prometheus text exposition of the run's metrics,
+//                        rendered from the drained JSON snapshot through the
+//                        same writer GET /metrics uses ("-" = stdout)
+//   --prom-from IN.json  no evaluation: convert an existing metrics JSON
+//                        snapshot (a --metrics file, a STATS frame payload)
+//                        to Prometheus text on stdout
 //   --validate FILE      no evaluation: check FILE is well-formed JSON and,
 //                        when it carries the BENCH envelope or a traceEvents
-//                        array, that the schema holds (repeatable; used by
-//                        scripts/check.sh to gate emitted artifacts)
+//                        array, that the schema holds; non-JSON files are
+//                        checked as Prometheus text exposition (repeatable;
+//                        used by scripts/check.sh to gate emitted artifacts)
 //   --scripts N          generated corpus size per class (default 60)
 //   --threads N          parallel width (0 = hardware)
 //   --seed N             corpus + model seed
@@ -33,6 +40,7 @@
 #include "dataset/generator.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "obs/provenance.h"
 #include "obs/trace.h"
 #include "util/string_util.h"
@@ -50,6 +58,8 @@ struct Options {
   std::string deterministic_path;
   std::string trace_path;
   std::string explain_path;
+  std::string prom_path;       // "-" = stdout
+  std::string prom_from_path;  // convert an existing snapshot, no evaluation
   std::vector<std::string> validate_paths;
 };
 
@@ -57,6 +67,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--metrics PATH|-] [--metrics-table] "
                "[--deterministic PATH] [--trace PATH] [--explain FILE.JS] "
+               "[--prom PATH|-] [--prom-from IN.json] "
                "[--validate FILE]... [--scripts N] [--threads N] [--seed N]\n",
                argv0);
   return 2;
@@ -89,13 +100,22 @@ bool validate_artifact(const std::string& path) {
   }
   std::string error;
   const auto doc = obs::json_parse(text, &error);
-  if (doc == nullptr) {
-    std::fprintf(stderr, "jsr_stats: %s: malformed JSON: %s\n", path.c_str(),
-                 error.c_str());
-    return false;
-  }
   const char* kind = "json";
   bool ok = true;
+  if (doc == nullptr) {
+    // Not JSON at all — the other artifact family we emit is Prometheus
+    // text exposition (the admin smoke's /metrics fetch, --prom output).
+    std::string prom_error;
+    if (obs::validate_prometheus_text(text, &prom_error)) {
+      std::printf("jsr_stats: %s: valid prometheus-text\n", path.c_str());
+      return true;
+    }
+    std::fprintf(stderr,
+                 "jsr_stats: %s: neither JSON (%s) nor Prometheus text "
+                 "(%s)\n",
+                 path.c_str(), error.c_str(), prom_error.c_str());
+    return false;
+  }
   if (doc->find("traceEvents") != nullptr) {
     kind = "chrome-trace";
     ok = obs::validate_chrome_trace_json(text, &error);
@@ -180,6 +200,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       opt.explain_path = v;
+    } else if (std::strcmp(arg, "--prom") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.prom_path = v;
+    } else if (std::strcmp(arg, "--prom-from") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opt.prom_from_path = v;
     } else if (std::strcmp(arg, "--validate") == 0) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
@@ -206,6 +234,26 @@ int main(int argc, char** argv) {
       all_ok = validate_artifact(path) && all_ok;
     }
     return all_ok ? 0 : 1;
+  }
+
+  if (!opt.prom_from_path.empty()) {
+    // Offline conversion: a drained snapshot (a --metrics file or a STATS
+    // frame payload) through the same exposition writer GET /metrics uses.
+    std::string json;
+    if (!read_file(opt.prom_from_path, &json)) {
+      std::fprintf(stderr, "jsr_stats: cannot read %s\n",
+                   opt.prom_from_path.c_str());
+      return 1;
+    }
+    std::vector<obs::MetricSample> rows;
+    std::string error;
+    if (!obs::samples_from_metrics_json(json, &rows, &error)) {
+      std::fprintf(stderr, "jsr_stats: %s: not a metrics snapshot: %s\n",
+                   opt.prom_from_path.c_str(), error.c_str());
+      return 1;
+    }
+    std::fputs(obs::render_prometheus(rows).c_str(), stdout);
+    return 0;
   }
 
   if (!opt.trace_path.empty()) obs::Tracer::global().set_enabled(true);
@@ -243,6 +291,30 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote %s\n", opt.deterministic_path.c_str());
+  }
+  if (!opt.prom_path.empty()) {
+    // One exporter, two consumers: this deliberately goes JSON snapshot →
+    // samples → text, exercising the same conversion a remote STATS-frame
+    // consumer would run (the admin plane renders straight off the
+    // registry; the round-trip test pins both paths byte-identical).
+    std::vector<obs::MetricSample> rows;
+    std::string error;
+    if (!obs::samples_from_metrics_json(obs::metrics().to_json(), &rows,
+                                        &error)) {
+      std::fprintf(stderr, "jsr_stats: metrics snapshot did not round-trip: "
+                   "%s\n", error.c_str());
+      return 1;
+    }
+    const std::string text = obs::render_prometheus(rows);
+    if (opt.prom_path == "-") {
+      std::fputs(text.c_str(), stdout);
+    } else if (!write_file(opt.prom_path, text)) {
+      std::fprintf(stderr, "jsr_stats: cannot write %s\n",
+                   opt.prom_path.c_str());
+      return 1;
+    } else {
+      std::printf("wrote %s\n", opt.prom_path.c_str());
+    }
   }
   if (opt.metrics_table) {
     std::printf("%s", obs::metrics().to_table().c_str());
