@@ -10,6 +10,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -194,19 +195,48 @@ void AdminServer::run() {
     if (client < 0) continue;
     set_cloexec(client);
 
+    // Reap before spawning: every accept joins the threads that already
+    // finished, so a steady scrape keeps the tracked set at the number of
+    // connections genuinely in flight instead of growing one joinable
+    // thread (and its retained stack) per request until pthread_create
+    // fails.
+    reap_finished_connections();
+
+    auto done = std::make_shared<std::atomic<bool>>(false);
     std::lock_guard<std::mutex> lock(threads_mu_);
-    conn_threads_.emplace_back([this, client] {
-      handle_connection(client);
-      ::close(client);
-    });
+    conn_threads_.push_back(
+        {std::thread([this, client, done] {
+           handle_connection(client);
+           ::close(client);
+           done->store(true, std::memory_order_release);
+         }),
+         done});
   }
 
-  std::vector<std::thread> threads;
+  std::vector<Conn> conns;
   {
     std::lock_guard<std::mutex> lock(threads_mu_);
-    threads.swap(conn_threads_);
+    conns.swap(conn_threads_);
   }
-  for (std::thread& t : threads) t.join();
+  for (Conn& c : conns) c.thread.join();
+}
+
+void AdminServer::reap_finished_connections() {
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  auto it = conn_threads_.begin();
+  while (it != conn_threads_.end()) {
+    if (it->done->load(std::memory_order_acquire)) {
+      it->thread.join();
+      it = conn_threads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t AdminServer::tracked_connections() {
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  return conn_threads_.size();
 }
 
 void AdminServer::handle_connection(int fd) {
@@ -335,12 +365,28 @@ std::string AdminServer::handle_tracez(std::string_view query) {
 // ---------------------------------------------------------------------------
 // Client side
 
+namespace {
+
+/// Bounds every connect/send/recv on the client socket: SO_SNDTIMEO covers
+/// connect() on Linux, SO_RCVTIMEO turns a wedged peer into EAGAIN instead
+/// of an indefinite block.
+void set_io_deadline(int fd, long timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
 int admin_http_get(const std::string& endpoint, const std::string& path,
-                   std::string* body, std::string* error) {
+                   std::string* body, std::string* error, long timeout_ms) {
   const auto fail = [&](const std::string& what) {
     if (error != nullptr) *error = what;
     return -1;
   };
+  if (timeout_ms <= 0) timeout_ms = 10'000;
 
   int fd = -1;
   if (endpoint.rfind("unix:", 0) == 0) {
@@ -353,6 +399,7 @@ int admin_http_get(const std::string& endpoint, const std::string& path,
     std::memcpy(addr.sun_path, sock_path.c_str(), sock_path.size() + 1);
     fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) return fail(std::string("socket: ") + std::strerror(errno));
+    set_io_deadline(fd, timeout_ms);
     if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                   sizeof(addr)) != 0) {
       const std::string e = std::strerror(errno);
@@ -378,6 +425,7 @@ int admin_http_get(const std::string& endpoint, const std::string& path,
     }
     fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) return fail(std::string("socket: ") + std::strerror(errno));
+    set_io_deadline(fd, timeout_ms);
     if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                   sizeof(addr)) != 0) {
       const std::string e = std::strerror(errno);
@@ -398,6 +446,10 @@ int admin_http_get(const std::string& endpoint, const std::string& path,
   while (true) {
     const ssize_t n = ::read(fd, chunk, sizeof(chunk));
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      ::close(fd);
+      return fail("timed out waiting for response from " + endpoint);
+    }
     if (n <= 0) break;
     response.append(chunk, static_cast<std::size_t>(n));
   }

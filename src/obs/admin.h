@@ -23,6 +23,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -81,8 +82,24 @@ class AdminServer {
     return shutdown_.load(std::memory_order_relaxed);
   }
 
+  /// Connection threads currently tracked (in-flight plus finished-but-not-
+  /// yet-reaped). Exposed so tests can pin that the accept loop reaps: a
+  /// steady scrape must not grow this without bound.
+  std::size_t tracked_connections();
+
  private:
+  // One accepted connection: its thread plus a flag the thread sets when it
+  // is done, so the accept loop can join() finished threads (glibc only
+  // reclaims a joinable thread's stack on join) without blocking on live
+  // ones.
+  struct Conn {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
   void handle_connection(int fd);
+  /// Joins and drops every tracked connection whose thread has finished.
+  void reap_finished_connections();
   /// Full HTTP response (status line + headers + body) for one request head.
   std::string respond(std::string_view head);
   std::string handle_tracez(std::string_view query);
@@ -101,7 +118,7 @@ class AdminServer {
   std::mutex trace_mu_;  // /tracez captures are serialized
 
   std::mutex threads_mu_;
-  std::vector<std::thread> conn_threads_;
+  std::vector<Conn> conn_threads_;
   std::thread run_thread_;  // start()/stop()
 };
 
@@ -109,7 +126,11 @@ class AdminServer {
 /// fetches `path` from `endpoint` ("host:port" or "unix:/path"), stores the
 /// response body (sans headers) and returns the HTTP status code, or -1 on
 /// connect/protocol failure (with an explanation in *error when non-null).
+/// Every connect/read/write is bounded by `timeout_ms` (values <= 0 mean the
+/// 10 s default, comfortably past the server's own 5 s request deadline), so
+/// a wedged daemon fails the call instead of hanging the caller.
 int admin_http_get(const std::string& endpoint, const std::string& path,
-                   std::string* body, std::string* error = nullptr);
+                   std::string* body, std::string* error = nullptr,
+                   long timeout_ms = 10'000);
 
 }  // namespace jsrev::obs

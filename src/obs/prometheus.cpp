@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "obs/json.h"
+#include "obs/log.h"
 
 namespace jsrev::obs {
 
@@ -116,11 +117,32 @@ std::string prometheus_name(std::string_view registry_name, Unit unit) {
 std::string render_prometheus(const std::vector<MetricSample>& samples) {
   std::string out;
   std::string open_family;  // HELP/TYPE already emitted for this name
+  // Family names are derived (jsr_ prefix, sanitize, _total / _seconds
+  // suffixing), so two distinct registry names can land on the same family
+  // — counter "x" and a metric literally named "x_total" both render as
+  // jsr_x_total. Since samples are sorted by *registry* name, the repeat
+  // shows up non-adjacently and would draw a second # TYPE line (or
+  // duplicate series), which validate_prometheus_text rightly rejects.
+  // First registry name wins a family; later colliders are dropped with a
+  // comment in the exposition and a rate-limited warning.
+  std::map<std::string, std::string> family_owner;  // family -> registry name
   for (const MetricSample& s : samples) {
     const std::string base = prometheus_name(s.name, s.unit);
     const std::string family =
         s.kind == MetricKind::kCounter ? base + "_total" : base;
     const double scale = unit_scale(s.unit);
+
+    const auto [owner, inserted] = family_owner.try_emplace(family, s.name);
+    if (!inserted && owner->second != s.name) {
+      out += "# collision: dropped " + prometheus_name(s.name, Unit::kCount) +
+             " (family " + family + " already rendered)\n";
+      static LogRateLimit rate_limit(/*per_sec=*/0.1, /*burst=*/2.0);
+      LogRecord(LogLevel::kWarn, "prom.family_collision", rate_limit)
+          .kv("family", family)
+          .kv("kept", owner->second)
+          .kv("dropped", s.name);
+      continue;
+    }
 
     if (family != open_family) {
       if (!s.help.empty()) {

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -238,6 +239,41 @@ TEST(Prometheus, SummaryRendersSumAndCount) {
   ASSERT_NE(doc.find("jsr_stage_count"), nullptr);
   EXPECT_EQ(doc.find("jsr_stage_sum")->value, 5.0);
   EXPECT_EQ(doc.find("jsr_stage_count")->value, 2.0);
+}
+
+// Family names are derived, so distinct registry names can collide after
+// sanitization/suffixing: counter "x" and a gauge literally named "x_total"
+// both map to family jsr_x_total, and (samples being sorted by registry
+// name) the repeat appears non-adjacently. The renderer must keep the first
+// owner, drop the collider, and still emit a valid exposition — never a
+// second # TYPE line or duplicate series.
+TEST(Prometheus, FamilyCollisionDropsColliderAndStaysValid) {
+  obs::Registry reg;
+  reg.counter("x")->add(1);       // family jsr_x_total
+  reg.gauge("x.z")->set(9);       // sorts between "x" and "x_total"
+  reg.gauge("x_total")->set(5);   // collides with the counter's family
+  const std::string text = obs::render_prometheus(reg);
+
+  std::string error;
+  EXPECT_TRUE(obs::validate_prometheus_text(text, &error)) << error << text;
+
+  PromDoc doc;
+  parse_prom(text, &doc);
+  EXPECT_EQ(doc.types.at("jsr_x_total"), "counter");
+  ASSERT_NE(doc.find("jsr_x_total"), nullptr);
+  EXPECT_EQ(doc.find("jsr_x_total")->value, 1.0);  // counter won, gauge gone
+  ASSERT_NE(doc.find("jsr_x_z"), nullptr);
+  // The drop is visible in-band as a comment, not silent.
+  EXPECT_NE(text.find("# collision: dropped jsr_x_total"), std::string::npos)
+      << text;
+
+  // The ms→seconds rewrite collides the same way: "a_ms" (kMillis) and an
+  // explicit "a_seconds" both render as family jsr_a_seconds.
+  obs::Registry reg2;
+  reg2.summary("a_ms", {}, obs::kMillisOptions)->observe(2.0);
+  reg2.gauge("a_seconds")->set(1);
+  const std::string text2 = obs::render_prometheus(reg2);
+  EXPECT_TRUE(obs::validate_prometheus_text(text2, &error)) << error << text2;
 }
 
 // One exporter, two consumers: rendering straight off the registry and
@@ -541,6 +577,52 @@ TEST_F(AdminHttpTest, OversizedHeadIs431) {
   EXPECT_EQ(resp.rfind("HTTP/1.1 431", 0), 0u) << resp;
   std::string body;
   EXPECT_EQ(obs::admin_http_get(endpoint_, "/healthz", &body), 200);
+}
+
+// A steady scrape must not accumulate one joinable (stack-retaining) thread
+// per request: the accept loop reaps finished connection threads, so after
+// many sequential requests the tracked set stays at in-flight size, not
+// request count.
+TEST_F(AdminHttpTest, SequentialScrapesDoNotAccumulateThreads) {
+  constexpr int kRequests = 64;
+  for (int i = 0; i < kRequests; ++i) {
+    std::string body;
+    ASSERT_EQ(obs::admin_http_get(endpoint_, "/healthz", &body), 200) << i;
+  }
+  // Each accept reaps everything already finished; only the last few
+  // connections can still be in their done-flag window.
+  EXPECT_LE(admin_.tracked_connections(), 8u);
+}
+
+// A peer that accepts but never answers must fail the client call after its
+// deadline instead of hanging --admin-get (and check.sh) forever.
+TEST(AdminClient, GetTimesOutAgainstSilentPeer) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(fd, 4), 0);
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len), 0);
+  const std::string endpoint =
+      "127.0.0.1:" + std::to_string(ntohs(bound.sin_port));
+
+  // Never accept(): the connect lands in the backlog and no byte ever comes
+  // back, which is exactly the wedged-daemon shape the timeout exists for.
+  std::string body, error;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(obs::admin_http_get(endpoint, "/healthz", &body, &error,
+                                /*timeout_ms=*/300),
+            -1);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_NE(error.find("timed out"), std::string::npos) << error;
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  ::close(fd);
 }
 
 TEST(AdminUnix, ServesOverUnixSocket) {

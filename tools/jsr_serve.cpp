@@ -337,6 +337,17 @@ int main(int argc, char** argv) {
     }
 
     g_server = &server;
+    // Declared after `server` and `admin`, so on any exit from this scope —
+    // return or exception unwinding — the globals are nulled *before* either
+    // object is destroyed. Without this, an exception escaping run() would
+    // destroy the server/admin while a late SIGTERM could still reach them
+    // through the signal handler (use-after-free).
+    struct SignalTargetGuard {
+      ~SignalTargetGuard() {
+        g_server = nullptr;
+        g_admin = nullptr;
+      }
+    } signal_target_guard;
     std::signal(SIGTERM, on_signal);
     std::signal(SIGINT, on_signal);
 
@@ -359,8 +370,6 @@ int main(int argc, char** argv) {
       announce("tcp:127.0.0.1:" + std::to_string(server.bound_port()));
       server.run();
     }
-    g_server = nullptr;
-    g_admin = nullptr;
     if (admin != nullptr) admin->stop();
   } catch (const std::exception& e) {
     obs::LogRecord(obs::LogLevel::kError, "serve.fatal").kv("what", e.what());
